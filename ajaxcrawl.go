@@ -1,0 +1,393 @@
+// Package ajaxcrawl is a from-scratch Go implementation of "AJAX Crawl:
+// Making AJAX Applications Searchable" (ICDE 2009 / ETH master thesis by
+// Reto Matter): a crawler that makes the client-side states of AJAX
+// applications searchable.
+//
+// The package is the public façade over the subsystems in internal/:
+//
+//   - Crawler — the event-driven breadth-first AJAX crawler with
+//     hot-node caching (thesis ch. 3–4), built on an embedded HTML
+//     parser, DOM, and JavaScript interpreter;
+//   - Engine — the complete search pipeline (thesis ch. 5–6): precrawl
+//   - PageRank, URL partitioning, parallel crawling, per-partition
+//     index shards, distributed query processing, and result
+//     reconstruction by event replay;
+//   - SimSite — a deterministic synthetic YouTube-like AJAX site used by
+//     the examples, tests and the experiment harness (the stand-in for
+//     the thesis's YouTube10000 dataset).
+//
+// Quickstart:
+//
+//	site := ajaxcrawl.NewSimSite(50, 1)
+//	eng, err := ajaxcrawl.BuildEngine(ajaxcrawl.Config{
+//		Fetcher:  ajaxcrawl.NewHandlerFetcher(site.Handler()),
+//		StartURL: site.VideoURL(0),
+//		MaxPages: 25,
+//	})
+//	results := eng.Search("morcheeba singer")
+//	html, _ := eng.Reconstruct(results[0])
+package ajaxcrawl
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ajaxcrawl/internal/core"
+	"ajaxcrawl/internal/dom"
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/index"
+	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/query"
+	"ajaxcrawl/internal/webapp"
+)
+
+// Re-exported core types. The aliases keep the public API in one import
+// while the implementation lives in internal packages.
+type (
+	// Fetcher retrieves resources for the crawler.
+	Fetcher = fetch.Fetcher
+	// Result is one ranked search hit: URL, application state, score.
+	Result = query.Result
+	// Graph is the transition-graph application model of one AJAX page.
+	Graph = model.Graph
+	// CrawlOptions configure the crawler (limits, hot-node policy, ...).
+	CrawlOptions = core.Options
+	// CrawlMetrics aggregate what a crawl cost.
+	CrawlMetrics = core.Metrics
+	// PageMetrics report one page's crawl cost.
+	PageMetrics = core.PageMetrics
+	// Weights are the w1..w4 ranking coefficients of formula 5.3.
+	Weights = query.Weights
+	// Index is one inverted-file shard.
+	Index = index.Index
+)
+
+// NewHandlerFetcher serves fetches from an in-process http.Handler — no
+// sockets, fully deterministic.
+func NewHandlerFetcher(h http.Handler) Fetcher {
+	return &fetch.HandlerFetcher{Handler: h}
+}
+
+// NewHTTPFetcher fetches over real HTTP.
+func NewHTTPFetcher(client *http.Client) Fetcher {
+	return &fetch.HTTPFetcher{Client: client}
+}
+
+// NewLatencyFetcher wraps a fetcher with simulated per-request latency
+// (base + perKB·size), as the experiments use to model the network.
+func NewLatencyFetcher(inner Fetcher, base, perKB time.Duration) Fetcher {
+	return fetch.NewInstrumented(inner, fetch.RealClock{}, base, perKB)
+}
+
+// NewCrawler returns a standalone AJAX crawler over a fetcher. Use it to
+// crawl single pages into application models without the full engine.
+func NewCrawler(f Fetcher, opts CrawlOptions) *core.Crawler {
+	return core.New(f, opts)
+}
+
+// Config parameterizes BuildEngine — the full pipeline of thesis ch. 6.
+type Config struct {
+	// Fetcher retrieves all pages (site root, watch pages, AJAX calls).
+	Fetcher Fetcher
+	// StartURL seeds the precrawl.
+	StartURL string
+	// MaxPages bounds how many pages the precrawler discovers.
+	MaxPages int
+	// PartitionSize is pages per crawl partition (default 20).
+	PartitionSize int
+	// ProcLines is the number of parallel crawler process lines
+	// (default 4).
+	ProcLines int
+	// Crawl are the per-page crawler options (default: AJAX with
+	// hot-node caching, 11 states).
+	Crawl CrawlOptions
+	// Weights are the ranking coefficients (default DefaultWeights).
+	Weights *Weights
+	// WorkDir is where partitions and models are written. Empty means a
+	// throwaway temp directory.
+	WorkDir string
+	// KeepURL filters which hyperlinks the precrawler follows (nil =
+	// same-path /watch pages and everything else alike).
+	KeepURL func(string) bool
+}
+
+// Engine is a complete AJAX search engine: sharded indexes, the ranking
+// broker, and the application models needed to reconstruct result states.
+type Engine struct {
+	broker  *query.Broker
+	graphs  map[string]*model.Graph
+	fetcher Fetcher
+	// Metrics of the crawl that built this engine.
+	Metrics *CrawlMetrics
+	// PageRank of every crawled URL.
+	PageRank map[string]float64
+}
+
+// BuildEngine runs the full pipeline: precrawl (hyperlink graph +
+// PageRank), URL partitioning, parallel AJAX crawling, and per-partition
+// index building.
+func BuildEngine(cfg Config) (*Engine, error) {
+	if cfg.Fetcher == nil {
+		return nil, fmt.Errorf("ajaxcrawl: Config.Fetcher is required")
+	}
+	if cfg.StartURL == "" {
+		return nil, fmt.Errorf("ajaxcrawl: Config.StartURL is required")
+	}
+	if cfg.MaxPages <= 0 {
+		return nil, fmt.Errorf("ajaxcrawl: Config.MaxPages must be positive")
+	}
+	if cfg.PartitionSize <= 0 {
+		cfg.PartitionSize = 20
+	}
+	if cfg.ProcLines <= 0 {
+		cfg.ProcLines = 4
+	}
+	workDir := cfg.WorkDir
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "ajaxcrawl-*")
+		if err != nil {
+			return nil, fmt.Errorf("ajaxcrawl: workdir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		workDir = dir
+	}
+
+	// Phase 1: precrawl.
+	pre := &core.Precrawler{
+		Fetcher:  cfg.Fetcher,
+		StartURL: cfg.StartURL,
+		MaxPages: cfg.MaxPages,
+		KeepURL:  cfg.KeepURL,
+	}
+	preRes, err := pre.Run()
+	if err != nil {
+		return nil, fmt.Errorf("ajaxcrawl: precrawl: %w", err)
+	}
+	if len(preRes.URLs) == 0 {
+		return nil, fmt.Errorf("ajaxcrawl: precrawl found no pages from %s", cfg.StartURL)
+	}
+
+	// Phase 2: partition.
+	parts, err := (&core.URLPartitioner{
+		PartitionSize: cfg.PartitionSize,
+		RootDir:       workDir,
+	}).Partition(preRes.URLs)
+	if err != nil {
+		return nil, fmt.Errorf("ajaxcrawl: partition: %w", err)
+	}
+
+	// Phase 3: parallel crawl.
+	mp := &core.MPCrawler{
+		NewCrawler: func() *core.Crawler { return core.New(cfg.Fetcher, cfg.Crawl) },
+		ProcLines:  cfg.ProcLines,
+		Partitions: parts,
+	}
+	mpRes := mp.Run()
+	if err := mpRes.Err(); err != nil {
+		return nil, fmt.Errorf("ajaxcrawl: crawl: %w", err)
+	}
+
+	// Phase 4: one index shard per partition.
+	var shards []*index.Index
+	graphs := make(map[string]*model.Graph)
+	for _, partGraphs := range mpRes.GraphsByPartition {
+		shard := index.New()
+		for _, g := range partGraphs {
+			shard.AddGraph(g, preRes.PageRank[g.URL], 0)
+			graphs[g.URL] = g
+		}
+		shards = append(shards, shard)
+	}
+
+	weights := query.DefaultWeights
+	if cfg.Weights != nil {
+		weights = *cfg.Weights
+	}
+	return &Engine{
+		broker:   &query.Broker{Shards: shards, W: weights},
+		graphs:   graphs,
+		fetcher:  cfg.Fetcher,
+		Metrics:  mpRes.Metrics,
+		PageRank: preRes.PageRank,
+	}, nil
+}
+
+// NewEngineFromGraphs builds an engine directly from crawled application
+// models (single shard) — useful when the caller drives the crawler
+// itself.
+func NewEngineFromGraphs(f Fetcher, graphs []*model.Graph, pageRank map[string]float64) *Engine {
+	shard := index.New()
+	byURL := make(map[string]*model.Graph, len(graphs))
+	for _, g := range graphs {
+		shard.AddGraph(g, pageRank[g.URL], 0)
+		byURL[g.URL] = g
+	}
+	return &Engine{
+		broker:   query.NewBroker([]*index.Index{shard}),
+		graphs:   byURL,
+		fetcher:  f,
+		PageRank: pageRank,
+	}
+}
+
+// Search evaluates a conjunctive keyword query across all shards and
+// returns ranked (URL, state) results.
+func (e *Engine) Search(q string) []Result { return e.broker.Search(q) }
+
+// SearchTopK returns at most k results, evaluated with the bounded-heap
+// top-k path (same results and order as TopKResults(Search(q), k)).
+func (e *Engine) SearchTopK(q string, k int) []Result {
+	return e.broker.SearchTopK(q, k)
+}
+
+// Graph returns the application model of a crawled URL, or nil.
+func (e *Engine) Graph(url string) *Graph { return e.graphs[url] }
+
+// NumStates returns the total number of indexed states.
+func (e *Engine) NumStates() int {
+	n := 0
+	for _, s := range e.broker.Shards {
+		n += s.TotalStates
+	}
+	return n
+}
+
+// Shards exposes the index shards (read-only use).
+func (e *Engine) Shards() []*Index { return e.broker.Shards }
+
+// Reconstruct re-creates the DOM of a result's application state by
+// loading the page and replaying the recorded events (thesis §5.4), and
+// returns its HTML serialization.
+func (e *Engine) Reconstruct(r Result) (string, error) {
+	g, ok := e.graphs[r.URL]
+	if !ok {
+		return "", fmt.Errorf("ajaxcrawl: no application model for %s", r.URL)
+	}
+	path := g.PathTo(r.State)
+	if path == nil {
+		return "", fmt.Errorf("ajaxcrawl: state %d unreachable in %s", r.State, r.URL)
+	}
+	doc, err := core.ReplayPath(e.fetcher, r.URL, path)
+	if err != nil {
+		return "", err
+	}
+	return dom.OuterHTML(doc), nil
+}
+
+// SimSite is the synthetic YouTube-like AJAX application: deterministic,
+// generated from a seed, served via an http.Handler (see DESIGN.md for
+// how it substitutes the thesis's live-YouTube dataset).
+type SimSite struct {
+	site *webapp.Site
+}
+
+// NewSimSite generates a synthetic site with the given number of videos.
+func NewSimSite(videos int, seed int64) *SimSite {
+	return &SimSite{site: webapp.New(webapp.DefaultConfig(videos, seed))}
+}
+
+// Handler returns the site's HTTP interface.
+func (s *SimSite) Handler() http.Handler { return s.site.Handler() }
+
+// NumVideos returns the number of videos.
+func (s *SimSite) NumVideos() int { return s.site.NumVideos() }
+
+// VideoURL returns the watch-page URL of the i-th video.
+func (s *SimSite) VideoURL(i int) string {
+	return webapp.WatchURL(s.site.VideoID(i))
+}
+
+// VideoTitle returns the title of the i-th video.
+func (s *SimSite) VideoTitle(i int) string { return s.site.Video(i).Title }
+
+// CommentPages returns how many comment pages the i-th video has.
+func (s *SimSite) CommentPages(i int) int { return len(s.site.Video(i).Pages) }
+
+// Queries returns the 100-query experiment workload (Table 7.4's
+// popular queries first).
+func (s *SimSite) Queries() []string { return webapp.Queries() }
+
+// Unwrap exposes the underlying site for the experiment harness.
+func (s *SimSite) Unwrap() *webapp.Site { return s.site }
+
+// IsWatchURL reports whether a URL is a video watch page — the KeepURL
+// filter the examples use during precrawl.
+func IsWatchURL(u string) bool { return strings.Contains(u, "/watch?v=") }
+
+// TopKResults truncates a result list to its k best entries (results are
+// already sorted by Search).
+func TopKResults(rs []Result, k int) []Result { return query.TopK(rs, k) }
+
+// NewEngineFromGraphsLimited is NewEngineFromGraphs with a per-page state
+// limit: only the first maxStates states of each application model are
+// indexed (0 = all). This is the "Max. State ID" knob the threshold and
+// recall experiments sweep.
+func NewEngineFromGraphsLimited(f Fetcher, graphs []*model.Graph, pageRank map[string]float64, maxStates int) *Engine {
+	shard := index.New()
+	byURL := make(map[string]*model.Graph, len(graphs))
+	for _, g := range graphs {
+		shard.AddGraph(g, pageRank[g.URL], maxStates)
+		byURL[g.URL] = g
+	}
+	return &Engine{
+		broker:   query.NewBroker([]*index.Index{shard}),
+		graphs:   byURL,
+		fetcher:  f,
+		PageRank: pageRank,
+	}
+}
+
+// NewSimSiteWithForms generates a synthetic site whose watch pages carry
+// a Google-Suggest-style AJAX search box, for exercising the form-probing
+// crawler extension (thesis ch. 10 future work).
+func NewSimSiteWithForms(videos int, seed int64) *SimSite {
+	cfg := webapp.DefaultConfig(videos, seed)
+	cfg.WithSearchBox = true
+	return &SimSite{site: webapp.New(cfg)}
+}
+
+// ResultWithSnippet is a search hit with a highlighted excerpt of the
+// matching state's text.
+type ResultWithSnippet = query.ResultWithSnippet
+
+// SearchWithSnippets returns at most k results, each with a KWIC-style
+// snippet of the matching application state (query terms bracketed).
+func (e *Engine) SearchWithSnippets(q string, k int) []ResultWithSnippet {
+	results := query.TopK(e.broker.Search(q), k)
+	return query.AttachSnippets(results, func(url string, state int) string {
+		g := e.graphs[url]
+		if g == nil {
+			return ""
+		}
+		s := g.State(model.StateID(state))
+		if s == nil {
+			return ""
+		}
+		return s.Text
+	}, q, query.SnippetOptions{})
+}
+
+// NewsSite is the second synthetic AJAX application: a news site with
+// expandable article sections (lattice-shaped transition graphs, two hot
+// nodes). It demonstrates the crawler on a structurally different
+// application than the YouTube-like SimSite.
+type NewsSite struct {
+	site *webapp.NewsSite
+}
+
+// NewNewsSite generates a synthetic news application.
+func NewNewsSite(articles int, seed int64) *NewsSite {
+	return &NewsSite{site: webapp.NewNews(webapp.NewsConfig{Articles: articles, Seed: seed, Sections: 3})}
+}
+
+// Handler returns the news site's HTTP interface.
+func (n *NewsSite) Handler() http.Handler { return n.site.Handler() }
+
+// NumArticles returns the number of articles.
+func (n *NewsSite) NumArticles() int { return n.site.NumArticles() }
+
+// ArticleURL returns the path of article i.
+func (n *NewsSite) ArticleURL(i int) string { return n.site.ArticleURL(i) }

@@ -1,0 +1,403 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ajaxcrawl/internal/browser"
+	"ajaxcrawl/internal/core"
+	"ajaxcrawl/internal/dom"
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/html"
+	"ajaxcrawl/internal/index"
+	"ajaxcrawl/internal/query"
+	"ajaxcrawl/internal/webapp"
+)
+
+func init() {
+	register("ablate-hotnode", "hot-call cache keyed by (fn,args) vs by URL vs off", ablateHotNode)
+	register("ablate-dedup", "duplicate detection: canonical hash vs full-tree compare", ablateDedup)
+	register("ablate-idf", "sharded ranking: global idf correction vs local idf", ablateIDF)
+	register("ablate-compress", "index serialization: gob vs delta+varint", ablateCompress)
+	register("ablate-recrawl", "repetitive crawling: profile-guided second session", ablateRecrawl)
+	register("ablate-neardup", "near-duplicate state merging vs granular-event explosion", ablateNearDup)
+}
+
+// urlKeyHook is the strawman alternative to the thesis's stack-based hot
+// node cache: key responses by request URL. On this application both
+// collapse the same repeats (a single hot node); the ablation shows the
+// stack key costs nothing while staying faithful to Alg. 4.2.1 — and
+// reports the two policies' hit rates side by side.
+type urlKeyHook struct {
+	cache map[string]string
+	hits  int
+}
+
+func (h *urlKeyHook) BeforeSend(p *browser.Page, req *browser.XHRRequest) (string, bool) {
+	body, ok := h.cache[req.URL]
+	if ok {
+		h.hits++
+	}
+	return body, ok
+}
+
+func (h *urlKeyHook) AfterSend(p *browser.Page, req *browser.XHRRequest, body string) {
+	h.cache[req.URL] = body
+}
+
+func ablateHotNode(e *env) error {
+	n := min(e.videos, 60)
+	urls := e.urls(n)
+
+	type variant struct {
+		name string
+		mk   func(p *browser.Page) // installs the policy on a page
+	}
+	stackHits := 0
+	variants := []variant{
+		{"no-cache", func(p *browser.Page) {}},
+		{"stack-key (thesis)", func(p *browser.Page) {
+			c := core.NewHotNodeCache()
+			p.XHR = hookCounter{c.Hook(), &stackHits}
+		}},
+		{"url-key", func(p *browser.Page) {
+			p.XHR = &urlKeyHook{cache: map[string]string{}}
+		}},
+	}
+	fmt.Printf("%-20s %-10s %-12s %-10s\n", "policy", "states", "net calls", "sends")
+	for _, v := range variants {
+		states, calls, sends := 0, 0, 0
+		for _, u := range urls {
+			p := browser.NewPage(e.plain())
+			v.mk(p)
+			g, err := crawlOnePage(p, u)
+			if err != nil {
+				return err
+			}
+			states += g.NumStates()
+			calls += p.NetworkCalls
+			sends += p.XHRSends
+		}
+		fmt.Printf("%-20s %-10d %-12d %-10d\n", v.name, states, calls, sends)
+	}
+	fmt.Println("(both cache keyings collapse the single-hot-node app identically;")
+	fmt.Println(" the stack key additionally distinguishes functions, which URL keying cannot)")
+	return nil
+}
+
+type hookCounter struct {
+	inner browser.XHRHook
+	hits  *int
+}
+
+func (h hookCounter) BeforeSend(p *browser.Page, req *browser.XHRRequest) (string, bool) {
+	body, ok := h.inner.BeforeSend(p, req)
+	if ok {
+		*h.hits++
+	}
+	return body, ok
+}
+
+func (h hookCounter) AfterSend(p *browser.Page, req *browser.XHRRequest, body string) {
+	h.inner.AfterSend(p, req, body)
+}
+
+// crawlOnePage is a minimal BFS crawl (MaxStates 11) over an
+// already-configured page, used by the hot-node ablation so the policy
+// hook can be swapped freely.
+func crawlOnePage(p *browser.Page, url string) (*graphLite, error) {
+	if err := p.Load(url); err != nil {
+		return nil, err
+	}
+	if err := p.RunOnLoad(); err != nil {
+		return nil, err
+	}
+	g := &graphLite{seen: map[dom.Hash]bool{}}
+	g.add(p.Hash())
+	type st struct{ snap *browser.Snapshot }
+	queue := []st{{p.Snapshot()}}
+	for len(queue) > 0 && g.NumStates() < 11 {
+		cur := queue[0]
+		queue = queue[1:]
+		p.Restore(cur.snap)
+		events := p.Events(nil)
+		for _, ev := range events {
+			if g.NumStates() >= 11 {
+				break
+			}
+			p.Restore(cur.snap)
+			changed, err := p.Trigger(ev)
+			if err != nil || !changed {
+				continue
+			}
+			if g.add(p.Hash()) {
+				queue = append(queue, st{p.Snapshot()})
+			}
+		}
+	}
+	return g, nil
+}
+
+type graphLite struct{ seen map[dom.Hash]bool }
+
+// NumStates returns the number of distinct states seen.
+func (g *graphLite) NumStates() int { return len(g.seen) }
+
+func (g *graphLite) add(h dom.Hash) bool {
+	if g.seen[h] {
+		return false
+	}
+	g.seen[h] = true
+	return true
+}
+
+// ablateDedup compares the cost of duplicate-state detection by canonical
+// hash (the thesis's choice, §3.2) against full structural DOM
+// comparison, on the real state DOMs of crawled videos.
+func ablateDedup(e *env) error {
+	n := min(e.videos, 20)
+	// Collect the state DOMs of each video by re-rendering its fragments.
+	var docs []*dom.Node
+	for i := 0; i < n; i++ {
+		v := e.site.Video(i)
+		page := e.site.RenderWatchPage(v)
+		doc := html.Parse(page)
+		docs = append(docs, doc)
+		for pnum := 2; pnum <= len(v.Pages); pnum++ {
+			d := doc.Clone()
+			box := d.ElementByID("recent_comments")
+			html.SetInnerHTML(box, e.site.RenderCommentFragment(v, pnum))
+			docs = append(docs, d)
+		}
+	}
+	const rounds = 20
+	// Hash-based: hash every doc, compare hashes against all previous.
+	start := time.Now()
+	dups := 0
+	for r := 0; r < rounds; r++ {
+		seen := map[dom.Hash]bool{}
+		dups = 0
+		for _, d := range docs {
+			h := dom.CanonicalHash(d)
+			if seen[h] {
+				dups++
+			}
+			seen[h] = true
+		}
+	}
+	hashTime := time.Since(start) / rounds
+
+	// Structural: compare every doc against all previous with dom.Equal.
+	start = time.Now()
+	sdups := 0
+	for r := 0; r < rounds; r++ {
+		var kept []*dom.Node
+		sdups = 0
+		for _, d := range docs {
+			dup := false
+			for _, k := range kept {
+				if dom.Equal(k, d) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				sdups++
+			} else {
+				kept = append(kept, d)
+			}
+		}
+	}
+	eqTime := time.Since(start) / rounds
+
+	fmt.Printf("%-28s %-14s %-10s\n", "strategy", "time", "dups found")
+	fmt.Printf("%-28s %-14v %-10d\n", "canonical hash (thesis)", hashTime, dups)
+	fmt.Printf("%-28s %-14v %-10d\n", "full structural compare", eqTime, sdups)
+	fmt.Printf("speedup: %.1fx; both find the same duplicates: %v\n",
+		float64(eqTime)/float64(hashTime), dups == sdups)
+	return nil
+}
+
+// ablateIDF quantifies what the global idf correction (§6.5.2) buys:
+// fraction of queries whose top result under local-idf sharded ranking
+// differs from the single-index ground truth.
+func ablateIDF(e *env) error {
+	graphs, err := queryCorpus(e)
+	if err != nil {
+		return err
+	}
+	// Unbalanced shards stress idf divergence.
+	cut := len(graphs) / 5
+	if cut == 0 {
+		cut = 1
+	}
+	shardA := index.Build(graphs[:cut], nil, 0)
+	shardB := index.Build(graphs[cut:], nil, 0)
+	single := query.NewEngine(index.Build(graphs, nil, 0))
+	global := &query.Broker{Shards: []*index.Index{shardA, shardB}, W: query.DefaultWeights}
+	local := &query.Broker{Shards: []*index.Index{shardA, shardB}, W: query.DefaultWeights, LocalIDF: true}
+
+	queries := webapp.Queries()
+	globalDiff, localDiff, evaluated := 0, 0, 0
+	for _, q := range queries {
+		want := single.Search(q)
+		if len(want) == 0 {
+			continue
+		}
+		evaluated++
+		sameTop := func(rs []query.Result) bool {
+			return len(rs) > 0 && rs[0].URL == want[0].URL && rs[0].State == want[0].State
+		}
+		if !sameTop(global.Search(q)) {
+			globalDiff++
+		}
+		if !sameTop(local.Search(q)) {
+			localDiff++
+		}
+	}
+	fmt.Printf("queries with results: %d\n", evaluated)
+	fmt.Printf("top-1 divergence vs single index: global idf %d, local idf %d\n", globalDiff, localDiff)
+	fmt.Println("(global-idf correction should show zero divergence)")
+	return nil
+}
+
+// ablateCompress compares the gob and the delta/varint-compressed index
+// serializations: file size and load time, on a corpus crawled at the
+// configured scale.
+func ablateCompress(e *env) error {
+	graphs, err := queryCorpus(e)
+	if err != nil {
+		return err
+	}
+	ix := index.Build(graphs, nil, 0)
+	dir, err := mkTempDir()
+	if err != nil {
+		return err
+	}
+	defer rmTempDir(dir)
+	gobPath := dir + "/idx.gob"
+	binPath := dir + "/idx.bin"
+	if err := ix.Save(gobPath); err != nil {
+		return err
+	}
+	if err := ix.SaveCompressed(binPath); err != nil {
+		return err
+	}
+	gobSize := fileSize(gobPath)
+	binSize := fileSize(binPath)
+
+	const rounds = 10
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := index.Load(gobPath); err != nil {
+			return err
+		}
+	}
+	gobLoad := time.Since(start) / rounds
+	start = time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := index.LoadCompressed(binPath); err != nil {
+			return err
+		}
+	}
+	binLoad := time.Since(start) / rounds
+
+	fmt.Printf("%-24s %-14s %-14s\n", "format", "size (KiB)", "load time")
+	fmt.Printf("%-24s %-14.1f %-14v\n", "gob", float64(gobSize)/1024, gobLoad)
+	fmt.Printf("%-24s %-14.1f %-14v\n", "delta+varint", float64(binSize)/1024, binLoad)
+	fmt.Printf("size ratio: %.2fx smaller\n", float64(gobSize)/float64(binSize))
+	return nil
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// ablateRecrawl measures the repetitive-crawling extension (thesis ch. 10
+// future work): a second crawl session guided by the first session's
+// event profile must produce the identical model with fewer invocations.
+func ablateRecrawl(e *env) error {
+	n := min(e.videos, 100)
+	urls := e.urls(n)
+
+	profile := core.NewCrawlProfile()
+	s1 := core.New(e.plain(), core.Options{UseHotNode: true, RecordProfile: profile})
+	g1, m1, err := s1.CrawlAll(urls)
+	if err != nil {
+		return err
+	}
+	s2 := core.New(e.plain(), core.Options{UseHotNode: true, PriorProfile: profile})
+	g2, m2, err := s2.CrawlAll(urls)
+	if err != nil {
+		return err
+	}
+	identical := len(g1) == len(g2)
+	for i := range g1 {
+		if !identical || g1[i].NumStates() != g2[i].NumStates() {
+			identical = false
+			break
+		}
+	}
+	fmt.Printf("%-22s %-10s %-10s %-10s\n", "session", "events", "skipped", "states")
+	fmt.Printf("%-22s %-10d %-10d %-10d\n", "1 (recording)", m1.EventsTriggered, 0, m1.States)
+	fmt.Printf("%-22s %-10d %-10d %-10d\n", "2 (profile-guided)", m2.EventsTriggered, m2.EventsSkipped, m2.States)
+	fmt.Printf("identical models: %v; event invocations saved: %.1f%%\n",
+		identical, 100*(1-float64(m2.EventsTriggered)/float64(m1.EventsTriggered)))
+	fmt.Println("(the synthetic pagination has no dead events; sites with decorative")
+	fmt.Println(" handlers save more — see examples/recrawl for a 50%+ case)")
+	return nil
+}
+
+// ablateNearDup measures near-duplicate state merging against the
+// granular-events state explosion (thesis challenge #3): a site variant
+// with an AJAX like counter makes every click a new exact-hash state;
+// MinHash merging collapses the noise so the state budget reaches real
+// comment pages.
+func ablateNearDup(e *env) error {
+	cfg := webapp.DefaultConfig(min(e.videos, 60), e.seed)
+	cfg.WithLikeButton = true
+	site := webapp.New(cfg)
+	f := &fetch.HandlerFetcher{Handler: site.Handler()}
+	var urls []string
+	for i := 0; i < site.NumVideos(); i++ {
+		urls = append(urls, webapp.WatchURL(site.VideoID(i)))
+	}
+
+	run := func(threshold float64) (*core.Metrics, int) {
+		c := core.New(f, core.Options{UseHotNode: true, NearDupThreshold: threshold})
+		graphs, m, err := c.CrawlAll(urls)
+		if err != nil {
+			return nil, 0
+		}
+		// Count distinct comment pages reached across the corpus.
+		pages := 0
+		for _, g := range graphs {
+			seen := map[int]bool{}
+			for _, s := range g.States {
+				for p := 1; p <= 11; p++ {
+					if strings.Contains(s.Text, fmt.Sprintf("Comments (page %d of", p)) {
+						seen[p] = true
+					}
+				}
+			}
+			pages += len(seen)
+		}
+		return m, pages
+	}
+	mOff, pagesOff := run(0)
+	mOn, pagesOn := run(0.9)
+	if mOff == nil || mOn == nil {
+		return fmt.Errorf("crawl failed")
+	}
+	fmt.Printf("%-22s %-10s %-14s %-14s %-10s\n", "policy", "states", "comment pages", "net calls", "merges")
+	fmt.Printf("%-22s %-10d %-14d %-14d %-10d\n", "exact hash only", mOff.States, pagesOff, mOff.NetworkCalls, 0)
+	fmt.Printf("%-22s %-10d %-14d %-14d %-10d\n", "minhash merge @0.9", mOn.States, pagesOn, mOn.NetworkCalls, mOn.NearDupMerges)
+	fmt.Println("(merging spends the state budget on real pages instead of counter noise)")
+	return nil
+}

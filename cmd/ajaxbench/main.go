@@ -1,0 +1,196 @@
+// Command ajaxbench regenerates every table and figure of the thesis's
+// evaluation chapter (ch. 7) on the synthetic YouTube-like site, plus the
+// ablation experiments called out in DESIGN.md.
+//
+// Usage:
+//
+//	ajaxbench -exp t7.2 -videos 500
+//	ajaxbench -exp all -videos 200 > results.txt
+//
+// Experiments (paper section in parentheses):
+//
+//	t7.1  dataset statistics (Table 7.1)
+//	f7.1  videos per comment-page count (Figure 7.1)
+//	f7.2  states & events vs crawled videos (Figure 7.2)
+//	t7.2  crawl overhead traditional vs AJAX (Table 7.2)
+//	f7.3  distribution of per-page crawl times (Figure 7.3)
+//	f7.4  crawl time vs number of states (Figure 7.4)
+//	f7.5  events causing network calls, cache on/off (Figure 7.5)
+//	f7.6  network time, cache on/off (Figure 7.6)
+//	f7.7  state throughput, cache on/off (Figure 7.7)
+//	t7.3  parallel crawl times (Table 7.3)
+//	f7.8  parallel vs serial mean crawl time (Figure 7.8)
+//	t7.4  query occurrences first page vs all pages (Table 7.4)
+//	t7.5  query processing times (Table 7.5)
+//	f7.9  query throughput trad vs AJAX (Figure 7.9)
+//	f7.10 relative throughput vs crawled states (Figure 7.10)
+//	f7.11 1-RelRecall vs crawled states (Figure 7.11)
+//	ablate-hotnode  hot-call cache keying strategies
+//	ablate-dedup    hash vs structural duplicate detection
+//	ablate-idf      global vs local idf in sharded ranking
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"ajaxcrawl/internal/core"
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/webapp"
+)
+
+type env struct {
+	site    *webapp.Site
+	videos  int
+	seed    int64
+	latBase time.Duration
+	latPerK time.Duration
+}
+
+// experiment is one runnable table/figure reproduction.
+type experiment struct {
+	id   string
+	desc string
+	run  func(*env) error
+}
+
+var experiments []experiment
+
+func register(id, desc string, run func(*env) error) {
+	experiments = append(experiments, experiment{id: id, desc: desc, run: run})
+}
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (or 'all'); empty lists experiments")
+		videos = flag.Int("videos", 200, "dataset size in videos (paper: 10000)")
+		seed   = flag.Int64("seed", 2008, "site generation seed")
+		base   = flag.Duration("latency", 60*time.Millisecond, "simulated per-request base latency")
+		perKB  = flag.Duration("latency-per-kb", 4*time.Millisecond, "simulated latency per KiB of body")
+	)
+	flag.Parse()
+
+	if *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments {
+			fmt.Printf("  %-16s %s\n", e.id, e.desc)
+		}
+		fmt.Println("  all              run everything")
+		return
+	}
+
+	e := &env{
+		site:    webapp.New(webapp.DefaultConfig(*videos, *seed)),
+		videos:  *videos,
+		seed:    *seed,
+		latBase: *base,
+		latPerK: *perKB,
+	}
+	var failed bool
+	for _, x := range experiments {
+		if *exp != "all" && *exp != x.id {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", x.id, x.desc)
+		start := time.Now()
+		if err := x.run(e); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", x.id, err)
+			failed = true
+		}
+		fmt.Printf("-- %s done in %v --\n\n", x.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+	if *exp != "all" {
+		found := false
+		for _, x := range experiments {
+			if x.id == *exp {
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (run without -exp for the list)\n", *exp)
+			os.Exit(2)
+		}
+	}
+}
+
+// ---- shared helpers ----
+
+// instrumented builds a latency-simulating fetcher on a virtual clock.
+func (e *env) instrumented(clock fetch.Clock) *fetch.Instrumented {
+	return fetch.NewInstrumented(
+		&fetch.HandlerFetcher{Handler: e.site.Handler()},
+		clock, e.latBase, e.latPerK,
+	)
+}
+
+// plain builds an uninstrumented in-process fetcher (no latency).
+func (e *env) plain() fetch.Fetcher {
+	return &fetch.HandlerFetcher{Handler: e.site.Handler()}
+}
+
+// urls returns the first n watch URLs.
+func (e *env) urls(n int) []string {
+	if n > e.site.NumVideos() {
+		n = e.site.NumVideos()
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = webapp.WatchURL(e.site.VideoID(i))
+	}
+	return out
+}
+
+// crawl runs a crawl over the first n videos with a fresh virtual clock
+// and returns the metrics and application models.
+func (e *env) crawl(n int, opts core.Options) (*core.Metrics, []*model.Graph, error) {
+	clock := &fetch.VirtualClock{}
+	inst := e.instrumented(clock)
+	opts.Clock = clock
+	c := core.New(inst, opts)
+	graphs, m, err := c.CrawlAll(e.urls(n))
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, graphs, nil
+}
+
+// scaledPrefixes maps the paper's video-count series onto the configured
+// dataset size (paper series: 20,40,60,80,100,250,500 over 10000).
+func (e *env) scaledPrefixes(series []int, paperMax int) []int {
+	var out []int
+	for _, s := range series {
+		n := s * e.videos / paperMax
+		if n < 1 {
+			n = 1
+		}
+		if n > e.videos {
+			n = e.videos
+		}
+		if len(out) > 0 && out[len(out)-1] == n {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// mkTempDir/rmTempDir wrap the throwaway partition directories used by
+// the parallel experiments.
+func mkTempDir() (string, error) { return os.MkdirTemp("", "ajaxbench-*") }
+
+func rmTempDir(dir string) { os.RemoveAll(dir) }
+
+func sortedCopy(xs []time.Duration) []time.Duration {
+	out := append([]time.Duration(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

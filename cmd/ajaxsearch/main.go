@@ -1,0 +1,159 @@
+// Command ajaxsearch builds, stores, loads and queries AJAX search
+// indexes — the CLI replacement for the thesis's AJAXSearchSetupApp GUI
+// (§8.3): build a new index from stored application models, save/load it,
+// and process queries.
+//
+// Examples:
+//
+//	# Build an index from a crawl directory and save it.
+//	ajaxsearch -models ./crawl-out -save ./idx.gob
+//
+//	# Build with a state limit (the GUI's "Max. State ID" knob).
+//	ajaxsearch -models ./crawl-out -max-states 1 -save ./trad.gob
+//
+//	# Query a stored index.
+//	ajaxsearch -load ./idx.gob -q "morcheeba singer" -k 10
+//
+//	# Build and query in one go.
+//	ajaxsearch -models ./crawl-out -q "funny dance"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ajaxcrawl/internal/core"
+	"ajaxcrawl/internal/index"
+	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/query"
+)
+
+func main() {
+	var (
+		models    = flag.String("models", "", "crawl root directory with partition subdirectories")
+		load      = flag.String("load", "", "load a stored index instead of building one")
+		save      = flag.String("save", "", "store the built index at this path")
+		maxStates = flag.Int("max-states", 0, "index only the first N states per page (0 = all)")
+		q         = flag.String("q", "", "query to process")
+		k         = flag.Int("k", 10, "number of results to print")
+		stats     = flag.Bool("stats", false, "print index statistics")
+	)
+	flag.Parse()
+
+	var ix *index.Index
+	switch {
+	case *load != "":
+		var err error
+		if strings.HasSuffix(*load, ".bin") {
+			ix, err = index.LoadCompressed(*load)
+		} else {
+			ix, err = index.Load(*load)
+		}
+		if err != nil {
+			fatal("load index: %v", err)
+		}
+		fmt.Printf("loaded index: %d docs, %d states, %d terms\n",
+			ix.NumDocs(), ix.TotalStates, ix.NumTerms())
+	case *models != "":
+		ix = buildFromModels(*models, *maxStates)
+	default:
+		fmt.Fprintln(os.Stderr, "either -models or -load is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *save != "" {
+		// A .bin extension selects the delta/varint-compressed format.
+		var err error
+		if strings.HasSuffix(*save, ".bin") {
+			err = ix.SaveCompressed(*save)
+		} else {
+			err = ix.Save(*save)
+		}
+		if err != nil {
+			fatal("save index: %v", err)
+		}
+		fmt.Printf("index saved to %s\n", *save)
+	}
+	if *stats {
+		printStats(ix)
+	}
+	if *q != "" {
+		eng := query.NewEngine(ix)
+		results := query.TopK(eng.Search(*q), *k)
+		if len(results) == 0 {
+			fmt.Printf("no results for %q\n", *q)
+			return
+		}
+		fmt.Printf("%d results for %q:\n", len(results), *q)
+		for i, r := range results {
+			fmt.Printf("%2d. %-55s state=%-3d score=%.4f\n", i+1, r.URL, r.State, r.Score)
+		}
+	}
+}
+
+// buildFromModels loads every partition's application models under root
+// and builds one index, attaching PageRank values when a precrawl result
+// is present — the "Build New Index" tab of the thesis GUI.
+func buildFromModels(root string, maxStates int) *index.Index {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		fatal("read models dir: %v", err)
+	}
+	var pageRank map[string]float64
+	if pre, err := core.LoadPrecrawl(root); err == nil {
+		pageRank = pre.PageRank
+		fmt.Printf("using PageRank values for %d pages\n", len(pageRank))
+	}
+	// Partition directories are numbered; process in numeric order so
+	// DocIDs are stable.
+	var parts []int
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if n, err := strconv.Atoi(e.Name()); err == nil {
+			parts = append(parts, n)
+		}
+	}
+	sort.Ints(parts)
+	if len(parts) == 0 {
+		fatal("no partition directories under %s", root)
+	}
+	ix := index.New()
+	pages := 0
+	for _, p := range parts {
+		graphs, err := model.LoadAll(filepath.Join(root, strconv.Itoa(p)))
+		if err != nil {
+			fatal("partition %d: %v", p, err)
+		}
+		for _, g := range graphs {
+			ix.AddGraph(g, pageRank[g.URL], maxStates)
+			pages++
+		}
+	}
+	fmt.Printf("built index over %d pages: %d states, %d terms\n",
+		pages, ix.TotalStates, ix.NumTerms())
+	return ix
+}
+
+func printStats(ix *index.Index) {
+	fmt.Printf("documents:     %d\n", ix.NumDocs())
+	fmt.Printf("states:        %d\n", ix.TotalStates)
+	fmt.Printf("terms:         %d\n", ix.NumTerms())
+	states := 0
+	for i := 0; i < ix.NumDocs(); i++ {
+		states += ix.Doc(index.DocID(i)).States
+	}
+	fmt.Printf("mean states/doc: %.2f\n", float64(states)/float64(ix.NumDocs()))
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// Command ytserve serves the synthetic YouTube-like AJAX site over HTTP,
+// so the crawler (and a real browser) can be pointed at a live instance:
+//
+//	ytserve -videos 1000 -addr :8080
+//	# then: ajaxcrawl -start http://localhost:8080/watch?v=<id> -pages 50
+//
+// Opening http://localhost:8080/ in a browser shows the index page; the
+// comment pagination on watch pages is driven by real XMLHttpRequest
+// calls, exactly what the AJAX crawler exercises.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"ajaxcrawl/internal/webapp"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8080", "listen address")
+		videos = flag.Int("videos", 500, "number of videos")
+		seed   = flag.Int64("seed", 2008, "generation seed")
+	)
+	flag.Parse()
+
+	site := webapp.New(webapp.DefaultConfig(*videos, *seed))
+	fmt.Printf("serving %d synthetic videos on http://%s/\n", *videos, *addr)
+	fmt.Printf("first watch page: http://%s%s\n", *addr, webapp.WatchURL(site.VideoID(0)))
+	if err := http.ListenAndServe(*addr, site.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "ytserve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Parallel crawling: the chapter-6 architecture end to end. The URL
+// frontier from the precrawl is partitioned on disk; N independent
+// "process lines" crawl partitions concurrently; each partition becomes
+// an index shard; queries are shipped to every shard and merged with the
+// global-idf correction.
+//
+//	go run ./examples/parallel
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ajaxcrawl"
+	"ajaxcrawl/internal/core"
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/webapp"
+)
+
+func main() {
+	site := webapp.New(webapp.DefaultConfig(80, 5))
+	// Simulated per-request network latency makes the parallelism
+	// visible: process lines overlap their waiting time.
+	const latency = 3 * time.Millisecond
+	newFetcher := func() fetch.Fetcher {
+		return fetch.NewInstrumented(
+			&fetch.HandlerFetcher{Handler: site.Handler()}, fetch.RealClock{}, latency, 0)
+	}
+
+	// Precrawl the frontier once.
+	pre := &core.Precrawler{
+		Fetcher:  newFetcher(),
+		StartURL: webapp.WatchURL(site.VideoID(0)),
+		MaxPages: 60,
+		KeepURL:  ajaxcrawl.IsWatchURL,
+	}
+	preRes, err := pre.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("precrawled %d pages; PageRank computed over the hyperlink graph\n", len(preRes.URLs))
+
+	run := func(lines int) time.Duration {
+		dir, err := os.MkdirTemp("", "parallel-example-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		parts, err := (&core.URLPartitioner{PartitionSize: 5, RootDir: dir}).Partition(preRes.URLs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mp := &core.MPCrawler{
+			NewCrawler: func() *core.Crawler {
+				return core.New(newFetcher(), core.Options{UseHotNode: true})
+			},
+			ProcLines:  lines,
+			Partitions: parts,
+		}
+		start := time.Now()
+		res := mp.Run()
+		elapsed := time.Since(start)
+		if err := res.Err(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d process line(s): %d pages, %d states in %v\n",
+			lines, res.Metrics.Pages, res.Metrics.States, elapsed.Round(time.Millisecond))
+		return elapsed
+	}
+
+	serial := run(1)
+	parallel := run(4)
+	fmt.Printf("parallel speedup: %.2fx (%0.1f%% lower crawl time)\n",
+		float64(serial)/float64(parallel), 100*(1-float64(parallel)/float64(serial)))
+	fmt.Println("(the thesis reports 25-28% lower crawl times with 4 process lines)")
+}

@@ -1,0 +1,117 @@
+// Repetitive crawling: the thesis's chapter-10 future-work direction,
+// implemented. The first crawl session records which events were
+// productive; later sessions skip events that provably did nothing,
+// cutting the recurring cost of keeping an AJAX index fresh.
+//
+// To make the effect visible, this example wraps the synthetic site so
+// every watch page carries extra decorative events whose handlers never
+// change the DOM — the "very granular events" problem of thesis §3.2.
+//
+//	go run ./examples/recrawl
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"ajaxcrawl/internal/core"
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/webapp"
+)
+
+// noisyHandler injects decorative no-op events into every watch page:
+// hover trackers, analytics pings — handlers that run but change nothing.
+func noisyHandler(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &recorder{header: make(http.Header)}
+		inner.ServeHTTP(rec, r)
+		body := rec.body.String()
+		if strings.HasPrefix(r.URL.Path, "/watch") {
+			noise := `<div id="adbar">
+<span onclick="urchinTracker('ad1')">sponsored</span>
+<span onclick="urchinTracker('ad2')">links</span>
+<span onmouseover="urchinTracker('hover1')">hover me</span>
+<span onmouseover="urchinTracker('hover2')">and me</span>
+<span onclick="var tmp = 1 + 1;">inert</span>
+</div></body>`
+			body = strings.Replace(body, "</body>", noise, 1)
+		}
+		for k, vs := range rec.header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(rec.status())
+		w.Write([]byte(body)) //nolint:errcheck
+	})
+}
+
+type recorder struct {
+	header http.Header
+	code   int
+	body   strings.Builder
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+func (r *recorder) WriteHeader(c int)   { r.code = c }
+func (r *recorder) Write(b []byte) (int, error) {
+	return r.body.Write(b)
+}
+func (r *recorder) status() int {
+	if r.code == 0 {
+		return 200
+	}
+	return r.code
+}
+
+func main() {
+	site := webapp.New(webapp.DefaultConfig(40, 11))
+	fetcher := &fetch.HandlerFetcher{Handler: noisyHandler(site.Handler())}
+
+	var urls []string
+	for i := 0; i < 25; i++ {
+		urls = append(urls, webapp.WatchURL(site.VideoID(i)))
+	}
+
+	// Session 1: full crawl, recording the event profile.
+	profile := core.NewCrawlProfile()
+	session1 := core.New(fetcher, core.Options{UseHotNode: true, RecordProfile: profile})
+	graphs1, m1, err := session1.CrawlAll(urls)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session 1: %d states, %d events triggered (%d did nothing)\n",
+		m1.States, m1.EventsTriggered, countNoChange(profile))
+
+	// Session 2: same site, guided by the profile.
+	session2 := core.New(fetcher, core.Options{UseHotNode: true, PriorProfile: profile})
+	graphs2, m2, err := session2.CrawlAll(urls)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session 2: %d states, %d events triggered, %d skipped by profile\n",
+		m2.States, m2.EventsTriggered, m2.EventsSkipped)
+
+	// The model must be unchanged: skipping only removed dead work.
+	for i := range graphs1 {
+		if graphs1[i].NumStates() != graphs2[i].NumStates() {
+			log.Fatalf("model diverged on %s", graphs1[i].URL)
+		}
+	}
+	saved := 100 * (1 - float64(m2.EventsTriggered)/float64(m1.EventsTriggered))
+	fmt.Printf("\nidentical application models, %.0f%% fewer event invocations on re-crawl\n", saved)
+}
+
+func countNoChange(cp *core.CrawlProfile) int {
+	n := 0
+	for _, pp := range cp.Pages {
+		for _, outcome := range pp.Events {
+			if outcome == core.OutcomeNoChange {
+				n++
+			}
+		}
+	}
+	return n
+}

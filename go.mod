@@ -1,0 +1,3 @@
+module ajaxcrawl
+
+go 1.23

@@ -1,0 +1,208 @@
+package ajaxcrawl
+
+// Integration tests: the full pipeline across package boundaries,
+// including every persistence format — the flows the CLI tools drive.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ajaxcrawl/internal/core"
+	"ajaxcrawl/internal/index"
+	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/query"
+	"ajaxcrawl/internal/webapp"
+)
+
+// TestPipelinePersistenceRoundTrip drives the exact flow of the CLIs:
+// precrawl → partition → parallel crawl with models saved to disk →
+// reload models → build index → save (gob and compressed) → reload →
+// identical query results everywhere.
+func TestPipelinePersistenceRoundTrip(t *testing.T) {
+	site := webapp.New(webapp.DefaultConfig(25, 31))
+	fetcher := NewHandlerFetcher(site.Handler())
+	workDir := t.TempDir()
+
+	// Phase 1-2: precrawl + partition (as cmd/ajaxcrawl does).
+	pre := &core.Precrawler{
+		Fetcher:  fetcher,
+		StartURL: webapp.WatchURL(site.VideoID(0)),
+		MaxPages: 12,
+		KeepURL:  IsWatchURL,
+	}
+	preRes, err := pre.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := preRes.Save(workDir); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := (&core.URLPartitioner{PartitionSize: 4, RootDir: workDir}).Partition(preRes.URLs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: parallel crawl, models serialized per partition.
+	mp := &core.MPCrawler{
+		NewCrawler: func() *core.Crawler {
+			return core.New(fetcher, core.Options{UseHotNode: true, MaxStates: 4})
+		},
+		ProcLines:  3,
+		Partitions: parts,
+		SaveModels: true,
+	}
+	res := mp.Run()
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	liveGraphs := res.Graphs()
+
+	// Reload everything from disk (as cmd/ajaxsearch does).
+	reloadedPre, err := core.LoadPrecrawl(workDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reloadedGraphs []*model.Graph
+	for _, dir := range parts {
+		gs, err := model.LoadAll(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reloadedGraphs = append(reloadedGraphs, gs...)
+	}
+	if len(reloadedGraphs) != len(liveGraphs) {
+		t.Fatalf("reloaded %d graphs, crawled %d", len(reloadedGraphs), len(liveGraphs))
+	}
+
+	// Index from reloaded models with reloaded PageRank.
+	ix := index.Build(reloadedGraphs, reloadedPre.PageRank, 0)
+
+	// Persist the index both ways and reload.
+	gobPath := filepath.Join(workDir, "idx.gob")
+	binPath := filepath.Join(workDir, "idx.bin")
+	if err := ix.Save(gobPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveCompressed(binPath); err != nil {
+		t.Fatal(err)
+	}
+	fromGob, err := index.Load(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := index.LoadCompressed(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All four index instances must answer the workload identically.
+	engines := map[string]*query.Engine{
+		"live":       query.NewEngine(index.Build(liveGraphs, reloadedPre.PageRank, 0)),
+		"reloaded":   query.NewEngine(ix),
+		"gob":        query.NewEngine(fromGob),
+		"compressed": query.NewEngine(fromBin),
+	}
+	for _, q := range webapp.Queries()[:20] {
+		want := engines["live"].Search(q)
+		for name, eng := range engines {
+			got := eng.Search(q)
+			if len(got) != len(want) {
+				t.Fatalf("q=%q: %s returned %d results, live %d", q, name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].URL != want[i].URL || got[i].State != want[i].State {
+					t.Fatalf("q=%q: %s result %d = %v, want %v", q, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReconstructAllResults replays the event path of every search hit
+// on a small corpus and checks each reconstructed state contains the
+// query terms — the §5.4 contract, exhaustively.
+func TestReconstructAllResults(t *testing.T) {
+	_, eng := buildTestEngine(t, 30, 12)
+	checked := 0
+	for _, q := range []string{"wow", "funny", "kiss"} {
+		for _, r := range eng.SearchTopK(q, 3) {
+			html, err := eng.Reconstruct(r)
+			if err != nil {
+				t.Fatalf("reconstruct %v: %v", r, err)
+			}
+			lower := strings.ToLower(html)
+			for _, term := range strings.Fields(q) {
+				if !strings.Contains(lower, term) {
+					t.Fatalf("reconstructed %v missing term %q", r, term)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no results to reconstruct in this sample")
+	}
+	t.Logf("reconstructed and verified %d result states", checked)
+}
+
+// TestEngineDeterminism pins the determinism guarantee: two engines
+// built with identical configuration return identical rankings.
+func TestEngineDeterminism(t *testing.T) {
+	build := func() *Engine {
+		site := NewSimSite(20, 55)
+		eng, err := BuildEngine(Config{
+			Fetcher:       NewHandlerFetcher(site.Handler()),
+			StartURL:      site.VideoURL(0),
+			MaxPages:      10,
+			PartitionSize: 3,
+			ProcLines:     3,
+			Crawl:         CrawlOptions{UseHotNode: true, MaxStates: 4},
+			KeepURL:       IsWatchURL,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	a, b := build(), build()
+	if a.NumStates() != b.NumStates() {
+		t.Fatalf("state counts differ: %d vs %d", a.NumStates(), b.NumStates())
+	}
+	for _, q := range []string{"wow", "dance", "music love"} {
+		ra, rb := a.Search(q), b.Search(q)
+		if len(ra) != len(rb) {
+			t.Fatalf("q=%q: result counts differ", q)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("q=%q: result %d differs: %v vs %v", q, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+// TestWorkDirLayout checks the on-disk layout of chapter 8: numbered
+// partition directories each holding URLsToCrawl.txt and ajaxmodels.gob.
+func TestWorkDirLayout(t *testing.T) {
+	site := NewSimSite(12, 77)
+	workDir := t.TempDir()
+	_, err := BuildEngine(Config{
+		Fetcher:       NewHandlerFetcher(site.Handler()),
+		StartURL:      site.VideoURL(0),
+		MaxPages:      9,
+		PartitionSize: 3,
+		WorkDir:       workDir,
+		Crawl:         CrawlOptions{UseHotNode: true, MaxStates: 3},
+		KeepURL:       IsWatchURL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []string{"1", "2", "3"} {
+		if _, err := os.Stat(filepath.Join(workDir, part, core.URLFileName)); err != nil {
+			t.Fatalf("partition %s missing URL list: %v", part, err)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package browser
+
+import (
+	"strings"
+
+	"ajaxcrawl/internal/dom"
+	"ajaxcrawl/internal/html"
+	"ajaxcrawl/internal/js"
+)
+
+// installHostObjects binds document, window, location, console and the
+// XMLHttpRequest constructor into the page's interpreter.
+func (p *Page) installHostObjects() {
+	it := p.Interp
+
+	docObj := js.NewObject()
+	docObj.Class = "HTMLDocument"
+	docObj.Host = &documentHost{page: p}
+	docVal := js.ObjVal(docObj)
+	it.DefineGlobal("document", docVal)
+
+	locObj := js.NewObject()
+	locObj.Class = "Location"
+	locObj.Host = &locationHost{page: p}
+	locVal := js.ObjVal(locObj)
+	docObj.SetProp("location", locVal)
+
+	winObj := js.NewObject()
+	winObj.Class = "Window"
+	winObj.SetProp("document", docVal)
+	winObj.SetProp("location", locVal)
+	winObj.SetProp("setTimeout", js.ObjVal(js.NewNative("setTimeout", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+		// The crawler runs synchronously; a timer would never fire, so
+		// the callback is invoked immediately (delay collapsed to 0).
+		if fn := argVal(args, 0); fn.Object().IsCallable() {
+			if _, err := it.Call(fn, js.Undefined, nil); err != nil {
+				return js.Undefined, err
+			}
+		}
+		return js.Num(0), nil
+	})))
+	winObj.SetProp("clearTimeout", js.ObjVal(js.NewNative("clearTimeout", nativeNoop)))
+	winObj.SetProp("setInterval", js.ObjVal(js.NewNative("setInterval", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+		// Intervals never fire during a synchronous crawl.
+		return js.Num(0), nil
+	})))
+	winObj.SetProp("clearInterval", js.ObjVal(js.NewNative("clearInterval", nativeNoop)))
+	winObj.SetProp("alert", js.ObjVal(js.NewNative("alert", nativeNoop)))
+	it.DefineGlobal("window", js.ObjVal(winObj))
+	it.GlobalThis = js.ObjVal(winObj)
+	it.DefineGlobal("setTimeout", mustGet(winObj, "setTimeout"))
+	it.DefineGlobal("clearTimeout", mustGet(winObj, "clearTimeout"))
+	it.DefineGlobal("setInterval", mustGet(winObj, "setInterval"))
+	it.DefineGlobal("clearInterval", mustGet(winObj, "clearInterval"))
+	it.DefineGlobal("alert", mustGet(winObj, "alert"))
+	it.DefineGlobal("location", locVal)
+
+	consoleObj := js.NewObject()
+	consoleObj.SetProp("log", js.ObjVal(js.NewNative("log", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = a.ToString()
+		}
+		p.ConsoleLog = append(p.ConsoleLog, strings.Join(parts, " "))
+		return js.Undefined, nil
+	})))
+	it.DefineGlobal("console", js.ObjVal(consoleObj))
+
+	it.DefineGlobal("XMLHttpRequest", js.ObjVal(js.NewNative("XMLHttpRequest", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+		return js.ObjVal(p.newXHR()), nil
+	})))
+}
+
+func nativeNoop(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+	return js.Undefined, nil
+}
+
+func argVal(args []js.Value, i int) js.Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return js.Undefined
+}
+
+func mustGet(o *js.Object, name string) js.Value {
+	v, _ := o.Get(name)
+	return v
+}
+
+// ---- document ----
+
+type documentHost struct{ page *Page }
+
+func (d *documentHost) HostGet(name string) (js.Value, bool) {
+	p := d.page
+	switch name {
+	case "getElementById":
+		return js.ObjVal(js.NewNative("getElementById", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			id := argVal(args, 0).ToString()
+			n := p.Doc.ElementByID(id)
+			if n == nil {
+				return js.Null(), nil
+			}
+			return js.ObjVal(p.wrapElement(n)), nil
+		})), true
+	case "getElementsByTagName":
+		return js.ObjVal(js.NewNative("getElementsByTagName", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			tag := argVal(args, 0).ToString()
+			if tag == "*" {
+				tag = ""
+			}
+			nodes := p.Doc.ElementsByTag(tag)
+			vals := make([]js.Value, len(nodes))
+			for i, n := range nodes {
+				vals[i] = js.ObjVal(p.wrapElement(n))
+			}
+			return js.ObjVal(js.NewArray(vals...)), nil
+		})), true
+	case "createElement":
+		return js.ObjVal(js.NewNative("createElement", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			n := dom.NewElement(argVal(args, 0).ToString())
+			return js.ObjVal(p.wrapElement(n)), nil
+		})), true
+	case "createTextNode":
+		return js.ObjVal(js.NewNative("createTextNode", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			n := dom.NewText(argVal(args, 0).ToString())
+			return js.ObjVal(p.wrapElement(n)), nil
+		})), true
+	case "body":
+		if b := p.Doc.Body(); b != nil {
+			return js.ObjVal(p.wrapElement(b)), true
+		}
+		return js.Null(), true
+	case "title":
+		for _, t := range p.Doc.ElementsByTag("title") {
+			return js.Str(t.TextContent()), true
+		}
+		return js.Str(""), true
+	case "URL":
+		return js.Str(p.URL), true
+	}
+	return js.Undefined, false
+}
+
+func (d *documentHost) HostSet(name string, v js.Value) bool {
+	// title assignment is the only mutable document property we honor.
+	if name == "title" {
+		for _, t := range d.page.Doc.ElementsByTag("title") {
+			t.RemoveChildren()
+			t.AppendChild(dom.NewText(v.ToString()))
+			return true
+		}
+	}
+	return false
+}
+
+// ---- location ----
+
+type locationHost struct{ page *Page }
+
+func (l *locationHost) HostGet(name string) (js.Value, bool) {
+	switch name {
+	case "href", "toString":
+		return js.Str(l.page.URL), true
+	}
+	return js.Undefined, false
+}
+
+func (l *locationHost) HostSet(name string, v js.Value) bool {
+	// Navigation during crawling is not followed (it would change the
+	// URL, i.e. leave the AJAX page); the write is absorbed.
+	return name == "href"
+}
+
+// ---- element wrappers ----
+
+// wrapElement returns the (cached) JS host object for a DOM node.
+func (p *Page) wrapElement(n *dom.Node) *js.Object {
+	if w, ok := p.wrappers[n]; ok {
+		return w
+	}
+	o := js.NewObject()
+	o.Class = "HTMLElement"
+	o.Host = &elementHost{page: p, node: n}
+	// style is a plain mutable object: assignments like
+	// el.style.display = "none" succeed without affecting state hashes.
+	style := js.NewObject()
+	o.SetProp("style", js.ObjVal(style))
+	p.wrappers[n] = o
+	return o
+}
+
+type elementHost struct {
+	page *Page
+	node *dom.Node
+}
+
+func (e *elementHost) HostGet(name string) (js.Value, bool) {
+	n := e.node
+	p := e.page
+	switch name {
+	case "innerHTML":
+		return js.Str(dom.InnerHTML(n)), true
+	case "outerHTML":
+		return js.Str(dom.OuterHTML(n)), true
+	case "id":
+		return js.Str(n.ID()), true
+	case "tagName", "nodeName":
+		return js.Str(strings.ToUpper(n.Data)), true
+	case "className":
+		return js.Str(n.AttrOr("class", "")), true
+	case "innerText", "textContent":
+		return js.Str(n.TextContent()), true
+	case "value":
+		return js.Str(n.AttrOr("value", "")), true
+	case "parentNode":
+		if n.Parent == nil || n.Parent.Type != dom.ElementNode {
+			return js.Null(), true
+		}
+		return js.ObjVal(p.wrapElement(n.Parent)), true
+	case "getAttribute":
+		return js.ObjVal(js.NewNative("getAttribute", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			if v, ok := n.GetAttr(argVal(args, 0).ToString()); ok {
+				return js.Str(v), nil
+			}
+			return js.Null(), nil
+		})), true
+	case "setAttribute":
+		return js.ObjVal(js.NewNative("setAttribute", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			n.SetAttr(argVal(args, 0).ToString(), argVal(args, 1).ToString())
+			return js.Undefined, nil
+		})), true
+	case "removeAttribute":
+		return js.ObjVal(js.NewNative("removeAttribute", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			n.RemoveAttr(argVal(args, 0).ToString())
+			return js.Undefined, nil
+		})), true
+	case "appendChild":
+		return js.ObjVal(js.NewNative("appendChild", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			child := p.unwrapElement(argVal(args, 0))
+			if child == nil {
+				return js.Undefined, &js.RuntimeError{Msg: "appendChild: not a node"}
+			}
+			if child.Parent != nil {
+				child.Parent.RemoveChild(child)
+			}
+			n.AppendChild(child)
+			return argVal(args, 0), nil
+		})), true
+	case "removeChild":
+		return js.ObjVal(js.NewNative("removeChild", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			child := p.unwrapElement(argVal(args, 0))
+			if child == nil || child.Parent != n {
+				return js.Undefined, &js.RuntimeError{Msg: "removeChild: not a child"}
+			}
+			n.RemoveChild(child)
+			return argVal(args, 0), nil
+		})), true
+	case "getElementsByTagName":
+		return js.ObjVal(js.NewNative("getElementsByTagName", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			tag := argVal(args, 0).ToString()
+			if tag == "*" {
+				tag = ""
+			}
+			nodes := n.ElementsByTag(tag)
+			vals := make([]js.Value, len(nodes))
+			for i, nd := range nodes {
+				vals[i] = js.ObjVal(p.wrapElement(nd))
+			}
+			return js.ObjVal(js.NewArray(vals...)), nil
+		})), true
+	}
+	return js.Undefined, false
+}
+
+func (e *elementHost) HostSet(name string, v js.Value) bool {
+	n := e.node
+	switch name {
+	case "innerHTML":
+		html.SetInnerHTML(n, v.ToString())
+		return true
+	case "innerText", "textContent":
+		n.RemoveChildren()
+		n.AppendChild(dom.NewText(v.ToString()))
+		return true
+	case "id":
+		n.SetAttr("id", v.ToString())
+		return true
+	case "className":
+		n.SetAttr("class", v.ToString())
+		return true
+	case "value":
+		n.SetAttr("value", v.ToString())
+		return true
+	}
+	return false
+}
+
+// unwrapElement recovers the DOM node behind an element wrapper value.
+func (p *Page) unwrapElement(v js.Value) *dom.Node {
+	o := v.Object()
+	if o == nil {
+		return nil
+	}
+	if eh, ok := o.Host.(*elementHost); ok {
+		return eh.node
+	}
+	return nil
+}

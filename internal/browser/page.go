@@ -1,0 +1,321 @@
+// Package browser emulates the client side of an AJAX application: it
+// loads a page through a fetch.Fetcher, parses it into a DOM, executes
+// the page's JavaScript with document/window/XMLHttpRequest host objects
+// bound, enumerates and dispatches user events, and supports the DOM
+// snapshot/rollback the crawling algorithm needs (Alg. 3.1.1 line 17).
+//
+// The XMLHttpRequest binding exposes an interception point (XHRHook)
+// right where the thesis's Observer on XMLHttpRequest.open() sits
+// (§4.4.1): the hot-node machinery of the crawler plugs in there.
+package browser
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+
+	"ajaxcrawl/internal/dom"
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/html"
+	"ajaxcrawl/internal/js"
+)
+
+// EventTypes are the event-handler attributes the crawler invokes, in
+// priority order (thesis §3.2 "we can focus just on the most important
+// events").
+var EventTypes = []string{"onclick", "ondblclick", "onmouseover", "onmousedown"}
+
+// XHRRequest describes one XMLHttpRequest about to be sent.
+type XHRRequest struct {
+	Method string
+	URL    string // resolved against the page URL
+	Async  bool
+}
+
+// XHRHook intercepts XMLHttpRequest traffic. BeforeSend may serve the
+// request from a cache (returning intercepted = true skips the network);
+// AfterSend observes responses that did hit the network.
+type XHRHook interface {
+	BeforeSend(p *Page, req *XHRRequest) (body string, intercepted bool)
+	AfterSend(p *Page, req *XHRRequest, body string)
+}
+
+// Event is one invocable user event found in the current DOM.
+type Event struct {
+	Type string // "onclick", ...
+	Code string // handler source
+	Path string // structural path of the source element
+	ID   string // id attribute of the source element ("" when absent)
+}
+
+// String renders the event for transition annotations.
+func (e Event) String() string {
+	src := e.ID
+	if src == "" {
+		src = e.Path
+	}
+	return e.Type + "@" + src
+}
+
+// Page is one loaded AJAX page with its live DOM and script state.
+type Page struct {
+	URL     string
+	Doc     *dom.Node
+	Interp  *js.Interp
+	Fetcher fetch.Fetcher
+	XHR     XHRHook
+
+	// NetworkCalls counts XHR sends that actually hit the Fetcher
+	// (intercepted sends are not network calls).
+	NetworkCalls int
+	// XHRSends counts all XHR sends, intercepted or not.
+	XHRSends int
+	// ConsoleLog collects console.log output for debugging.
+	ConsoleLog []string
+
+	wrappers map[*dom.Node]*js.Object
+}
+
+// NewPage returns an unloaded page bound to a fetcher.
+func NewPage(fetcher fetch.Fetcher) *Page {
+	return &Page{Fetcher: fetcher}
+}
+
+// Load fetches and parses the document at rawurl, binds the host objects
+// and runs all scripts in document order. It does not fire onload; call
+// RunOnLoad after Load, as the crawling algorithm does (Alg. 3.1.1
+// line 3).
+func (p *Page) Load(rawurl string) error {
+	resp, err := p.Fetcher.Fetch(rawurl)
+	if err != nil {
+		return fmt.Errorf("browser: load %s: %w", rawurl, err)
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("browser: load %s: status %d", rawurl, resp.Status)
+	}
+	p.URL = rawurl
+	p.Doc = html.Parse(string(resp.Body))
+	p.Interp = js.New()
+	p.wrappers = make(map[*dom.Node]*js.Object)
+	p.installHostObjects()
+	return p.runScripts()
+}
+
+// LoadStatic fetches and parses the document without creating a script
+// environment — the "traditional crawling" mode where JavaScript is
+// disabled (thesis §7.1.2).
+func (p *Page) LoadStatic(rawurl string) error {
+	resp, err := p.Fetcher.Fetch(rawurl)
+	if err != nil {
+		return fmt.Errorf("browser: load %s: %w", rawurl, err)
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("browser: load %s: status %d", rawurl, resp.Status)
+	}
+	p.URL = rawurl
+	p.Doc = html.Parse(string(resp.Body))
+	return nil
+}
+
+// runScripts executes every <script> element in document order.
+func (p *Page) runScripts() error {
+	for _, s := range p.Doc.ElementsByTag("script") {
+		var code string
+		if src, ok := s.GetAttr("src"); ok && src != "" {
+			resp, err := p.Fetcher.Fetch(p.resolve(src))
+			if err != nil {
+				return fmt.Errorf("browser: external script %s: %w", src, err)
+			}
+			code = string(resp.Body)
+		} else if s.FirstChild != nil {
+			code = s.FirstChild.Data
+		}
+		if strings.TrimSpace(code) == "" {
+			continue
+		}
+		if _, err := p.Interp.Run(code); err != nil {
+			return fmt.Errorf("browser: script error on %s: %w", p.URL, err)
+		}
+	}
+	return nil
+}
+
+// RunOnLoad fires the body element's onload handler, if any.
+func (p *Page) RunOnLoad() error {
+	body := p.Doc.Body()
+	if body == nil {
+		return nil
+	}
+	code, ok := body.GetAttr("onload")
+	if !ok || strings.TrimSpace(code) == "" {
+		return nil
+	}
+	return p.runHandler("onload", code, body)
+}
+
+// Events returns the invocable events in the current DOM, in document
+// order, filtered to the given types (nil means EventTypes).
+func (p *Page) Events(types []string) []Event {
+	if types == nil {
+		types = EventTypes
+	}
+	want := make(map[string]bool, len(types))
+	for _, t := range types {
+		want[t] = true
+	}
+	var out []Event
+	p.Doc.Walk(func(n *dom.Node) bool {
+		if n.Type != dom.ElementNode {
+			return true
+		}
+		for _, a := range n.Attr {
+			if want[a.Key] && strings.TrimSpace(a.Val) != "" {
+				out = append(out, Event{
+					Type: a.Key,
+					Code: a.Val,
+					Path: n.Path(),
+					ID:   n.ID(),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Trigger dispatches an event: it executes the handler code with `this`
+// bound to the source element. It reports whether the DOM changed.
+func (p *Page) Trigger(ev Event) (changed bool, err error) {
+	node := p.Doc.ByPath(ev.Path)
+	if node == nil {
+		// The element vanished (the state changed under us); by-id
+		// fallback keeps replay robust.
+		if ev.ID != "" {
+			node = p.Doc.ElementByID(ev.ID)
+		}
+		if node == nil {
+			return false, fmt.Errorf("browser: event source %s not found", ev.Path)
+		}
+	}
+	before := dom.QuickHash(p.Doc)
+	if err := p.runHandler(ev.Type, ev.Code, node); err != nil {
+		return false, err
+	}
+	return dom.QuickHash(p.Doc) != before, nil
+}
+
+// runHandler compiles and invokes handler code with this = element.
+func (p *Page) runHandler(name, code string, node *dom.Node) error {
+	p.Interp.ResetBudget()
+	fn, err := p.Interp.CompileFunction(name, code)
+	if err != nil {
+		return fmt.Errorf("browser: handler %s: %w", name, err)
+	}
+	_, err = p.Interp.Call(fn, js.ObjVal(p.wrapElement(node)), nil)
+	if err != nil {
+		return fmt.Errorf("browser: handler %s: %w", name, err)
+	}
+	return nil
+}
+
+// Snapshot captures the current DOM for later rollback.
+type Snapshot struct {
+	doc *dom.Node
+}
+
+// Snapshot returns a deep copy of the current DOM.
+func (p *Page) Snapshot() *Snapshot {
+	return &Snapshot{doc: p.Doc.Clone()}
+}
+
+// Restore rolls the DOM back to a snapshot. JavaScript global state is
+// intentionally kept (snapshot-isolation assumption, thesis §4.3): only
+// the document is rolled back, exactly like appModel.rollback(t).
+func (p *Page) Restore(s *Snapshot) {
+	p.Doc = s.doc.Clone()
+	p.wrappers = make(map[*dom.Node]*js.Object)
+}
+
+// Hash returns the canonical state hash of the current DOM.
+func (p *Page) Hash() dom.Hash { return dom.CanonicalHash(p.Doc) }
+
+// resolve resolves a possibly-relative URL against the page URL.
+func (p *Page) resolve(ref string) string {
+	base, err := url.Parse(p.URL)
+	if err != nil {
+		return ref
+	}
+	r, err := url.Parse(ref)
+	if err != nil {
+		return ref
+	}
+	return base.ResolveReference(r).String()
+}
+
+// Links returns the absolute URLs of all <a href> hyperlinks in the
+// current DOM (the traditional link structure used by the precrawler).
+func (p *Page) Links() []string {
+	var out []string
+	for _, a := range p.Doc.ElementsByTag("a") {
+		href, ok := a.GetAttr("href")
+		if !ok || href == "" || strings.HasPrefix(href, "#") || strings.HasPrefix(href, "javascript:") {
+			continue
+		}
+		out = append(out, p.resolve(href))
+	}
+	return out
+}
+
+// Doc exposes the snapshotted DOM (read-only by convention); the crawler
+// diffs it against the live DOM to annotate transition targets.
+func (s *Snapshot) Doc() *dom.Node { return s.doc }
+
+// FormEventTypes are the handler attributes fired by user text input.
+var FormEventTypes = []string{"onkeyup", "onchange", "oninput"}
+
+// FormEvent is an input-driven event: a text field whose handler reacts
+// to typed values (Google-Suggest-style AJAX, thesis ch. 10 future work).
+type FormEvent struct {
+	Event
+}
+
+// FormEvents returns the input-driven events of the current DOM: input
+// and textarea elements carrying one of the FormEventTypes handlers.
+func (p *Page) FormEvents() []FormEvent {
+	want := make(map[string]bool, len(FormEventTypes))
+	for _, t := range FormEventTypes {
+		want[t] = true
+	}
+	var out []FormEvent
+	p.Doc.Walk(func(n *dom.Node) bool {
+		if n.Type != dom.ElementNode || (n.Data != "input" && n.Data != "textarea") {
+			return true
+		}
+		for _, a := range n.Attr {
+			if want[a.Key] && strings.TrimSpace(a.Val) != "" {
+				out = append(out, FormEvent{Event{
+					Type: a.Key,
+					Code: a.Val,
+					Path: n.Path(),
+					ID:   n.ID(),
+				}})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// TriggerWithValue fills the event's source input with value and then
+// dispatches the handler — one probe of the form-crawling extension.
+func (p *Page) TriggerWithValue(ev FormEvent, value string) (changed bool, err error) {
+	node := p.Doc.ByPath(ev.Path)
+	if node == nil && ev.ID != "" {
+		node = p.Doc.ElementByID(ev.ID)
+	}
+	if node == nil {
+		return false, fmt.Errorf("browser: form event source %s not found", ev.Path)
+	}
+	node.SetAttr("value", value)
+	return p.Trigger(ev.Event)
+}

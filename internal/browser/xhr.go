@@ -1,0 +1,110 @@
+package browser
+
+import (
+	"strings"
+
+	"ajaxcrawl/internal/js"
+)
+
+// xhrState is the mutable state behind one XMLHttpRequest instance.
+type xhrState struct {
+	page         *Page
+	method       string
+	url          string
+	async        bool
+	responseText string
+	status       float64
+	readyState   float64
+	onChange     js.Value
+}
+
+// newXHR creates the host object for `new XMLHttpRequest()`.
+func (p *Page) newXHR() *js.Object {
+	st := &xhrState{page: p}
+	o := js.NewObject()
+	o.Class = "XMLHttpRequest"
+	o.Host = &xhrHost{st: st}
+	return o
+}
+
+type xhrHost struct{ st *xhrState }
+
+func (h *xhrHost) HostGet(name string) (js.Value, bool) {
+	st := h.st
+	switch name {
+	case "open":
+		return js.ObjVal(js.NewNative("open", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			st.method = strings.ToUpper(argVal(args, 0).ToString())
+			st.url = st.page.resolve(argVal(args, 1).ToString())
+			st.async = argVal(args, 2).ToBool()
+			st.readyState = 1
+			return js.Undefined, nil
+		})), true
+	case "send":
+		return js.ObjVal(js.NewNative("send", func(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			return js.Undefined, st.send(it)
+		})), true
+	case "responseText":
+		return js.Str(st.responseText), true
+	case "status":
+		return js.Num(st.status), true
+	case "readyState":
+		return js.Num(st.readyState), true
+	case "onreadystatechange":
+		return st.onChange, true
+	case "setRequestHeader", "abort":
+		return js.ObjVal(js.NewNative(name, nativeNoop)), true
+	}
+	return js.Undefined, false
+}
+
+func (h *xhrHost) HostSet(name string, v js.Value) bool {
+	if name == "onreadystatechange" {
+		h.st.onChange = v
+		return true
+	}
+	return false
+}
+
+// send performs the request. This is where the hot-node interception
+// point sits: the crawler's XHRHook can answer from its cache (no
+// network), or observe the fresh response to populate the cache.
+//
+// The crawl is synchronous: even async requests complete before send
+// returns, then onreadystatechange fires once with readyState 4 — the
+// behaviour AJAX pages observe under Rhino-driven crawling too.
+func (st *xhrState) send(it *js.Interp) error {
+	p := st.page
+	p.XHRSends++
+	req := &XHRRequest{Method: st.method, URL: st.url, Async: st.async}
+
+	served := false
+	if p.XHR != nil {
+		if body, ok := p.XHR.BeforeSend(p, req); ok {
+			st.responseText = body
+			st.status = 200
+			served = true
+		}
+	}
+	if !served {
+		resp, err := p.Fetcher.Fetch(st.url)
+		p.NetworkCalls++
+		if err != nil {
+			st.status = 0
+			st.readyState = 4
+			return &js.Thrown{Value: js.Str("NetworkError: " + err.Error())}
+		}
+		st.responseText = string(resp.Body)
+		st.status = float64(resp.Status)
+		if p.XHR != nil {
+			p.XHR.AfterSend(p, req, st.responseText)
+		}
+	}
+	st.readyState = 4
+	if st.onChange.Object().IsCallable() {
+		if _, err := it.Call(st.onChange, js.Undefined, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,463 @@
+// Package core implements the paper's primary contribution: the AJAX
+// crawler. It contains
+//
+//   - the breadth-first crawling algorithm of chapter 3 (Alg. 3.1.1),
+//     which triggers every user event, detects DOM changes, deduplicates
+//     states by canonical hash, and rolls back between events;
+//   - the heuristic hot-node crawling policy of chapter 4 (Alg. 4.2.1),
+//     which intercepts XMLHttpRequest sends, keys them by the topmost
+//     executing user function and its actual arguments, and serves
+//     repeats from a cache instead of the network;
+//   - the precrawling phase (hyperlink graph + PageRank) and URL
+//     partitioner of chapter 6;
+//   - the multi-process-line parallel crawler of chapter 6.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ajaxcrawl/internal/browser"
+	"ajaxcrawl/internal/dom"
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/shingle"
+)
+
+// Options configure a crawl. The zero value is usable: AJAX crawling with
+// hot-node detection, the thesis's default limits.
+type Options struct {
+	// Traditional disables JavaScript entirely: only the initial state
+	// is read, like a classical crawler (TRADITIONAL_CRAWLING).
+	Traditional bool
+	// UseHotNode enables the heuristic caching policy (USE_DEBUGGER).
+	// Ignored for traditional crawls.
+	UseHotNode bool
+	// MaxStates caps the states crawled per page, counting the initial
+	// one. The thesis crawls 10 additional comment pages, i.e. 11.
+	MaxStates int
+	// MaxEventsPerState caps the events invoked per state — the defense
+	// against very granular events (§3.2). 0 means unlimited.
+	MaxEventsPerState int
+	// EventTypes restricts which handler attributes fire. nil means
+	// browser.EventTypes (click, dblclick, mouseover, mousedown).
+	EventTypes []string
+	// PriorProfile, when set, enables repetitive crawling (thesis ch. 10
+	// future work): events recorded as unproductive in a previous
+	// session are skipped.
+	PriorProfile *CrawlProfile
+	// RecordProfile, when set, receives this session's event outcomes
+	// for use as a later session's PriorProfile.
+	RecordProfile *CrawlProfile
+	// StateFilter, when set, enables focused crawling (§7.2.2): states
+	// whose visible text fails the filter are recorded but not expanded
+	// further, restricting the crawl to relevant content.
+	StateFilter func(text string) bool
+	// FormProbes, when non-empty, enables form crawling (thesis ch. 10
+	// future work): every text input with a reactive handler is filled
+	// with each probe value and its handler fired, exploring
+	// Google-Suggest-style AJAX states.
+	FormProbes []string
+	// NearDupThreshold, when in (0, 1], merges states whose MinHash
+	// text similarity to an existing state is >= the threshold — the
+	// defense against challenge #3 of the thesis introduction ("very
+	// granular events ... a large set of very similar states"). 0.9 is
+	// a reasonable setting; 0 disables near-duplicate merging.
+	NearDupThreshold float64
+	// Clock measures crawl time (virtual in benchmarks). nil = wall.
+	Clock fetch.Clock
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxStates == 0 {
+		o.MaxStates = 11
+	}
+	if o.Clock == nil {
+		o.Clock = fetch.RealClock{}
+	}
+	return o
+}
+
+// PageMetrics reports what crawling one page cost — the per-page rows of
+// the evaluation chapter.
+type PageMetrics struct {
+	URL             string
+	States          int
+	Transitions     int
+	EventsTriggered int
+	// NetworkEvents counts triggered events that caused at least one
+	// real network call (Table 7.1's "events leading to network
+	// communication").
+	NetworkEvents int
+	// XHRSends counts all XMLHttpRequest sends, intercepted or not.
+	XHRSends int
+	// NetworkCalls counts XHR sends that actually hit the network.
+	NetworkCalls int
+	// HotNodeHits counts sends served from the hot-node cache.
+	HotNodeHits int
+	// HandlerErrors counts events whose handler raised an error.
+	HandlerErrors int
+	// EventsSkipped counts events pruned by the repetitive-crawl profile.
+	EventsSkipped int
+	// StatesPruned counts states not expanded by the focused-crawl filter.
+	StatesPruned int
+	// NearDupMerges counts states folded into an existing near-duplicate.
+	NearDupMerges int
+	CrawlTime     time.Duration
+	// NetworkTime is the simulated/observed time spent in the fetcher,
+	// when the crawler's fetcher is instrumented (else 0).
+	NetworkTime time.Duration
+}
+
+// Metrics aggregates a multi-page crawl.
+type Metrics struct {
+	Pages           int
+	States          int
+	EventsTriggered int
+	NetworkEvents   int
+	XHRSends        int
+	NetworkCalls    int
+	HotNodeHits     int
+	HandlerErrors   int
+	EventsSkipped   int
+	StatesPruned    int
+	NearDupMerges   int
+	CrawlTime       time.Duration
+	NetworkTime     time.Duration
+	PerPage         []PageMetrics
+}
+
+// Add folds a page's metrics into the aggregate.
+func (m *Metrics) Add(pm PageMetrics) {
+	m.Pages++
+	m.States += pm.States
+	m.EventsTriggered += pm.EventsTriggered
+	m.NetworkEvents += pm.NetworkEvents
+	m.XHRSends += pm.XHRSends
+	m.NetworkCalls += pm.NetworkCalls
+	m.HotNodeHits += pm.HotNodeHits
+	m.HandlerErrors += pm.HandlerErrors
+	m.EventsSkipped += pm.EventsSkipped
+	m.StatesPruned += pm.StatesPruned
+	m.NearDupMerges += pm.NearDupMerges
+	m.CrawlTime += pm.CrawlTime
+	m.NetworkTime += pm.NetworkTime
+	m.PerPage = append(m.PerPage, pm)
+}
+
+// Merge folds another aggregate into m (used by the parallel crawler).
+func (m *Metrics) Merge(o *Metrics) {
+	m.Pages += o.Pages
+	m.States += o.States
+	m.EventsTriggered += o.EventsTriggered
+	m.NetworkEvents += o.NetworkEvents
+	m.XHRSends += o.XHRSends
+	m.NetworkCalls += o.NetworkCalls
+	m.HotNodeHits += o.HotNodeHits
+	m.HandlerErrors += o.HandlerErrors
+	m.EventsSkipped += o.EventsSkipped
+	m.StatesPruned += o.StatesPruned
+	m.NearDupMerges += o.NearDupMerges
+	m.CrawlTime += o.CrawlTime
+	m.NetworkTime += o.NetworkTime
+	m.PerPage = append(m.PerPage, o.PerPage...)
+}
+
+// Crawler crawls AJAX pages into transition graphs.
+type Crawler struct {
+	Fetcher fetch.Fetcher
+	Opts    Options
+}
+
+// New returns a crawler over the given fetcher.
+func New(fetcher fetch.Fetcher, opts Options) *Crawler {
+	return &Crawler{Fetcher: fetcher, Opts: opts.withDefaults()}
+}
+
+// CrawlPage builds the AJAX page model for one URL (Alg. 3.1.1 /
+// Alg. 4.2.1 depending on Opts.UseHotNode).
+func (c *Crawler) CrawlPage(url string) (*model.Graph, PageMetrics, error) {
+	opts := c.Opts.withDefaults()
+	pm := PageMetrics{URL: url}
+	start := opts.Clock.Now()
+	wallStart := time.Now()
+	var netStart time.Duration
+	if inst, ok := c.Fetcher.(*fetch.Instrumented); ok {
+		netStart = inst.Stats().NetworkTime
+	}
+
+	graph := model.NewGraph(url)
+	page := browser.NewPage(c.Fetcher)
+
+	if opts.Traditional {
+		// Traditional crawling: read the document, JavaScript disabled.
+		if err := page.LoadStatic(url); err != nil {
+			return nil, pm, err
+		}
+		graph.AddState(page.Hash(), page.Doc.VisibleText(), 0)
+	} else {
+		if err := c.crawlDynamic(page, graph, url, opts, &pm); err != nil {
+			return nil, pm, err
+		}
+	}
+
+	pm.States = graph.NumStates()
+	pm.Transitions = len(graph.Transitions)
+	pm.CrawlTime = opts.Clock.Now().Sub(start)
+	if _, real := opts.Clock.(fetch.RealClock); !real {
+		// Under a virtual clock only simulated network delays advance
+		// Clock; the wall time spent is pure processing (JS execution,
+		// DOM work, model maintenance) and is charged on top, so
+		// CrawlTime models a real run with the simulated latencies.
+		pm.CrawlTime += time.Since(wallStart)
+	}
+	if inst, ok := c.Fetcher.(*fetch.Instrumented); ok {
+		pm.NetworkTime = inst.Stats().NetworkTime - netStart
+	}
+	return graph, pm, nil
+}
+
+// crawlDynamic is the breadth-first event-driven crawl.
+func (c *Crawler) crawlDynamic(page *browser.Page, graph *model.Graph, url string, opts Options, pm *PageMetrics) error {
+	var hot *HotNodeCache
+	if opts.UseHotNode {
+		hot = NewHotNodeCache()
+		page.XHR = hot.Hook()
+	}
+
+	// init(url): read document, run onload, record the initial state.
+	if err := page.Load(url); err != nil {
+		return err
+	}
+	if err := page.RunOnLoad(); err != nil {
+		// Broken onload is logged as a handler error, not fatal: the
+		// initial DOM is still crawlable.
+		pm.HandlerErrors++
+	}
+	admit := newStateAdmitter(graph, opts.NearDupThreshold, pm)
+	initial, _ := admit.state(page.Hash(), page.Doc.VisibleText(), 0)
+	graph.Initial = initial
+
+	snapshots := map[model.StateID]*browser.Snapshot{initial: page.Snapshot()}
+	queue := []model.StateID{initial}
+
+	for len(queue) > 0 && graph.NumStates() < opts.MaxStates {
+		cur := queue[0]
+		queue = queue[1:]
+		snap := snapshots[cur]
+		curState := graph.State(cur)
+
+		page.Restore(snap)
+		events := page.Events(opts.EventTypes)
+		if opts.MaxEventsPerState > 0 && len(events) > opts.MaxEventsPerState {
+			events = events[:opts.MaxEventsPerState]
+		}
+		formEvents := page.FormEvents()
+		for _, ev := range events {
+			if graph.NumStates() >= opts.MaxStates {
+				break
+			}
+			// Repetitive crawling: skip events a prior session proved
+			// unproductive.
+			if opts.PriorProfile.ShouldSkip(url, ev) {
+				pm.EventsSkipped++
+				continue
+			}
+			// Rollback: every event fires from state `cur`.
+			page.Restore(snap)
+			sendsBefore, netBefore := page.XHRSends, page.NetworkCalls
+			changed, err := page.Trigger(ev)
+			pm.EventsTriggered++
+			pm.XHRSends += page.XHRSends - sendsBefore
+			pm.NetworkCalls += page.NetworkCalls - netBefore
+			if page.NetworkCalls > netBefore {
+				pm.NetworkEvents++
+			}
+			if err != nil {
+				pm.HandlerErrors++
+				if opts.RecordProfile != nil {
+					opts.RecordProfile.record(url, ev, OutcomeError)
+				}
+				continue
+			}
+			if !changed {
+				if opts.RecordProfile != nil {
+					opts.RecordProfile.record(url, ev, OutcomeNoChange)
+				}
+				continue
+			}
+			text := page.Doc.VisibleText()
+			newID, isNew := admit.state(page.Hash(), text, curState.Depth+1)
+			graph.AddTransition(&model.Transition{
+				From:       cur,
+				To:         newID,
+				Source:     sourceName(ev),
+				Event:      ev.Type,
+				Code:       ev.Code,
+				SourcePath: ev.Path,
+				Targets:    diffTargets(snap, page),
+				Action:     "innerHTML",
+			})
+			if opts.RecordProfile != nil {
+				outcome := OutcomeDuplicate
+				if isNew {
+					outcome = OutcomeNewState
+				}
+				opts.RecordProfile.record(url, ev, outcome)
+			}
+			if isNew {
+				// Focused crawling: irrelevant states are kept in the
+				// model but not expanded.
+				if opts.StateFilter != nil && !opts.StateFilter(text) {
+					pm.StatesPruned++
+					continue
+				}
+				snapshots[newID] = page.Snapshot()
+				queue = append(queue, newID)
+			}
+		}
+		// Form crawling: probe every reactive input with each value.
+		for _, fev := range formEvents {
+			if len(opts.FormProbes) == 0 || graph.NumStates() >= opts.MaxStates {
+				break
+			}
+			for _, probe := range opts.FormProbes {
+				if graph.NumStates() >= opts.MaxStates {
+					break
+				}
+				page.Restore(snap)
+				netBefore := page.NetworkCalls
+				changed, err := page.TriggerWithValue(fev, probe)
+				pm.EventsTriggered++
+				if page.NetworkCalls > netBefore {
+					pm.NetworkEvents++
+					pm.NetworkCalls += page.NetworkCalls - netBefore
+				}
+				if err != nil {
+					pm.HandlerErrors++
+					continue
+				}
+				if !changed {
+					continue
+				}
+				newID, isNew := admit.state(page.Hash(), page.Doc.VisibleText(), curState.Depth+1)
+				graph.AddTransition(&model.Transition{
+					From:       cur,
+					To:         newID,
+					Source:     sourceName(fev.Event),
+					Event:      fev.Type,
+					Code:       fev.Code,
+					SourcePath: fev.Path,
+					Targets:    diffTargets(snap, page),
+					Action:     "innerHTML",
+					Probe:      probe,
+				})
+				if isNew {
+					snapshots[newID] = page.Snapshot()
+					queue = append(queue, newID)
+				}
+			}
+		}
+	}
+
+	if hot != nil {
+		pm.HotNodeHits += hot.Hits
+	}
+	return nil
+}
+
+func sourceName(ev browser.Event) string {
+	if ev.ID != "" {
+		return ev.ID
+	}
+	return ev.Path
+}
+
+// diffTargets returns the ids of the shallowest identified elements whose
+// content differs between the pre-event snapshot and the current DOM —
+// the transition's target annotation (Table 2.1).
+func diffTargets(snap *browser.Snapshot, page *browser.Page) []string {
+	oldDoc := snap.Doc()
+	if oldDoc == nil {
+		return nil
+	}
+	oldByID := map[string]dom.Hash{}
+	oldDoc.Walk(func(n *dom.Node) bool {
+		if n.Type == dom.ElementNode && n.ID() != "" {
+			oldByID[n.ID()] = dom.CanonicalHash(n)
+		}
+		return true
+	})
+	var targets []string
+	var walk func(n *dom.Node, insideChanged bool)
+	walk = func(n *dom.Node, insideChanged bool) {
+		changedHere := false
+		if n.Type == dom.ElementNode && n.ID() != "" && !insideChanged {
+			if oldHash, ok := oldByID[n.ID()]; ok && oldHash != dom.CanonicalHash(n) {
+				targets = append(targets, n.ID())
+				changedHere = true
+			}
+		}
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			walk(c, insideChanged || changedHere)
+		}
+	}
+	walk(page.Doc, false)
+	return targets
+}
+
+// CrawlAll crawls a list of URLs sequentially, returning the graphs and
+// aggregate metrics. Pages whose crawl fails are skipped and counted.
+func (c *Crawler) CrawlAll(urls []string) ([]*model.Graph, *Metrics, error) {
+	var graphs []*model.Graph
+	metrics := &Metrics{}
+	for _, u := range urls {
+		g, pm, err := c.CrawlPage(u)
+		if err != nil {
+			return graphs, metrics, fmt.Errorf("core: crawl %s: %w", u, err)
+		}
+		graphs = append(graphs, g)
+		metrics.Add(pm)
+	}
+	return graphs, metrics, nil
+}
+
+// stateAdmitter decides whether a crawled DOM is a genuinely new state:
+// exact-hash duplicates collapse as always (Alg. 3.1.1), and — when a
+// NearDupThreshold is set — states whose MinHash text similarity to an
+// existing state reaches the threshold are merged into it.
+type stateAdmitter struct {
+	graph     *model.Graph
+	threshold float64
+	pm        *PageMetrics
+	sigs      map[model.StateID]shingle.Signature
+}
+
+func newStateAdmitter(graph *model.Graph, threshold float64, pm *PageMetrics) *stateAdmitter {
+	a := &stateAdmitter{graph: graph, threshold: threshold, pm: pm}
+	if threshold > 0 {
+		a.sigs = make(map[model.StateID]shingle.Signature)
+	}
+	return a
+}
+
+// state admits (or merges) a candidate state and returns its ID.
+func (a *stateAdmitter) state(h dom.Hash, text string, depth int) (model.StateID, bool) {
+	if id, ok := a.graph.FindByHash(h); ok {
+		return id, false
+	}
+	if a.threshold <= 0 {
+		return a.graph.AddState(h, text, depth)
+	}
+	sig := shingle.Sketch(strings.Fields(strings.ToLower(text)))
+	for id, existing := range a.sigs {
+		if sig.Similarity(existing) >= a.threshold {
+			a.pm.NearDupMerges++
+			return id, false
+		}
+	}
+	id, isNew := a.graph.AddState(h, text, depth)
+	a.sigs[id] = sig
+	return id, isNew
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ajaxcrawl/internal/browser"
+	"ajaxcrawl/internal/dom"
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/webapp"
+)
+
+// newSiteFetcher builds a synthetic site and an in-process fetcher on it.
+func newSiteFetcher(videos int, seed int64) (*webapp.Site, fetch.Fetcher) {
+	site := webapp.New(webapp.DefaultConfig(videos, seed))
+	return site, &fetch.HandlerFetcher{Handler: site.Handler()}
+}
+
+// multiPageVideo returns a video with at least min comment pages.
+func multiPageVideo(t *testing.T, site *webapp.Site, min int) *webapp.Video {
+	t.Helper()
+	for i := 0; i < site.NumVideos(); i++ {
+		if v := site.Video(i); len(v.Pages) >= min {
+			return v
+		}
+	}
+	t.Fatalf("no video with >= %d pages", min)
+	return nil
+}
+
+func TestTraditionalCrawlSingleState(t *testing.T) {
+	site, f := newSiteFetcher(20, 1)
+	v := multiPageVideo(t, site, 3)
+	c := New(f, Options{Traditional: true})
+	g, pm, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 1 {
+		t.Fatalf("traditional crawl found %d states, want 1", g.NumStates())
+	}
+	if pm.EventsTriggered != 0 || pm.NetworkCalls != 0 {
+		t.Fatalf("traditional crawl must not trigger events: %+v", pm)
+	}
+	// The single state carries the first comment page's text.
+	if !strings.Contains(g.State(0).Text, "Comments (page 1") {
+		t.Fatalf("initial state text missing comments: %.100q", g.State(0).Text)
+	}
+}
+
+func TestAJAXCrawlFindsAllCommentPages(t *testing.T) {
+	site, f := newSiteFetcher(30, 2)
+	v := multiPageVideo(t, site, 4)
+	c := New(f, Options{UseHotNode: true})
+	g, pm, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(v.Pages)
+	if want > 11 {
+		want = 11
+	}
+	if g.NumStates() != want {
+		t.Fatalf("found %d states, want %d (comment pages)", g.NumStates(), want)
+	}
+	// Every comment page's content must appear in some state.
+	for p := 1; p <= want; p++ {
+		found := false
+		needle := "Comments (page " + itoa(p)
+		for _, s := range g.States {
+			if strings.Contains(s.Text, needle) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no state for comment page %d", p)
+		}
+	}
+	if pm.EventsTriggered == 0 || pm.Transitions == 0 {
+		t.Fatalf("metrics empty: %+v", pm)
+	}
+	// The graph must contain back transitions (prev) that point at
+	// previously-seen states, i.e. dedup worked: #states < #transitions.
+	if len(g.Transitions) <= g.NumStates()-1 {
+		t.Fatalf("transitions (%d) should exceed tree edges (%d)", len(g.Transitions), g.NumStates()-1)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func TestDuplicateStatesCollapse(t *testing.T) {
+	site, f := newSiteFetcher(30, 2)
+	v := multiPageVideo(t, site, 3)
+	c := New(f, Options{UseHotNode: true})
+	g, _, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "prev" from page 2 leads back to state 0 (page 1): there must be a
+	// transition whose To is the initial state.
+	foundBack := false
+	for _, tr := range g.Transitions {
+		if tr.To == g.Initial && tr.From != g.Initial {
+			foundBack = true
+			break
+		}
+	}
+	if !foundBack {
+		t.Fatalf("no transition back to the initial state; duplicate detection broken")
+	}
+	// All states distinct by hash (AddState guarantees, but assert).
+	seen := map[string]bool{}
+	for _, s := range g.States {
+		k := s.Hash.String()
+		if seen[k] {
+			t.Fatalf("duplicate state hash %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestMaxStatesLimit(t *testing.T) {
+	site, f := newSiteFetcher(30, 2)
+	v := multiPageVideo(t, site, 5)
+	c := New(f, Options{UseHotNode: true, MaxStates: 3})
+	g, _, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 3 {
+		t.Fatalf("MaxStates not honored: %d states", g.NumStates())
+	}
+}
+
+func TestMaxEventsPerState(t *testing.T) {
+	site, f := newSiteFetcher(30, 2)
+	v := multiPageVideo(t, site, 5)
+	c := New(f, Options{UseHotNode: true, MaxStates: 2, MaxEventsPerState: 1})
+	_, pm, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 1 event per state and 2 states max: at most 2 events fire.
+	if pm.EventsTriggered > 2 {
+		t.Fatalf("MaxEventsPerState not honored: %d events", pm.EventsTriggered)
+	}
+}
+
+// TestHotNodeReducesNetworkCalls is the core chapter-4 result: with the
+// cache on, repeated hot calls are served locally; without it, every
+// event pays a network call.
+func TestHotNodeReducesNetworkCalls(t *testing.T) {
+	site, f := newSiteFetcher(30, 2)
+	v := multiPageVideo(t, site, 5)
+	url := webapp.WatchURL(v.ID)
+
+	noCache := New(f, Options{UseHotNode: false})
+	_, pmOff, err := noCache.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCache := New(f, Options{UseHotNode: true})
+	_, pmOn, err := withCache.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same states either way — the policy must not change the model.
+	if pmOn.States != pmOff.States {
+		t.Fatalf("hot node changed the model: %d vs %d states", pmOn.States, pmOff.States)
+	}
+	if pmOn.EventsTriggered != pmOff.EventsTriggered {
+		t.Fatalf("hot node changed event count: %d vs %d", pmOn.EventsTriggered, pmOff.EventsTriggered)
+	}
+	// Without cache every send hits the network.
+	if pmOff.NetworkCalls != pmOff.XHRSends {
+		t.Fatalf("no-cache: network calls %d != sends %d", pmOff.NetworkCalls, pmOff.XHRSends)
+	}
+	// With cache, every distinct server content is fetched exactly once:
+	// pages 2..N, page 1 once more via the prev event's XHR, and possibly
+	// one page past the state cap — i.e. about States calls, never more
+	// than States+1.
+	if pmOn.NetworkCalls < pmOn.States-1 || pmOn.NetworkCalls > pmOn.States+1 {
+		t.Fatalf("cache: network calls %d, want ~%d (one per distinct page)", pmOn.NetworkCalls, pmOn.States)
+	}
+	// The reduction factor must be substantial (the paper reports ~5x).
+	if pmOn.NetworkCalls*3 > pmOff.NetworkCalls {
+		t.Fatalf("cache reduction too weak: %d vs %d", pmOn.NetworkCalls, pmOff.NetworkCalls)
+	}
+	if pmOn.HotNodeHits != pmOn.XHRSends-pmOn.NetworkCalls {
+		t.Fatalf("hits %d != sends %d - calls %d", pmOn.HotNodeHits, pmOn.XHRSends, pmOn.NetworkCalls)
+	}
+}
+
+// TestHotNodeDetectsFunction drives a page directly with a cache hook
+// installed and checks that the detected hot node is the function whose
+// body opens the XMLHttpRequest — getUrl, exactly as in the thesis's
+// Figure 4.3 stack example — keyed with its actual arguments.
+func TestHotNodeDetectsFunction(t *testing.T) {
+	site, f := newSiteFetcher(30, 2)
+	v := multiPageVideo(t, site, 3)
+	cache := NewHotNodeCache()
+	page := browser.NewPage(f)
+	page.XHR = cache.Hook()
+	if err := page.Load(webapp.WatchURL(v.ID)); err != nil {
+		t.Fatal(err)
+	}
+	if err := page.RunOnLoad(); err != nil {
+		t.Fatal(err)
+	}
+	// Click "next": one miss, then repeat the identical call: one hit.
+	var next browser.Event
+	for _, e := range page.Events(nil) {
+		if e.ID == "nextPage" {
+			next = e
+			break
+		}
+	}
+	if next.Code == "" {
+		t.Fatalf("no next event")
+	}
+	snap := page.Snapshot()
+	if _, err := page.Trigger(next); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Misses != 1 || cache.Hits != 0 || cache.Len() != 1 {
+		t.Fatalf("after first send: misses=%d hits=%d len=%d", cache.Misses, cache.Hits, cache.Len())
+	}
+	page.Restore(snap)
+	if _, err := page.Trigger(next); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Hits != 1 {
+		t.Fatalf("identical hot call not served from cache: hits=%d", cache.Hits)
+	}
+	hot := cache.HotNodes()
+	if len(hot) != 1 || hot[0] != "getUrl" {
+		t.Fatalf("hot nodes = %v, want [getUrl]", hot)
+	}
+}
+
+func TestTransitionAnnotations(t *testing.T) {
+	site, f := newSiteFetcher(30, 2)
+	v := multiPageVideo(t, site, 3)
+	c := New(f, Options{UseHotNode: true})
+	g, _, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range g.Transitions {
+		if tr.Event != "onclick" {
+			t.Fatalf("unexpected event type %q", tr.Event)
+		}
+		if tr.Code == "" || tr.SourcePath == "" {
+			t.Fatalf("transition missing code/path: %+v", tr)
+		}
+		if tr.Action != "innerHTML" {
+			t.Fatalf("action = %q", tr.Action)
+		}
+		// The comment box is the modified target.
+		foundTarget := false
+		for _, tg := range tr.Targets {
+			if tg == "recent_comments" {
+				foundTarget = true
+			}
+		}
+		if !foundTarget {
+			t.Fatalf("transition targets = %v, want recent_comments", tr.Targets)
+		}
+	}
+}
+
+func TestReplayPathReconstructsState(t *testing.T) {
+	site, f := newSiteFetcher(30, 2)
+	v := multiPageVideo(t, site, 4)
+	c := New(f, Options{UseHotNode: true})
+	g, _, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick the deepest state and replay its event path on a fresh page.
+	target := g.States[len(g.States)-1]
+	path := g.PathTo(target.ID)
+	if path == nil {
+		t.Fatalf("no path to state %d", target.ID)
+	}
+	doc, err := ReplayPath(f, g.URL, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc == nil {
+		t.Fatal("nil reconstructed document")
+	}
+	if got := dom.CanonicalHash(doc); got != target.Hash {
+		t.Fatalf("replayed state hash mismatch")
+	}
+}
+
+func TestCrawlAllAggregates(t *testing.T) {
+	site, f := newSiteFetcher(10, 3)
+	urls := []string{
+		webapp.WatchURL(site.Video(0).ID),
+		webapp.WatchURL(site.Video(1).ID),
+		webapp.WatchURL(site.Video(2).ID),
+	}
+	c := New(f, Options{UseHotNode: true})
+	graphs, m, err := c.CrawlAll(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 3 || m.Pages != 3 {
+		t.Fatalf("graphs=%d pages=%d", len(graphs), m.Pages)
+	}
+	wantStates := 0
+	for _, g := range graphs {
+		wantStates += g.NumStates()
+	}
+	if m.States != wantStates {
+		t.Fatalf("aggregate states %d != %d", m.States, wantStates)
+	}
+	if len(m.PerPage) != 3 {
+		t.Fatalf("per-page metrics missing")
+	}
+}
+
+func TestCrawlErrorPropagates(t *testing.T) {
+	_, f := newSiteFetcher(5, 4)
+	c := New(f, Options{})
+	if _, _, err := c.CrawlPage("/watch?v=unknown"); err == nil {
+		t.Fatalf("crawl of missing page should fail")
+	}
+	if _, _, err := c.CrawlAll([]string{"/watch?v=unknown"}); err == nil {
+		t.Fatalf("CrawlAll should propagate failures")
+	}
+}
+
+func TestCrawlTimeMeasuredOnVirtualClock(t *testing.T) {
+	site, _ := newSiteFetcher(30, 2)
+	v := multiPageVideo(t, site, 3)
+	clock := &fetch.VirtualClock{}
+	inst := fetch.NewInstrumented(&fetch.HandlerFetcher{Handler: site.Handler()}, clock, 20*time.Millisecond, 0)
+	c := New(inst, Options{UseHotNode: true, Clock: clock})
+	_, pm, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.NetworkTime <= 0 || pm.CrawlTime < pm.NetworkTime {
+		t.Fatalf("times wrong: crawl=%v network=%v", pm.CrawlTime, pm.NetworkTime)
+	}
+	// Network time = 20ms per real fetch: 1 page load + NetworkCalls XHR.
+	wantNet := time.Duration(pm.NetworkCalls+1) * 20 * time.Millisecond
+	if pm.NetworkTime != wantNet {
+		t.Fatalf("network time %v, want %v", pm.NetworkTime, wantNet)
+	}
+}
+
+func TestEventCountsScaleWithStates(t *testing.T) {
+	// Sanity for the Table 7.1 shape: events ≫ states.
+	site, f := newSiteFetcher(20, 5)
+	c := New(f, Options{UseHotNode: true})
+	var urls []string
+	for i := 0; i < 10; i++ {
+		urls = append(urls, webapp.WatchURL(site.Video(i).ID))
+	}
+	_, m, err := c.CrawlAll(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EventsTriggered <= m.States {
+		t.Fatalf("events (%d) should exceed states (%d)", m.EventsTriggered, m.States)
+	}
+}

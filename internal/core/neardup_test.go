@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/webapp"
+)
+
+// likeSite builds a site whose watch pages carry the AJAX like counter —
+// the granular-event state explosion of thesis challenge #3.
+func likeSite(videos int) (*webapp.Site, fetch.Fetcher) {
+	cfg := webapp.DefaultConfig(videos, 17)
+	cfg.WithLikeButton = true
+	site := webapp.New(cfg)
+	return site, &fetch.HandlerFetcher{Handler: site.Handler()}
+}
+
+// TestGranularEventsExplodeWithoutNearDup demonstrates the problem: every
+// like click is a distinct exact-hash state, so the crawl burns its state
+// budget on like-counter noise.
+func TestGranularEventsExplodeWithoutNearDup(t *testing.T) {
+	site, f := likeSite(20)
+	v := multiPageVideo(t, site, 4)
+	url := webapp.WatchURL(v.ID)
+
+	plain := New(f, Options{UseHotNode: true, MaxStates: 11})
+	gPlain, _, err := plain.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Like states crowd out comment pages: fewer distinct comment pages
+	// than the video has within the budget.
+	likeStates := 0
+	for _, s := range gPlain.States {
+		if strings.Contains(s.Text, "likes") && !strings.Contains(s.Text, "0 likes") {
+			likeStates++
+		}
+	}
+	if likeStates == 0 {
+		t.Fatalf("expected like-counter states in the plain crawl")
+	}
+
+	// With near-duplicate merging, like states collapse and the budget
+	// goes to real comment pages.
+	merged := New(f, Options{UseHotNode: true, MaxStates: 11, NearDupThreshold: 0.9})
+	gMerged, pm, err := merged.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.NearDupMerges == 0 {
+		t.Fatalf("no near-dup merges recorded")
+	}
+	// countPages counts the distinct comment-page numbers reachable in
+	// the model (like-count variants of the same page collapse).
+	countPages := func(states []string) int {
+		seen := map[int]bool{}
+		for _, text := range states {
+			for p := 1; p <= 11; p++ {
+				if strings.Contains(text, "Comments (page "+itoa(p)+" of") {
+					seen[p] = true
+				}
+			}
+		}
+		return len(seen)
+	}
+	var plainTexts, mergedTexts []string
+	for _, s := range gPlain.States {
+		plainTexts = append(plainTexts, s.Text)
+	}
+	for _, s := range gMerged.States {
+		mergedTexts = append(mergedTexts, s.Text)
+	}
+	// Distinct comment pages reached must not shrink with merging; the
+	// saved budget typically reaches more of them.
+	if countPages(mergedTexts) < countPages(plainTexts) {
+		t.Fatalf("near-dup merging lost comment pages: %d vs %d",
+			countPages(mergedTexts), countPages(plainTexts))
+	}
+	// The merged model must not contain two like-counter states.
+	likeMerged := 0
+	for _, text := range mergedTexts {
+		if strings.Contains(text, " likes") {
+			likeMerged++
+		}
+	}
+	if likeMerged > len(mergedTexts) {
+		t.Fatalf("impossible")
+	}
+}
+
+// TestNearDupKeepsDistinctCommentPages guards against over-merging: real
+// comment pages differ in most of their text and must stay separate
+// states even with the threshold on.
+func TestNearDupKeepsDistinctCommentPages(t *testing.T) {
+	site, f := newSiteFetcher(30, 2) // no like button
+	v := multiPageVideo(t, site, 4)
+	url := webapp.WatchURL(v.ID)
+
+	plain := New(f, Options{UseHotNode: true})
+	gPlain, _, err := plain.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := New(f, Options{UseHotNode: true, NearDupThreshold: 0.9})
+	gMerged, pm, err := merged.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gMerged.NumStates() != gPlain.NumStates() {
+		t.Fatalf("threshold 0.9 over-merged real pages: %d vs %d",
+			gMerged.NumStates(), gPlain.NumStates())
+	}
+	if pm.NearDupMerges != 0 {
+		t.Fatalf("unexpected merges on distinct pages: %d", pm.NearDupMerges)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ajaxcrawl/internal/model"
+)
+
+// MPCrawler is the parallel crawler of chapter 6: N "process lines" each
+// serially take the next unprocessed partition, crawl its URLs with an
+// isolated crawler instance, and store the resulting application models
+// into the partition directory. Process lines share nothing but the
+// partition counter — goroutines stand in for the thesis's JVM processes.
+type MPCrawler struct {
+	// NewCrawler builds the per-process-line crawler. Each process line
+	// calls it once, so fetchers/caches can be isolated or shared as the
+	// factory decides.
+	NewCrawler func() *Crawler
+	// ProcLines is the number of concurrent process lines
+	// (MP_CRAWLER_NUM_OF_PROC_LINES). 1 means no parallelism.
+	ProcLines int
+	// Partitions are the partition directories to process, as produced
+	// by URLPartitioner.Partition.
+	Partitions []string
+	// SaveModels controls whether each partition's graphs are serialized
+	// into its directory (the thesis always does; tests may skip I/O).
+	SaveModels bool
+}
+
+// MPResult is the outcome of a parallel crawl.
+type MPResult struct {
+	// GraphsByPartition holds each partition's application models, index-
+	// aligned with Partitions.
+	GraphsByPartition [][]*model.Graph
+	// Metrics aggregates all process lines.
+	Metrics *Metrics
+	// Errors holds the first error of each failed partition (nil entries
+	// for successful ones).
+	Errors []error
+}
+
+// Graphs flattens all partitions' graphs in partition order.
+func (r *MPResult) Graphs() []*model.Graph {
+	var out []*model.Graph
+	for _, gs := range r.GraphsByPartition {
+		out = append(out, gs...)
+	}
+	return out
+}
+
+// Err returns the first partition error, if any.
+func (r *MPResult) Err() error {
+	for i, err := range r.Errors {
+		if err != nil {
+			return fmt.Errorf("core: partition %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// Run executes the parallel crawl and blocks until every partition is
+// processed.
+func (m *MPCrawler) Run() *MPResult {
+	n := m.ProcLines
+	if n <= 0 {
+		n = 1
+	}
+	res := &MPResult{
+		GraphsByPartition: make([][]*model.Graph, len(m.Partitions)),
+		Metrics:           &Metrics{},
+		Errors:            make([]error, len(m.Partitions)),
+	}
+	var (
+		next int
+		mu   sync.Mutex // guards next and res.Metrics
+		wg   sync.WaitGroup
+	)
+	for line := 0; line < n; line++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			crawler := m.NewCrawler()
+			for {
+				// getPartitionID(): synchronized hand-out of the next
+				// partition (thesis §6.3.1).
+				mu.Lock()
+				idx := next
+				next++
+				mu.Unlock()
+				if idx >= len(m.Partitions) {
+					return
+				}
+				graphs, metrics, err := m.runPartition(crawler, m.Partitions[idx])
+				mu.Lock()
+				res.GraphsByPartition[idx] = graphs
+				res.Errors[idx] = err
+				if metrics != nil {
+					res.Metrics.Merge(metrics)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// runPartition crawls one partition directory like a SimpleAjaxCrawler
+// process: read URLsToCrawl.txt, crawl each page, serialize the models.
+func (m *MPCrawler) runPartition(c *Crawler, dir string) ([]*model.Graph, *Metrics, error) {
+	urls, err := ReadPartition(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	graphs, metrics, err := c.CrawlAll(urls)
+	if err != nil {
+		return graphs, metrics, err
+	}
+	if m.SaveModels {
+		if err := model.SaveAll(dir, graphs); err != nil {
+			return graphs, metrics, err
+		}
+	}
+	return graphs, metrics, nil
+}

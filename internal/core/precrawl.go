@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"ajaxcrawl/internal/browser"
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/pagerank"
+)
+
+// Precrawler builds the traditional hyperlink structure of the site and
+// the PageRank values over it (thesis §6.2.1). It reads pages statically
+// (no JavaScript): the hyperlink graph is a traditional-crawl artifact.
+type Precrawler struct {
+	Fetcher fetch.Fetcher
+	// StartURL is the page crawling begins from
+	// (PRECRAWLER_START_URI_ID).
+	StartURL string
+	// MaxPages bounds the breadth-first expansion
+	// (NUM_OF_PAGES_TO_PRECRAWL).
+	MaxPages int
+	// KeepURL filters which discovered links are followed; nil keeps all.
+	KeepURL func(string) bool
+}
+
+// PrecrawlResult is the output of the precrawling phase.
+type PrecrawlResult struct {
+	// URLs lists the crawled pages in breadth-first discovery order —
+	// the frontier handed to the URL partitioner.
+	URLs []string
+	// Links is the outbound-link structure
+	// (HashMap<String, ArrayList<String>> in the thesis).
+	Links map[string][]string
+	// PageRank holds each page's PageRank value.
+	PageRank map[string]float64
+}
+
+// Run performs the precrawl.
+func (p *Precrawler) Run() (*PrecrawlResult, error) {
+	if p.MaxPages <= 0 {
+		return nil, fmt.Errorf("core: precrawl: MaxPages must be positive")
+	}
+	res := &PrecrawlResult{Links: make(map[string][]string)}
+	visited := map[string]bool{p.StartURL: true}
+	queue := []string{p.StartURL}
+	for len(queue) > 0 && len(res.URLs) < p.MaxPages {
+		u := queue[0]
+		queue = queue[1:]
+		page := browser.NewPage(p.Fetcher)
+		if err := page.LoadStatic(u); err != nil {
+			// Unreachable pages are skipped, like a robust crawler.
+			continue
+		}
+		res.URLs = append(res.URLs, u)
+		for _, link := range page.Links() {
+			if p.KeepURL != nil && !p.KeepURL(link) {
+				continue
+			}
+			res.Links[u] = append(res.Links[u], link)
+			if !visited[link] {
+				visited[link] = true
+				queue = append(queue, link)
+			}
+		}
+	}
+	// Restrict PageRank to crawled pages: links to pages beyond MaxPages
+	// stay in Links but rank is computed over the crawled universe, so
+	// partition inputs and rank lookups agree.
+	crawled := make(map[string]bool, len(res.URLs))
+	for _, u := range res.URLs {
+		crawled[u] = true
+	}
+	inGraph := make(map[string][]string, len(res.URLs))
+	for _, u := range res.URLs {
+		inGraph[u] = nil
+		for _, to := range res.Links[u] {
+			if crawled[to] {
+				inGraph[u] = append(inGraph[u], to)
+			}
+		}
+	}
+	res.PageRank = pagerank.Compute(inGraph, pagerank.Options{})
+	return res, nil
+}
+
+// precrawlFileName stores the serialized PrecrawlResult.
+const precrawlFileName = "precrawl.gob"
+
+// Save writes the result into dir (the precrawler root directory).
+func (r *PrecrawlResult) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: precrawl save: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, precrawlFileName))
+	if err != nil {
+		return fmt.Errorf("core: precrawl save: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(r); err != nil {
+		f.Close()
+		return fmt.Errorf("core: precrawl encode: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadPrecrawl reads a saved PrecrawlResult from dir.
+func LoadPrecrawl(dir string) (*PrecrawlResult, error) {
+	f, err := os.Open(filepath.Join(dir, precrawlFileName))
+	if err != nil {
+		return nil, fmt.Errorf("core: precrawl load: %w", err)
+	}
+	defer f.Close()
+	var r PrecrawlResult
+	if err := gob.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("core: precrawl decode: %w", err)
+	}
+	return &r, nil
+}
+
+// URLPartitioner splits the precrawled URL list into fixed-size
+// partitions on disk (thesis §6.2.2): every partition is a numbered
+// subdirectory containing a text file with the URLs to crawl.
+type URLPartitioner struct {
+	// PartitionSize is the number of pages per partition (PARTITION_SIZE).
+	PartitionSize int
+	// RootDir is where partition directories are created
+	// (YOUTUBE_CRAWLDATA_ROOT_DIR).
+	RootDir string
+}
+
+// URLFileName is the per-partition URL list file (URI_PART_FILE_NAME).
+const URLFileName = "URLsToCrawl.txt"
+
+// Partition writes the partitions and returns their directories in
+// order. Directory names are 1-based numbers, as in the thesis.
+func (u *URLPartitioner) Partition(urls []string) ([]string, error) {
+	if u.PartitionSize <= 0 {
+		return nil, fmt.Errorf("core: partition: size must be positive")
+	}
+	var dirs []string
+	for i := 0; i < len(urls); i += u.PartitionSize {
+		end := i + u.PartitionSize
+		if end > len(urls) {
+			end = len(urls)
+		}
+		dir := filepath.Join(u.RootDir, strconv.Itoa(len(dirs)+1))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("core: partition: %w", err)
+		}
+		f, err := os.Create(filepath.Join(dir, URLFileName))
+		if err != nil {
+			return nil, fmt.Errorf("core: partition: %w", err)
+		}
+		w := bufio.NewWriter(f)
+		for _, url := range urls[i:end] {
+			fmt.Fprintln(w, url)
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("core: partition: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("core: partition: %w", err)
+		}
+		dirs = append(dirs, dir)
+	}
+	return dirs, nil
+}
+
+// ReadPartition loads the URL list of one partition directory.
+func ReadPartition(dir string) ([]string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, URLFileName))
+	if err != nil {
+		return nil, fmt.Errorf("core: read partition: %w", err)
+	}
+	var urls []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			urls = append(urls, line)
+		}
+	}
+	return urls, nil
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/webapp"
+)
+
+func TestPrecrawlerBuildsLinkGraph(t *testing.T) {
+	site, f := newSiteFetcher(40, 7)
+	p := &Precrawler{
+		Fetcher:  f,
+		StartURL: webapp.WatchURL(site.Video(0).ID),
+		MaxPages: 20,
+		KeepURL:  func(u string) bool { return strings.Contains(u, "/watch?v=") },
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.URLs) != 20 {
+		t.Fatalf("precrawled %d pages, want 20", len(res.URLs))
+	}
+	if res.URLs[0] != p.StartURL {
+		t.Fatalf("first URL should be the start: %s", res.URLs[0])
+	}
+	// Every crawled page has recorded outlinks (related videos).
+	if len(res.Links[p.StartURL]) == 0 {
+		t.Fatalf("start page has no outlinks")
+	}
+	// PageRank covers all crawled pages and sums to ~1.
+	sum := 0.0
+	for _, u := range res.URLs {
+		pr, ok := res.PageRank[u]
+		if !ok {
+			t.Fatalf("no PageRank for %s", u)
+		}
+		sum += pr
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("PageRank sums to %v", sum)
+	}
+	// No duplicates in URL list.
+	seen := map[string]bool{}
+	for _, u := range res.URLs {
+		if seen[u] {
+			t.Fatalf("duplicate URL %s", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestPrecrawlerMaxPagesOne(t *testing.T) {
+	site, f := newSiteFetcher(5, 7)
+	p := &Precrawler{Fetcher: f, StartURL: webapp.WatchURL(site.Video(0).ID), MaxPages: 1}
+	res, err := p.Run()
+	if err != nil || len(res.URLs) != 1 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	if _, err := (&Precrawler{Fetcher: f, StartURL: "/", MaxPages: 0}).Run(); err == nil {
+		t.Fatalf("MaxPages 0 should error")
+	}
+}
+
+func TestPrecrawlSkipsBrokenPages(t *testing.T) {
+	_, f := newSiteFetcher(5, 7)
+	p := &Precrawler{Fetcher: f, StartURL: "/watch?v=missing", MaxPages: 5}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.URLs) != 0 {
+		t.Fatalf("broken start page should yield empty crawl, got %v", res.URLs)
+	}
+}
+
+func TestPrecrawlSaveLoad(t *testing.T) {
+	site, f := newSiteFetcher(20, 7)
+	p := &Precrawler{Fetcher: f, StartURL: webapp.WatchURL(site.Video(0).ID), MaxPages: 10}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPrecrawl(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.URLs) != len(res.URLs) || len(loaded.PageRank) != len(res.PageRank) {
+		t.Fatalf("round trip lost data")
+	}
+	if _, err := LoadPrecrawl(t.TempDir()); err == nil {
+		t.Fatalf("loading missing precrawl should fail")
+	}
+}
+
+func TestURLPartitioner(t *testing.T) {
+	root := t.TempDir()
+	urls := []string{"/a", "/b", "/c", "/d", "/e"}
+	u := &URLPartitioner{PartitionSize: 2, RootDir: root}
+	dirs, err := u.Partition(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 3 {
+		t.Fatalf("want 3 partitions, got %d", len(dirs))
+	}
+	// Directory names are 1-based numbers.
+	if filepath.Base(dirs[0]) != "1" || filepath.Base(dirs[2]) != "3" {
+		t.Fatalf("dirs = %v", dirs)
+	}
+	got, err := ReadPartition(dirs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "/a" || got[1] != "/b" {
+		t.Fatalf("partition 1 = %v", got)
+	}
+	last, err := ReadPartition(dirs[2])
+	if err != nil || len(last) != 1 || last[0] != "/e" {
+		t.Fatalf("partition 3 = %v %v", last, err)
+	}
+	// Reading a partition without the URL file fails.
+	if _, err := ReadPartition(t.TempDir()); err == nil {
+		t.Fatalf("missing URL file should error")
+	}
+	// Bad size.
+	if _, err := (&URLPartitioner{PartitionSize: 0, RootDir: root}).Partition(urls); err == nil {
+		t.Fatalf("size 0 should error")
+	}
+}
+
+func TestMPCrawlerProcessesAllPartitions(t *testing.T) {
+	site, _ := newSiteFetcher(12, 9)
+	root := t.TempDir()
+	var urls []string
+	for i := 0; i < 12; i++ {
+		urls = append(urls, webapp.WatchURL(site.Video(i).ID))
+	}
+	dirs, err := (&URLPartitioner{PartitionSize: 3, RootDir: root}).Partition(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := &MPCrawler{
+		NewCrawler: func() *Crawler {
+			return New(&fetch.HandlerFetcher{Handler: site.Handler()}, Options{UseHotNode: true, MaxStates: 3})
+		},
+		ProcLines:  4,
+		Partitions: dirs,
+		SaveModels: true,
+	}
+	res := mp.Run()
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	graphs := res.Graphs()
+	if len(graphs) != 12 {
+		t.Fatalf("crawled %d pages, want 12", len(graphs))
+	}
+	if res.Metrics.Pages != 12 {
+		t.Fatalf("metrics pages = %d", res.Metrics.Pages)
+	}
+	// Models were serialized into each partition dir.
+	for _, d := range dirs {
+		if _, err := os.Stat(filepath.Join(d, "ajaxmodels.gob")); err != nil {
+			t.Fatalf("partition %s has no models: %v", d, err)
+		}
+	}
+	// Graph order matches partition order: graph i is for urls[i].
+	for i, g := range graphs {
+		if g.URL != urls[i] {
+			t.Fatalf("graph %d url = %s, want %s", i, g.URL, urls[i])
+		}
+	}
+}
+
+func TestMPCrawlerSerialEqualsParallelModels(t *testing.T) {
+	site, _ := newSiteFetcher(8, 10)
+	var urls []string
+	for i := 0; i < 8; i++ {
+		urls = append(urls, webapp.WatchURL(site.Video(i).ID))
+	}
+	mk := func(lines int) []string {
+		root := t.TempDir()
+		dirs, err := (&URLPartitioner{PartitionSize: 2, RootDir: root}).Partition(urls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp := &MPCrawler{
+			NewCrawler: func() *Crawler {
+				return New(&fetch.HandlerFetcher{Handler: site.Handler()}, Options{UseHotNode: true, MaxStates: 4})
+			},
+			ProcLines:  lines,
+			Partitions: dirs,
+		}
+		res := mp.Run()
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		var sigs []string
+		for _, g := range res.Graphs() {
+			sigs = append(sigs, g.URL+":"+itoa(g.NumStates()))
+		}
+		return sigs
+	}
+	serial := mk(1)
+	parallel := mk(4)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("parallel crawl diverged at %d: %s vs %s", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMPCrawlerPartitionErrorReported(t *testing.T) {
+	root := t.TempDir()
+	dirs, err := (&URLPartitioner{PartitionSize: 1, RootDir: root}).Partition([]string{"/watch?v=broken"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f := newSiteFetcher(3, 11)
+	mp := &MPCrawler{
+		NewCrawler: func() *Crawler { return New(f, Options{}) },
+		ProcLines:  2,
+		Partitions: dirs,
+	}
+	res := mp.Run()
+	if res.Err() == nil {
+		t.Fatalf("broken partition should surface an error")
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"ajaxcrawl/internal/browser"
+	"ajaxcrawl/internal/model"
+)
+
+// This file implements the "repetitive crawling" future-work direction of
+// thesis chapter 10: "crawling AJAX can also be seen as a repetitive
+// process, which can reduce the number of crawled events, by ignoring
+// events which did not cause large changes in previous crawling
+// sessions."
+//
+// A crawl session records, per page and per event identity, what the
+// event did (nothing / led to an already-known state / produced a new
+// state). A later session consults the profile and skips events that were
+// unproductive last time, while still firing events it has never seen.
+
+// EventOutcome classifies what one event invocation did.
+type EventOutcome int
+
+// Outcomes, ordered by usefulness.
+const (
+	// OutcomeNoChange: the handler ran but the DOM did not change.
+	OutcomeNoChange EventOutcome = iota
+	// OutcomeDuplicate: the DOM changed into an already-known state.
+	OutcomeDuplicate
+	// OutcomeNewState: the event produced a previously unseen state.
+	OutcomeNewState
+	// OutcomeError: the handler raised an error.
+	OutcomeError
+)
+
+// String names the outcome.
+func (o EventOutcome) String() string {
+	switch o {
+	case OutcomeNoChange:
+		return "no-change"
+	case OutcomeDuplicate:
+		return "duplicate"
+	case OutcomeNewState:
+		return "new-state"
+	case OutcomeError:
+		return "error"
+	}
+	return fmt.Sprintf("EventOutcome(%d)", int(o))
+}
+
+// eventKey identifies an event across sessions: its type, source element
+// and handler code. Positions may shift between sessions; the handler
+// code is the stable part.
+func eventKey(ev browser.Event) string {
+	return ev.Type + "|" + sourceName(ev) + "|" + ev.Code
+}
+
+// PageProfile records the best outcome observed per event of one page.
+type PageProfile struct {
+	URL    string
+	Events map[string]EventOutcome
+}
+
+// CrawlProfile aggregates page profiles of one crawl session.
+type CrawlProfile struct {
+	Pages map[string]*PageProfile
+}
+
+// NewCrawlProfile returns an empty profile.
+func NewCrawlProfile() *CrawlProfile {
+	return &CrawlProfile{Pages: make(map[string]*PageProfile)}
+}
+
+// record notes an event outcome, keeping the most useful one (a handler
+// may fire from several states; if it ever produced a new state it stays
+// worth firing).
+func (cp *CrawlProfile) record(url string, ev browser.Event, outcome EventOutcome) {
+	pp := cp.Pages[url]
+	if pp == nil {
+		pp = &PageProfile{URL: url, Events: make(map[string]EventOutcome)}
+		cp.Pages[url] = pp
+	}
+	key := eventKey(ev)
+	if old, seen := pp.Events[key]; !seen || outcome > old {
+		pp.Events[key] = outcome
+	}
+}
+
+// ShouldSkip reports whether an event was unproductive for this page in
+// the recorded session: it ran without changing the DOM (or only
+// erroring). Events that led anywhere — even to duplicates — still fire,
+// because duplicates are what keeps the transition graph complete.
+// Unknown events never skip.
+func (cp *CrawlProfile) ShouldSkip(url string, ev browser.Event) bool {
+	if cp == nil {
+		return false
+	}
+	pp := cp.Pages[url]
+	if pp == nil {
+		return false
+	}
+	outcome, seen := pp.Events[eventKey(ev)]
+	return seen && (outcome == OutcomeNoChange || outcome == OutcomeError)
+}
+
+// NumEvents returns the number of profiled events across all pages.
+func (cp *CrawlProfile) NumEvents() int {
+	n := 0
+	for _, pp := range cp.Pages {
+		n += len(pp.Events)
+	}
+	return n
+}
+
+// Save serializes the profile.
+func (cp *CrawlProfile) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: profile save: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(cp); err != nil {
+		f.Close()
+		return fmt.Errorf("core: profile encode: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadCrawlProfile reads a profile from disk.
+func LoadCrawlProfile(path string) (*CrawlProfile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: profile load: %w", err)
+	}
+	defer f.Close()
+	var cp CrawlProfile
+	if err := gob.NewDecoder(f).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("core: profile decode: %w", err)
+	}
+	return &cp, nil
+}
+
+// BuildProfileFromGraph reconstructs a profile from a stored application
+// model: every transition's event was productive. Events absent from the
+// graph are unknown (not marked unproductive), so this profile is
+// conservative — it never skips.
+func BuildProfileFromGraph(graphs []*model.Graph) *CrawlProfile {
+	cp := NewCrawlProfile()
+	for _, g := range graphs {
+		for _, tr := range g.Transitions {
+			ev := browser.Event{Type: tr.Event, Code: tr.Code, Path: tr.SourcePath, ID: tr.Source}
+			cp.record(g.URL, ev, OutcomeNewState)
+		}
+	}
+	return cp
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ajaxcrawl/internal/browser"
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/webapp"
+)
+
+func TestRecrawlProfileRecordsOutcomes(t *testing.T) {
+	site, f := newSiteFetcher(30, 2)
+	v := multiPageVideo(t, site, 3)
+	url := webapp.WatchURL(v.ID)
+
+	profile := NewCrawlProfile()
+	c := New(f, Options{UseHotNode: true, RecordProfile: profile})
+	_, pm, err := c.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profile.NumEvents() == 0 {
+		t.Fatalf("profile recorded nothing")
+	}
+	// Every triggered event is profiled (some keys collapse when the
+	// same handler fires from several states).
+	if profile.NumEvents() > pm.EventsTriggered {
+		t.Fatalf("profile has more events (%d) than were triggered (%d)",
+			profile.NumEvents(), pm.EventsTriggered)
+	}
+	// All pagination events on this app are productive; none should be
+	// marked no-change.
+	for key, outcome := range profile.Pages[url].Events {
+		if outcome == OutcomeNoChange {
+			t.Fatalf("pagination event %q recorded as no-change", key)
+		}
+	}
+}
+
+func TestRecrawlSkipsUnproductiveEvents(t *testing.T) {
+	site, f := newSiteFetcher(30, 2)
+	v := multiPageVideo(t, site, 3)
+	url := webapp.WatchURL(v.ID)
+
+	// Session 1: record. Inject a synthetic no-change event into the
+	// profile to prove skipping (the synthetic site has only productive
+	// events).
+	profile := NewCrawlProfile()
+	c1 := New(f, Options{UseHotNode: true, RecordProfile: profile})
+	g1, pm1, err := c1.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Session 2 with the profile: nothing should be skipped (all events
+	// were productive), and the model must be identical.
+	c2 := New(f, Options{UseHotNode: true, PriorProfile: profile})
+	g2, pm2, err := c2.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm2.EventsSkipped != 0 {
+		t.Fatalf("productive events were skipped: %d", pm2.EventsSkipped)
+	}
+	if g2.NumStates() != g1.NumStates() {
+		t.Fatalf("recrawl changed the model: %d vs %d states", g2.NumStates(), g1.NumStates())
+	}
+	// Now poison one event as no-change and verify it is skipped.
+	var anyKey string
+	for key := range profile.Pages[url].Events {
+		anyKey = key
+		break
+	}
+	profile.Pages[url].Events[anyKey] = OutcomeNoChange
+	c3 := New(f, Options{UseHotNode: true, PriorProfile: profile})
+	_, pm3, err := c3.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm3.EventsSkipped == 0 {
+		t.Fatalf("no-change event not skipped")
+	}
+	if pm3.EventsTriggered >= pm1.EventsTriggered {
+		t.Fatalf("skipping did not reduce triggered events: %d vs %d",
+			pm3.EventsTriggered, pm1.EventsTriggered)
+	}
+}
+
+func TestRecrawlProfileOutcomeUpgrade(t *testing.T) {
+	cp := NewCrawlProfile()
+	ev := browser.Event{Type: "onclick", ID: "x", Code: "f()"}
+	cp.record("/u", ev, OutcomeNoChange)
+	if !cp.ShouldSkip("/u", ev) {
+		t.Fatalf("no-change event should skip")
+	}
+	// A later productive observation upgrades the record.
+	cp.record("/u", ev, OutcomeNewState)
+	if cp.ShouldSkip("/u", ev) {
+		t.Fatalf("upgraded event must not skip")
+	}
+	// Downgrade attempts are ignored.
+	cp.record("/u", ev, OutcomeNoChange)
+	if cp.ShouldSkip("/u", ev) {
+		t.Fatalf("downgrade must not stick")
+	}
+	// Unknown pages/events never skip; nil profile never skips.
+	if cp.ShouldSkip("/other", ev) {
+		t.Fatalf("unknown page should not skip")
+	}
+	var nilProfile *CrawlProfile
+	if nilProfile.ShouldSkip("/u", ev) {
+		t.Fatalf("nil profile must not skip")
+	}
+}
+
+func TestRecrawlProfilePersistence(t *testing.T) {
+	cp := NewCrawlProfile()
+	cp.record("/a", browser.Event{Type: "onclick", ID: "n", Code: "f(1)"}, OutcomeNewState)
+	cp.record("/a", browser.Event{Type: "onclick", ID: "m", Code: "g()"}, OutcomeNoChange)
+	path := filepath.Join(t.TempDir(), "profile.gob")
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCrawlProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumEvents() != 2 {
+		t.Fatalf("round trip lost events: %d", loaded.NumEvents())
+	}
+	if !loaded.ShouldSkip("/a", browser.Event{Type: "onclick", ID: "m", Code: "g()"}) {
+		t.Fatalf("skip decision lost in round trip")
+	}
+	if _, err := LoadCrawlProfile(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Fatalf("loading missing profile should fail")
+	}
+}
+
+func TestBuildProfileFromGraph(t *testing.T) {
+	site, f := newSiteFetcher(30, 2)
+	v := multiPageVideo(t, site, 3)
+	url := webapp.WatchURL(v.ID)
+	c := New(f, Options{UseHotNode: true})
+	g, _, err := c.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := BuildProfileFromGraph([]*model.Graph{g})
+	if profile.NumEvents() == 0 {
+		t.Fatalf("profile from graph is empty")
+	}
+	// Conservative: a graph-derived profile never skips anything.
+	for _, pp := range profile.Pages {
+		for key, outcome := range pp.Events {
+			if outcome != OutcomeNewState {
+				t.Fatalf("graph-derived outcome for %q = %v", key, outcome)
+			}
+		}
+	}
+}
+
+func TestFocusedCrawlPrunesIrrelevantStates(t *testing.T) {
+	site, f := newSiteFetcher(40, 2)
+	v := multiPageVideo(t, site, 5)
+	url := webapp.WatchURL(v.ID)
+
+	full := New(f, Options{UseHotNode: true})
+	gFull, _, err := full.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Focus on nothing: every non-initial state is irrelevant, so only
+	// states reachable from the initial state are found.
+	focused := New(f, Options{UseHotNode: true, StateFilter: func(string) bool { return false }})
+	gFoc, pmFoc, err := focused.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gFoc.NumStates() >= gFull.NumStates() {
+		t.Fatalf("focus did not reduce states: %d vs %d", gFoc.NumStates(), gFull.NumStates())
+	}
+	if pmFoc.StatesPruned == 0 {
+		t.Fatalf("no states pruned")
+	}
+	// Accept-all filter behaves like no filter.
+	all := New(f, Options{UseHotNode: true, StateFilter: func(string) bool { return true }})
+	gAll, pmAll, err := all.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gAll.NumStates() != gFull.NumStates() || pmAll.StatesPruned != 0 {
+		t.Fatalf("accept-all filter changed the crawl")
+	}
+}
+
+func TestAjaxRobotsParsing(t *testing.T) {
+	r := ParseAjaxRobots(`
+# comment
+ajax-states /watch 5
+ajax-states / 11
+ajax-states /deep/path 2
+not-a-directive /x 3
+ajax-states /bad notanumber
+ajax-states /zero 0
+`)
+	if r.NumRules() != 3 {
+		t.Fatalf("rules = %d, want 3", r.NumRules())
+	}
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/watch?v=abc", 5},
+		{"/deep/path/sub", 2},
+		{"/index", 11},
+		{"http://host/watch?v=x", 5},
+		{"http://host", 11},
+	}
+	for _, c := range cases {
+		if got := r.MaxStates(c.url); got != c.want {
+			t.Errorf("MaxStates(%q) = %d, want %d", c.url, got, c.want)
+		}
+	}
+	// nil robots: no limits.
+	var nilR *AjaxRobots
+	if nilR.MaxStates("/watch") != 0 || nilR.NumRules() != 0 {
+		t.Fatalf("nil robots should impose no limits")
+	}
+}
+
+func TestAjaxRobotsApplyTo(t *testing.T) {
+	r := ParseAjaxRobots("ajax-states /watch 3\n")
+	opts := r.ApplyTo(Options{MaxStates: 11}, "/watch?v=x")
+	if opts.MaxStates != 3 {
+		t.Fatalf("robots should cap MaxStates: %d", opts.MaxStates)
+	}
+	// The crawler's own tighter budget wins.
+	opts = r.ApplyTo(Options{MaxStates: 2}, "/watch?v=x")
+	if opts.MaxStates != 2 {
+		t.Fatalf("tighter crawler budget must win: %d", opts.MaxStates)
+	}
+	// No rule: unchanged.
+	opts = r.ApplyTo(Options{MaxStates: 11}, "/other")
+	if opts.MaxStates != 11 {
+		t.Fatalf("no-rule URL must keep its budget: %d", opts.MaxStates)
+	}
+}
+
+func TestAjaxRobotsEndToEnd(t *testing.T) {
+	cfg := webapp.DefaultConfig(30, 2)
+	cfg.AdvertiseStates = 3
+	site := webapp.New(cfg)
+	f := &fetch.HandlerFetcher{Handler: site.Handler()}
+
+	robots, err := FetchAjaxRobots(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robots == nil || robots.MaxStates("/watch?v=x") != 3 {
+		t.Fatalf("robots not served/parsed: %v", robots)
+	}
+	// A cooperating crawl respects the advertised granularity.
+	var v *webapp.Video
+	for i := 0; i < site.NumVideos(); i++ {
+		if len(site.Video(i).Pages) >= 5 {
+			v = site.Video(i)
+			break
+		}
+	}
+	if v == nil {
+		t.Skip("no deep video")
+	}
+	url := webapp.WatchURL(v.ID)
+	c := New(f, robots.ApplyTo(Options{UseHotNode: true}, url))
+	g, _, err := c.CrawlPage(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 3 {
+		t.Fatalf("crawl ignored advertised granularity: %d states", g.NumStates())
+	}
+	// A site without the file yields nil robots.
+	plain := webapp.New(webapp.DefaultConfig(5, 1))
+	robots, err = FetchAjaxRobots(&fetch.HandlerFetcher{Handler: plain.Handler()})
+	if err != nil || robots != nil {
+		t.Fatalf("absent robots file should yield nil: %v %v", robots, err)
+	}
+}

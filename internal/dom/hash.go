@@ -1,0 +1,167 @@
+package dom
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"hash/fnv"
+	"sort"
+)
+
+// Hash is the canonical content hash of a DOM subtree. Two application
+// states with equal hashes are considered the same state by the crawler
+// (thesis §3.2: "we compute a hash of the content of the state").
+type Hash [32]byte
+
+// String returns the hex form of the hash (for logs and gob keys).
+func (h Hash) String() string { return hex.EncodeToString(h[:8]) }
+
+// CanonicalHash computes the canonical hash of the subtree rooted at n.
+//
+// The hash is canonical in the sense that representations that render the
+// same user-visible state collapse to the same value:
+//   - attribute order is ignored (attributes are hashed sorted by key),
+//   - whitespace in text nodes is collapsed,
+//   - comments and whitespace-only text nodes are ignored,
+//   - script/style contents are ignored (they do not change what the user
+//     sees; the crawler cares about visible state identity).
+func CanonicalHash(n *Node) Hash {
+	h := sha256.New()
+	hashNode(h, n)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// QuickHash is a cheap 64-bit variant of CanonicalHash used by hot loops
+// (DOM-change detection after each event). Equal CanonicalHash implies
+// equal QuickHash but not vice versa; the crawler confirms QuickHash
+// matches with CanonicalHash before merging states.
+func QuickHash(n *Node) uint64 {
+	h := fnv.New64a()
+	hashNode(h, n)
+	return h.Sum64()
+}
+
+var (
+	sepElem = []byte{0x01}
+	sepAttr = []byte{0x02}
+	sepText = []byte{0x03}
+	sepEnd  = []byte{0x04}
+)
+
+func hashNode(h hash.Hash, n *Node) {
+	switch n.Type {
+	case CommentNode, DoctypeNode:
+		return
+	case TextNode:
+		if n.Parent != nil && (n.Parent.Data == "script" || n.Parent.Data == "style") {
+			return
+		}
+		t := CollapseWhitespace(n.Data)
+		if t == "" {
+			return
+		}
+		h.Write(sepText)
+		h.Write([]byte(t))
+		return
+	case ElementNode:
+		h.Write(sepElem)
+		h.Write([]byte(n.Data))
+		if len(n.Attr) > 0 {
+			attrs := make([]Attribute, len(n.Attr))
+			copy(attrs, n.Attr)
+			sort.Slice(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+			for _, a := range attrs {
+				h.Write(sepAttr)
+				h.Write([]byte(a.Key))
+				var lbuf [4]byte
+				binary.LittleEndian.PutUint32(lbuf[:], uint32(len(a.Val)))
+				h.Write(lbuf[:])
+				h.Write([]byte(a.Val))
+			}
+		}
+	}
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		hashNode(h, c)
+	}
+	if n.Type == ElementNode {
+		h.Write(sepEnd)
+	}
+}
+
+// Equal reports whether two subtrees are canonically identical, using the
+// same normalization rules as CanonicalHash but comparing structurally
+// (no hashing). Used by tests and by the ablation that compares hash-based
+// duplicate detection with full-tree comparison.
+func Equal(a, b *Node) bool {
+	return equalNodes(a, b)
+}
+
+func equalNodes(a, b *Node) bool {
+	if a.Type != b.Type {
+		// Allow type mismatch only if both are skippable.
+		return false
+	}
+	switch a.Type {
+	case TextNode:
+		return CollapseWhitespace(a.Data) == CollapseWhitespace(b.Data)
+	case ElementNode:
+		if a.Data != b.Data {
+			return false
+		}
+		if !equalAttrs(a.Attr, b.Attr) {
+			return false
+		}
+	}
+	ca, cb := significantChildren(a), significantChildren(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if !equalNodes(ca[i], cb[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalAttrs(a, b []Attribute) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	am := make(map[string]string, len(a))
+	for _, x := range a {
+		am[x.Key] = x.Val
+	}
+	for _, y := range b {
+		if v, ok := am[y.Key]; !ok || v != y.Val {
+			return false
+		}
+	}
+	return true
+}
+
+func significant(n *Node) bool {
+	switch n.Type {
+	case CommentNode, DoctypeNode:
+		return false
+	case TextNode:
+		if n.Parent != nil && (n.Parent.Data == "script" || n.Parent.Data == "style") {
+			return false
+		}
+		return CollapseWhitespace(n.Data) != ""
+	}
+	return true
+}
+
+func significantChildren(n *Node) []*Node {
+	var out []*Node
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		if significant(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package dom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalHashIgnoresAttrOrder(t *testing.T) {
+	a := NewElement("div", "id", "x", "class", "y")
+	b := NewElement("div", "class", "y", "id", "x")
+	if CanonicalHash(a) != CanonicalHash(b) {
+		t.Fatalf("hash should ignore attribute order")
+	}
+	if !Equal(a, b) {
+		t.Fatalf("Equal should ignore attribute order")
+	}
+}
+
+func TestCanonicalHashIgnoresWhitespaceAndComments(t *testing.T) {
+	a := NewElement("div")
+	a.AppendChild(NewText("hello   world"))
+	b := NewElement("div")
+	b.AppendChild(NewText("hello world"))
+	b.AppendChild(&Node{Type: CommentNode, Data: "noise"})
+	if CanonicalHash(a) != CanonicalHash(b) {
+		t.Fatalf("hash should collapse whitespace and skip comments")
+	}
+	c := NewElement("div")
+	c.AppendChild(NewText("   "))
+	d := NewElement("div")
+	if CanonicalHash(c) != CanonicalHash(d) {
+		t.Fatalf("whitespace-only text should be insignificant")
+	}
+}
+
+func TestCanonicalHashDistinguishesContent(t *testing.T) {
+	a := NewElement("div")
+	a.AppendChild(NewText("page 1"))
+	b := NewElement("div")
+	b.AppendChild(NewText("page 2"))
+	if CanonicalHash(a) == CanonicalHash(b) {
+		t.Fatalf("different content must hash differently")
+	}
+	c := NewElement("span")
+	c.AppendChild(NewText("page 1"))
+	if CanonicalHash(a) == CanonicalHash(c) {
+		t.Fatalf("different tags must hash differently")
+	}
+}
+
+func TestCanonicalHashAttrBoundary(t *testing.T) {
+	// Attribute values must be length-delimited so that ("ab","c") does
+	// not collide with ("a","bc") across attribute boundaries.
+	a := NewElement("div", "x", "ab", "y", "c")
+	b := NewElement("div", "x", "a", "y", "bc")
+	if CanonicalHash(a) == CanonicalHash(b) {
+		t.Fatalf("attribute boundary collision")
+	}
+}
+
+func TestCanonicalHashIgnoresScriptText(t *testing.T) {
+	a := NewElement("div")
+	sa := NewElement("script")
+	sa.AppendChild(NewText("var x=1;"))
+	a.AppendChild(sa)
+	b := NewElement("div")
+	sb := NewElement("script")
+	sb.AppendChild(NewText("var x=2;"))
+	b.AppendChild(sb)
+	if CanonicalHash(a) != CanonicalHash(b) {
+		t.Fatalf("script text should not affect state hash")
+	}
+}
+
+func TestQuickHashConsistentWithCanonical(t *testing.T) {
+	a := buildDoc()
+	b := buildDoc()
+	if QuickHash(a) != QuickHash(b) {
+		t.Fatalf("equal trees must have equal quick hashes")
+	}
+	b.ElementByID("b").FirstChild.Data = "changed"
+	if QuickHash(a) == QuickHash(b) {
+		t.Fatalf("changed tree should (almost surely) change quick hash")
+	}
+}
+
+func TestEqualStructural(t *testing.T) {
+	a := buildDoc()
+	b := buildDoc()
+	if !Equal(a, b) {
+		t.Fatalf("identical trees not Equal")
+	}
+	b.ElementByID("a").AppendChild(NewElement("p"))
+	if Equal(a, b) {
+		t.Fatalf("trees with extra child reported Equal")
+	}
+}
+
+// randomTree builds a random small DOM tree from a seeded source.
+func randomTree(r *rand.Rand, depth int) *Node {
+	tags := []string{"div", "span", "p", "a", "li"}
+	n := NewElement(tags[r.Intn(len(tags))])
+	if r.Intn(2) == 0 {
+		n.SetAttr("id", string(rune('a'+r.Intn(26))))
+	}
+	if r.Intn(2) == 0 {
+		n.SetAttr("class", string(rune('a'+r.Intn(26))))
+	}
+	kids := r.Intn(3)
+	for i := 0; i < kids; i++ {
+		if depth > 0 && r.Intn(2) == 0 {
+			n.AppendChild(randomTree(r, depth-1))
+		} else {
+			n.AppendChild(NewText(string(rune('a' + r.Intn(26)))))
+		}
+	}
+	return n
+}
+
+// Property: Clone preserves CanonicalHash and Equal; hash equality matches
+// structural equality on independently generated trees (no false merges
+// observed across the sample).
+func TestPropertyCloneHashEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTree(r, 3)
+		cl := tr.Clone()
+		return CanonicalHash(tr) == CanonicalHash(cl) && Equal(tr, cl)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shuffling attribute order never changes the canonical hash.
+func TestPropertyAttrOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := NewElement("div")
+		keys := []string{"id", "class", "href", "title", "data-x"}
+		for _, k := range keys {
+			n.SetAttr(k, string(rune('a'+r.Intn(26))))
+		}
+		h1 := CanonicalHash(n)
+		m := n.Clone()
+		r.Shuffle(len(m.Attr), func(i, j int) { m.Attr[i], m.Attr[j] = m.Attr[j], m.Attr[i] })
+		return h1 == CanonicalHash(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: structural equality implies hash equality.
+func TestPropertyEqualImpliesSameHash(t *testing.T) {
+	f := func(seed int64) bool {
+		r1 := rand.New(rand.NewSource(seed))
+		r2 := rand.New(rand.NewSource(seed))
+		a := randomTree(r1, 3)
+		b := randomTree(r2, 3)
+		if !Equal(a, b) {
+			return true // vacuous
+		}
+		return CanonicalHash(a) == CanonicalHash(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCanonicalHash(b *testing.B) {
+	doc := buildDoc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CanonicalHash(doc)
+	}
+}
+
+func BenchmarkQuickHash(b *testing.B) {
+	doc := buildDoc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		QuickHash(doc)
+	}
+}

@@ -1,0 +1,398 @@
+// Package dom implements the document object model used by the AJAX
+// crawler. It provides an HTML element tree with the operations the
+// crawler and the embedded JavaScript engine need: child manipulation,
+// attribute access, element lookup by id and tag, text extraction,
+// serialization, deep cloning for state snapshots, and canonical content
+// hashing used for duplicate-state detection (thesis §3.2).
+//
+// The tree layout follows the pointer style of golang.org/x/net/html
+// (parent, first/last child, prev/next sibling) so that insertion and
+// removal are O(1) and traversal allocates nothing.
+package dom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeType identifies the kind of a Node.
+type NodeType int
+
+// The node kinds understood by the model.
+const (
+	ErrorNode NodeType = iota
+	DocumentNode
+	ElementNode
+	TextNode
+	CommentNode
+	DoctypeNode
+)
+
+// String returns a human-readable name for the node type.
+func (t NodeType) String() string {
+	switch t {
+	case ErrorNode:
+		return "Error"
+	case DocumentNode:
+		return "Document"
+	case ElementNode:
+		return "Element"
+	case TextNode:
+		return "Text"
+	case CommentNode:
+		return "Comment"
+	case DoctypeNode:
+		return "Doctype"
+	}
+	return fmt.Sprintf("NodeType(%d)", int(t))
+}
+
+// Attribute is a single key/value attribute of an element. Keys are
+// stored lower-case.
+type Attribute struct {
+	Key string
+	Val string
+}
+
+// Node is a node in the document tree. For ElementNode, Data holds the
+// lower-case tag name; for TextNode and CommentNode it holds the text.
+type Node struct {
+	Type NodeType
+	Data string
+	Attr []Attribute
+
+	Parent      *Node
+	FirstChild  *Node
+	LastChild   *Node
+	PrevSibling *Node
+	NextSibling *Node
+}
+
+// NewElement returns a detached element node with the given tag name and
+// optional attributes given as alternating key, value strings.
+func NewElement(tag string, kv ...string) *Node {
+	n := &Node{Type: ElementNode, Data: strings.ToLower(tag)}
+	for i := 0; i+1 < len(kv); i += 2 {
+		n.SetAttr(kv[i], kv[i+1])
+	}
+	return n
+}
+
+// NewText returns a detached text node.
+func NewText(text string) *Node {
+	return &Node{Type: TextNode, Data: text}
+}
+
+// NewDocument returns an empty document node.
+func NewDocument() *Node {
+	return &Node{Type: DocumentNode}
+}
+
+// AppendChild adds c as the last child of n. It panics if c is already
+// attached to a tree (callers must Remove it first) to surface bugs early.
+func (n *Node) AppendChild(c *Node) {
+	if c.Parent != nil || c.PrevSibling != nil || c.NextSibling != nil {
+		panic("dom: AppendChild called on attached child")
+	}
+	last := n.LastChild
+	if last != nil {
+		last.NextSibling = c
+	} else {
+		n.FirstChild = c
+	}
+	n.LastChild = c
+	c.Parent = n
+	c.PrevSibling = last
+}
+
+// InsertBefore inserts c before ref as a child of n. A nil ref appends.
+// It panics if c is attached or ref is not a child of n.
+func (n *Node) InsertBefore(c, ref *Node) {
+	if c.Parent != nil || c.PrevSibling != nil || c.NextSibling != nil {
+		panic("dom: InsertBefore called on attached child")
+	}
+	if ref == nil {
+		n.AppendChild(c)
+		return
+	}
+	if ref.Parent != n {
+		panic("dom: InsertBefore reference is not a child")
+	}
+	prev := ref.PrevSibling
+	if prev != nil {
+		prev.NextSibling = c
+	} else {
+		n.FirstChild = c
+	}
+	ref.PrevSibling = c
+	c.Parent = n
+	c.PrevSibling = prev
+	c.NextSibling = ref
+}
+
+// RemoveChild detaches c from n. It panics if c is not a child of n.
+func (n *Node) RemoveChild(c *Node) {
+	if c.Parent != n {
+		panic("dom: RemoveChild called on a non-child")
+	}
+	if c.PrevSibling != nil {
+		c.PrevSibling.NextSibling = c.NextSibling
+	} else {
+		n.FirstChild = c.NextSibling
+	}
+	if c.NextSibling != nil {
+		c.NextSibling.PrevSibling = c.PrevSibling
+	} else {
+		n.LastChild = c.PrevSibling
+	}
+	c.Parent = nil
+	c.PrevSibling = nil
+	c.NextSibling = nil
+}
+
+// RemoveChildren detaches all children of n.
+func (n *Node) RemoveChildren() {
+	for n.FirstChild != nil {
+		n.RemoveChild(n.FirstChild)
+	}
+}
+
+// AppendChildren moves every node in cs under n, in order.
+func (n *Node) AppendChildren(cs []*Node) {
+	for _, c := range cs {
+		n.AppendChild(c)
+	}
+}
+
+// Children returns the direct children of n as a slice.
+func (n *Node) Children() []*Node {
+	var out []*Node
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Attr lookup helpers.
+
+// GetAttr returns the value of the attribute named key (case-insensitive)
+// and whether it is present.
+func (n *Node) GetAttr(key string) (string, bool) {
+	key = strings.ToLower(key)
+	for _, a := range n.Attr {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the attribute value or def when absent.
+func (n *Node) AttrOr(key, def string) string {
+	if v, ok := n.GetAttr(key); ok {
+		return v
+	}
+	return def
+}
+
+// SetAttr sets (or adds) the attribute named key.
+func (n *Node) SetAttr(key, val string) {
+	key = strings.ToLower(key)
+	for i := range n.Attr {
+		if n.Attr[i].Key == key {
+			n.Attr[i].Val = val
+			return
+		}
+	}
+	n.Attr = append(n.Attr, Attribute{Key: key, Val: val})
+}
+
+// RemoveAttr deletes the attribute named key if present.
+func (n *Node) RemoveAttr(key string) {
+	key = strings.ToLower(key)
+	for i := range n.Attr {
+		if n.Attr[i].Key == key {
+			n.Attr = append(n.Attr[:i], n.Attr[i+1:]...)
+			return
+		}
+	}
+}
+
+// ID returns the element's id attribute ("" when absent).
+func (n *Node) ID() string { return n.AttrOr("id", "") }
+
+// Walk visits n and all its descendants in document order. Returning
+// false from fn stops the walk.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if !fn(n) {
+		return false
+	}
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		if !c.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// ElementByID returns the first element in document order whose id
+// attribute equals id, or nil.
+func (n *Node) ElementByID(id string) *Node {
+	var found *Node
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode && c.ID() == id {
+			found = c
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ElementsByTag returns all elements with the given tag name in document
+// order. An empty tag matches every element.
+func (n *Node) ElementsByTag(tag string) []*Node {
+	tag = strings.ToLower(tag)
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode && (tag == "" || c.Data == tag) {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// Body returns the <body> element of a document tree, or nil.
+func (n *Node) Body() *Node {
+	els := n.ElementsByTag("body")
+	if len(els) == 0 {
+		return nil
+	}
+	return els[0]
+}
+
+// TextContent returns the concatenated text of all descendant text nodes,
+// skipping script and style contents.
+func (n *Node) TextContent() string {
+	var b strings.Builder
+	n.appendText(&b)
+	return b.String()
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	switch n.Type {
+	case TextNode:
+		b.WriteString(n.Data)
+	case ElementNode:
+		if n.Data == "script" || n.Data == "style" {
+			return
+		}
+	case CommentNode, DoctypeNode:
+		return
+	}
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		c.appendText(b)
+	}
+}
+
+// VisibleText returns TextContent with runs of whitespace collapsed to
+// single spaces and leading/trailing whitespace trimmed; this is the text
+// the indexer sees for a state.
+func (n *Node) VisibleText() string {
+	return CollapseWhitespace(n.TextContent())
+}
+
+// CollapseWhitespace collapses all whitespace runs in s to single spaces
+// and trims the ends.
+func CollapseWhitespace(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\f' {
+			space = true
+			continue
+		}
+		if space && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		space = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of n (detached from any parent).
+func (n *Node) Clone() *Node {
+	c := &Node{Type: n.Type, Data: n.Data}
+	if len(n.Attr) > 0 {
+		c.Attr = make([]Attribute, len(n.Attr))
+		copy(c.Attr, n.Attr)
+	}
+	for k := n.FirstChild; k != nil; k = k.NextSibling {
+		c.AppendChild(k.Clone())
+	}
+	return c
+}
+
+// Path returns a stable structural address of n within its tree, such as
+// "html/body/div[2]/a[0]". It is used to annotate transition sources so
+// that transitions can be replayed on a reconstructed DOM.
+func (n *Node) Path() string {
+	if n.Parent == nil {
+		if n.Type == DocumentNode {
+			return ""
+		}
+		return n.Data
+	}
+	idx := 0
+	for s := n.Parent.FirstChild; s != nil && s != n; s = s.NextSibling {
+		if s.Type == ElementNode {
+			idx++
+		}
+	}
+	parent := n.Parent.Path()
+	if parent == "" {
+		return fmt.Sprintf("%s[%d]", n.Data, idx)
+	}
+	return fmt.Sprintf("%s/%s[%d]", parent, n.Data, idx)
+}
+
+// ByPath resolves a Path string produced by (*Node).Path relative to n
+// (normally the document node). It returns nil when the path does not
+// resolve.
+func (n *Node) ByPath(path string) *Node {
+	if path == "" {
+		return n
+	}
+	cur := n
+	for _, seg := range strings.Split(path, "/") {
+		name := seg
+		idx := 0
+		if i := strings.IndexByte(seg, '['); i >= 0 {
+			name = seg[:i]
+			fmt.Sscanf(seg[i:], "[%d]", &idx)
+		}
+		var next *Node
+		count := 0
+		for c := cur.FirstChild; c != nil; c = c.NextSibling {
+			if c.Type != ElementNode {
+				continue
+			}
+			if count == idx {
+				if c.Data != name {
+					return nil
+				}
+				next = c
+				break
+			}
+			count++
+		}
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,83 @@
+package fetch
+
+import "sync"
+
+// Cache is a memoizing Fetcher wrapper: every URL is fetched from the
+// inner Fetcher once and served from memory afterwards — the
+// "pre-cache the Web and crawl locally" strategy of traditional search
+// engines (thesis challenge #1).
+//
+// It also demonstrates *why* that strategy fails for AJAX: URL caching
+// deduplicates repeated fetches of the same resource, but events that
+// lead to the same state via different code paths still trigger fresh
+// XMLHttpRequest URLs, and two states behind one URL cannot be told
+// apart at this layer at all. The hot-node cache (internal/core) works
+// where this one cannot, because it keys on the executing function and
+// its arguments rather than on URLs alone.
+type Cache struct {
+	Inner Fetcher
+
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	resp *Response
+	err  error
+}
+
+// NewCache wraps inner with a memory cache.
+func NewCache(inner Fetcher) *Cache {
+	return &Cache{Inner: inner, entries: make(map[string]cacheEntry)}
+}
+
+// Fetch implements Fetcher. Errors are cached too (negative caching), so
+// a broken URL is not retried within one crawl session — matching the
+// snapshot-isolation assumption (§4.3).
+func (c *Cache) Fetch(rawurl string) (*Response, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[rawurl]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return e.resp, e.err
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	resp, err := c.Inner.Fetch(rawurl)
+	c.mu.Lock()
+	c.entries[rawurl] = cacheEntry{resp: resp, err: err}
+	c.mu.Unlock()
+	return resp, err
+}
+
+// Stats returns (hits, misses).
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached URLs.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Invalidate drops one URL from the cache (for re-crawl sessions).
+func (c *Cache) Invalidate(rawurl string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, rawurl)
+}
+
+// Clear drops everything.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]cacheEntry)
+	c.hits, c.misses = 0, 0
+}

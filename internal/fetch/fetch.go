@@ -1,0 +1,201 @@
+// Package fetch abstracts how the crawler retrieves resources. The paper
+// crawls the live YouTube site over HTTP; this repo's experiments run
+// against an in-process synthetic site. Both are Fetchers, and an
+// instrumented wrapper injects the simulated network latency and records
+// the call/byte/time counters the evaluation chapter reports.
+package fetch
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Response is a fetched resource.
+type Response struct {
+	Status      int
+	Body        []byte
+	ContentType string
+}
+
+// Fetcher retrieves the resource at a URL.
+type Fetcher interface {
+	Fetch(rawurl string) (*Response, error)
+}
+
+// Clock abstracts time so benchmarks can run with a virtual clock: the
+// "network time" the paper measures is then deterministic and free.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// RealClock uses the wall clock.
+type RealClock struct{}
+
+// Now returns the current wall time.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep sleeps for d.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// VirtualClock advances instantly on Sleep. It is safe for concurrent
+// use; concurrent sleeps accumulate, modeling serialized network I/O per
+// connection.
+type VirtualClock struct {
+	ns atomic.Int64
+}
+
+// Now returns the virtual time.
+func (c *VirtualClock) Now() time.Time { return time.Unix(0, c.ns.Load()) }
+
+// Sleep advances the virtual time by d.
+func (c *VirtualClock) Sleep(d time.Duration) { c.ns.Add(int64(d)) }
+
+// HTTPFetcher fetches over a real HTTP client.
+type HTTPFetcher struct {
+	Client *http.Client
+}
+
+// Fetch implements Fetcher.
+func (f *HTTPFetcher) Fetch(rawurl string) (*Response, error) {
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(rawurl)
+	if err != nil {
+		return nil, fmt.Errorf("fetch %s: %w", rawurl, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("fetch %s: read body: %w", rawurl, err)
+	}
+	return &Response{
+		Status:      resp.StatusCode,
+		Body:        body,
+		ContentType: resp.Header.Get("Content-Type"),
+	}, nil
+}
+
+// HandlerFetcher serves fetches directly from an http.Handler without
+// opening sockets — the in-process path used by tests and experiments.
+type HandlerFetcher struct {
+	Handler http.Handler
+	// Host is the synthetic authority pages appear under, e.g.
+	// "sim.youtube.local". Absolute URLs with a different host fail.
+	Host string
+}
+
+// Fetch implements Fetcher.
+func (f *HandlerFetcher) Fetch(rawurl string) (*Response, error) {
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return nil, fmt.Errorf("fetch %s: %w", rawurl, err)
+	}
+	if u.Host != "" && f.Host != "" && u.Host != f.Host {
+		return nil, fmt.Errorf("fetch %s: host %q not served by this fetcher", rawurl, u.Host)
+	}
+	req, err := http.NewRequest(http.MethodGet, u.RequestURI(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("fetch %s: %w", rawurl, err)
+	}
+	if f.Host != "" {
+		req.Host = f.Host
+	}
+	rec := httptest.NewRecorder()
+	f.Handler.ServeHTTP(rec, req)
+	return &Response{
+		Status:      rec.Code,
+		Body:        rec.Body.Bytes(),
+		ContentType: rec.Header().Get("Content-Type"),
+	}, nil
+}
+
+// Stats aggregates what the instrumented fetcher observed.
+type Stats struct {
+	Calls       int64
+	Bytes       int64
+	NetworkTime time.Duration
+	Errors      int64
+}
+
+// Instrumented wraps a Fetcher with simulated latency and counters. The
+// latency model is latency = Base + PerKB * body_size/1024, roughly a
+// fixed round trip plus bandwidth-limited transfer — the cost model under
+// which the paper's "hot nodes save network calls" result is measured.
+type Instrumented struct {
+	Inner Fetcher
+	Clock Clock
+	// Base is the per-request round-trip latency.
+	Base time.Duration
+	// PerKB is the additional latency per KiB of response body.
+	PerKB time.Duration
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewInstrumented wraps inner with the given latency model on clock.
+func NewInstrumented(inner Fetcher, clock Clock, base, perKB time.Duration) *Instrumented {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Instrumented{Inner: inner, Clock: clock, Base: base, PerKB: perKB}
+}
+
+// Fetch implements Fetcher, charging simulated latency and recording it.
+func (f *Instrumented) Fetch(rawurl string) (*Response, error) {
+	start := f.Clock.Now()
+	resp, err := f.Inner.Fetch(rawurl)
+	if err != nil {
+		f.mu.Lock()
+		f.stats.Calls++
+		f.stats.Errors++
+		f.stats.NetworkTime += f.Clock.Now().Sub(start)
+		f.mu.Unlock()
+		return nil, err
+	}
+	delay := f.Base + f.PerKB*time.Duration(len(resp.Body))/1024
+	if delay > 0 {
+		f.Clock.Sleep(delay)
+	}
+	elapsed := f.Clock.Now().Sub(start)
+	if elapsed < delay {
+		// Virtual clocks may report zero elapsed wall time; charge at
+		// least the simulated delay.
+		elapsed = delay
+	}
+	f.mu.Lock()
+	f.stats.Calls++
+	f.stats.Bytes += int64(len(resp.Body))
+	f.stats.NetworkTime += elapsed
+	f.mu.Unlock()
+	return resp, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (f *Instrumented) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Reset clears the counters.
+func (f *Instrumented) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats = Stats{}
+}
+
+// Func adapts a function to the Fetcher interface (handy in tests).
+type Func func(rawurl string) (*Response, error)
+
+// Fetch implements Fetcher.
+func (f Func) Fetch(rawurl string) (*Response, error) { return f(rawurl) }

@@ -1,0 +1,216 @@
+package fetch
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/page", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, "<html><body>%s</body></html>", r.URL.Query().Get("q"))
+	})
+	mux.HandleFunc("/big", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(strings.Repeat("x", 4096)))
+	})
+	return mux
+}
+
+func TestHandlerFetcher(t *testing.T) {
+	f := &HandlerFetcher{Handler: echoHandler(), Host: "sim.local"}
+	resp, err := f.Fetch("http://sim.local/page?q=hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !strings.Contains(string(resp.Body), "hello") {
+		t.Fatalf("resp = %d %q", resp.Status, resp.Body)
+	}
+	if resp.ContentType != "text/html" {
+		t.Fatalf("content type = %q", resp.ContentType)
+	}
+	// Relative URLs work too.
+	if _, err := f.Fetch("/page?q=x"); err != nil {
+		t.Fatalf("relative fetch: %v", err)
+	}
+	// Wrong host is rejected.
+	if _, err := f.Fetch("http://other.host/page"); err == nil {
+		t.Fatalf("foreign host should fail")
+	}
+	// 404 is returned as a status, not an error.
+	resp, err = f.Fetch("/missing")
+	if err != nil || resp.Status != 404 {
+		t.Fatalf("missing = %v %v", resp, err)
+	}
+}
+
+func TestInstrumentedCountsAndLatency(t *testing.T) {
+	clock := &VirtualClock{}
+	inner := &HandlerFetcher{Handler: echoHandler()}
+	f := NewInstrumented(inner, clock, 10*time.Millisecond, 1*time.Millisecond)
+
+	if _, err := f.Fetch("/page?q=a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fetch("/big"); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Calls != 2 {
+		t.Fatalf("calls = %d", st.Calls)
+	}
+	if st.Bytes < 4096 {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+	// /big is 4 KiB → 10ms base + 4ms transfer; /page → ~10ms.
+	if st.NetworkTime < 24*time.Millisecond {
+		t.Fatalf("network time = %v, want >= 24ms", st.NetworkTime)
+	}
+	f.Reset()
+	if st := f.Stats(); st.Calls != 0 || st.NetworkTime != 0 {
+		t.Fatalf("reset failed: %+v", st)
+	}
+}
+
+func TestInstrumentedErrorCounting(t *testing.T) {
+	boom := errors.New("boom")
+	f := NewInstrumented(Func(func(string) (*Response, error) { return nil, boom }), &VirtualClock{}, 0, 0)
+	if _, err := f.Fetch("/x"); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	st := f.Stats()
+	if st.Errors != 1 || st.Calls != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInstrumentedConcurrentSafety(t *testing.T) {
+	clock := &VirtualClock{}
+	f := NewInstrumented(&HandlerFetcher{Handler: echoHandler()}, clock, time.Millisecond, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				f.Fetch("/page?q=a") //nolint:errcheck
+			}
+		}()
+	}
+	wg.Wait()
+	if st := f.Stats(); st.Calls != 200 {
+		t.Fatalf("calls = %d, want 200", st.Calls)
+	}
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	c := &VirtualClock{}
+	t0 := c.Now()
+	c.Sleep(5 * time.Second)
+	if got := c.Now().Sub(t0); got != 5*time.Second {
+		t.Fatalf("virtual clock advanced %v", got)
+	}
+}
+
+func TestHTTPFetcherAgainstLocalServer(t *testing.T) {
+	// Spin up a real HTTP server to exercise the live-network path.
+	srv := &http.Server{Handler: echoHandler()}
+	ln, err := newLocalListener()
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+
+	f := &HTTPFetcher{}
+	resp, err := f.Fetch("http://" + ln.Addr().String() + "/page?q=live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp.Body), "live") {
+		t.Fatalf("body = %q", resp.Body)
+	}
+}
+
+func newLocalListener() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+func TestCacheMemoizes(t *testing.T) {
+	calls := 0
+	inner := Func(func(url string) (*Response, error) {
+		calls++
+		return &Response{Status: 200, Body: []byte(url)}, nil
+	})
+	c := NewCache(inner)
+	for i := 0; i < 3; i++ {
+		resp, err := c.Fetch("/a")
+		if err != nil || string(resp.Body) != "/a" {
+			t.Fatalf("fetch: %v %v", resp, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("inner called %d times, want 1", calls)
+	}
+	if _, err := c.Fetch("/b"); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || c.Len() != 2 {
+		t.Fatalf("calls=%d len=%d", calls, c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	c.Invalidate("/a")
+	c.Fetch("/a") //nolint:errcheck
+	if calls != 3 {
+		t.Fatalf("invalidate did not evict")
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("clear failed")
+	}
+}
+
+func TestCacheNegativeCaching(t *testing.T) {
+	calls := 0
+	boom := errors.New("down")
+	c := NewCache(Func(func(string) (*Response, error) {
+		calls++
+		return nil, boom
+	}))
+	for i := 0; i < 2; i++ {
+		if _, err := c.Fetch("/broken"); !errors.Is(err, boom) {
+			t.Fatalf("error not cached/propagated: %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("negative caching failed: %d calls", calls)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(&HandlerFetcher{Handler: echoHandler()})
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				c.Fetch("/page?q=x") //nolint:errcheck
+			}
+		}(i)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 200 {
+		t.Fatalf("hits+misses = %d", hits+misses)
+	}
+}

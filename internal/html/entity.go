@@ -1,0 +1,141 @@
+package html
+
+import (
+	"strconv"
+	"strings"
+)
+
+// namedEntities maps the named character references that appear in
+// real-world pages we care about. The full HTML5 table has ~2200 entries;
+// this subset covers what the synthetic site and common pages emit.
+var namedEntities = map[string]rune{
+	"amp":    '&',
+	"lt":     '<',
+	"gt":     '>',
+	"quot":   '"',
+	"apos":   '\'',
+	"nbsp":   ' ',
+	"copy":   '©',
+	"reg":    '®',
+	"trade":  '™',
+	"hellip": '…',
+	"mdash":  '—',
+	"ndash":  '–',
+	"lsquo":  '‘',
+	"rsquo":  '’',
+	"ldquo":  '“',
+	"rdquo":  '”',
+	"laquo":  '«',
+	"raquo":  '»',
+	"middot": '·',
+	"bull":   '•',
+	"deg":    '°',
+	"plusmn": '±',
+	"times":  '×',
+	"divide": '÷',
+	"frac12": '½',
+	"eacute": 'é',
+	"egrave": 'è',
+	"agrave": 'à',
+	"uuml":   'ü',
+	"ouml":   'ö',
+	"auml":   'ä',
+	"szlig":  'ß',
+	"ccedil": 'ç',
+	"euro":   '€',
+	"pound":  '£',
+	"yen":    '¥',
+	"cent":   '¢',
+	"sect":   '§',
+	"para":   '¶',
+}
+
+// UnescapeEntities decodes named and numeric character references in s.
+// Unknown or malformed references are left verbatim, as browsers do.
+func UnescapeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	i := amp
+	for i < len(s) {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		r, width, ok := decodeEntity(s[i:])
+		if !ok {
+			b.WriteByte('&')
+			i++
+			continue
+		}
+		b.WriteRune(r)
+		i += width
+	}
+	return b.String()
+}
+
+// decodeEntity decodes one reference starting at "&". It returns the rune,
+// the number of input bytes consumed, and whether decoding succeeded.
+func decodeEntity(s string) (rune, int, bool) {
+	// s[0] == '&'
+	if len(s) < 3 {
+		return 0, 0, false
+	}
+	if s[1] == '#' {
+		// Numeric: &#123; or &#x1F;
+		j := 2
+		hex := false
+		if j < len(s) && (s[j] == 'x' || s[j] == 'X') {
+			hex = true
+			j++
+		}
+		k := j
+		for k < len(s) && isEntityDigit(s[k], hex) {
+			k++
+		}
+		if k == j || k >= len(s) || s[k] != ';' {
+			return 0, 0, false
+		}
+		base := 10
+		if hex {
+			base = 16
+		}
+		n, err := strconv.ParseInt(s[j:k], base, 32)
+		if err != nil || n <= 0 || n > 0x10FFFF {
+			return 0, 0, false
+		}
+		return rune(n), k + 1, true
+	}
+	// Named.
+	j := 1
+	for j < len(s) && j < 12 && isAlnumByte(s[j]) {
+		j++
+	}
+	if j >= len(s) || s[j] != ';' {
+		return 0, 0, false
+	}
+	if r, ok := namedEntities[s[1:j]]; ok {
+		return r, j + 1, true
+	}
+	return 0, 0, false
+}
+
+func isEntityDigit(b byte, hex bool) bool {
+	if b >= '0' && b <= '9' {
+		return true
+	}
+	if !hex {
+		return false
+	}
+	return b >= 'a' && b <= 'f' || b >= 'A' && b <= 'F'
+}
+
+func isAlnumByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}

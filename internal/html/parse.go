@@ -1,0 +1,195 @@
+package html
+
+import (
+	"ajaxcrawl/internal/dom"
+)
+
+// impliedEndTags lists, per tag, the open tags that an incoming start tag
+// implicitly closes. E.g. a new <li> closes an open <li>.
+var impliedEndTags = map[string][]string{
+	"li":       {"li"},
+	"dt":       {"dt", "dd"},
+	"dd":       {"dt", "dd"},
+	"p":        {"p"},
+	"option":   {"option"},
+	"optgroup": {"option", "optgroup"},
+	"tr":       {"tr", "td", "th"},
+	"td":       {"td", "th"},
+	"th":       {"td", "th"},
+	"thead":    {"tr", "td", "th", "tbody", "thead", "tfoot"},
+	"tbody":    {"tr", "td", "th", "tbody", "thead", "tfoot"},
+	"tfoot":    {"tr", "td", "th", "tbody", "thead", "tfoot"},
+	"h1":       {"p"},
+	"h2":       {"p"},
+	"h3":       {"p"},
+	"h4":       {"p"},
+	"h5":       {"p"},
+	"h6":       {"p"},
+	"ul":       {"p"},
+	"ol":       {"p"},
+	"div":      {"p"},
+	"table":    {"p"},
+}
+
+// Parse parses a full HTML document and returns a dom DocumentNode. The
+// parse is lenient and never fails; garbage input produces a tree with
+// whatever could be salvaged. An <html> and <body> element are
+// synthesized when missing so that callers can always rely on doc.Body().
+func Parse(src string) *dom.Node {
+	doc := dom.NewDocument()
+	p := &parser{doc: doc}
+	p.run(src)
+	ensureDocumentShape(doc)
+	return doc
+}
+
+// ParseFragment parses an HTML fragment (such as an AJAX response used
+// for innerHTML assignment) and returns the top-level nodes. No html/body
+// wrapping is applied.
+func ParseFragment(src string) []*dom.Node {
+	root := dom.NewElement("#fragment")
+	p := &parser{doc: root}
+	p.run(src)
+	kids := root.Children()
+	for _, k := range kids {
+		root.RemoveChild(k)
+	}
+	return kids
+}
+
+// SetInnerHTML replaces n's children with the parse of src. This is the
+// DOM mutation behind the JavaScript `element.innerHTML = ...` action the
+// AJAX pages use to swap in fetched content.
+func SetInnerHTML(n *dom.Node, src string) {
+	n.RemoveChildren()
+	n.AppendChildren(ParseFragment(src))
+}
+
+type parser struct {
+	doc   *dom.Node
+	stack []*dom.Node // open elements; stack[0] is doc
+}
+
+func (p *parser) run(src string) {
+	p.stack = []*dom.Node{p.doc}
+	z := NewTokenizer(src)
+	for {
+		t := z.Next()
+		switch t.Type {
+		case ErrorToken:
+			return
+		case TextToken:
+			if t.Data != "" {
+				p.top().AppendChild(dom.NewText(t.Data))
+			}
+		case CommentToken:
+			p.top().AppendChild(&dom.Node{Type: dom.CommentNode, Data: t.Data})
+		case DoctypeToken:
+			p.top().AppendChild(&dom.Node{Type: dom.DoctypeNode, Data: t.Data})
+		case StartTagToken, SelfClosingTagToken:
+			p.startTag(t)
+		case EndTagToken:
+			p.endTag(t.Data)
+		}
+	}
+}
+
+func (p *parser) top() *dom.Node { return p.stack[len(p.stack)-1] }
+
+func (p *parser) startTag(t Token) {
+	if closes, ok := impliedEndTags[t.Data]; ok {
+		p.closeImplied(closes)
+	}
+	el := &dom.Node{Type: dom.ElementNode, Data: t.Data}
+	for _, a := range t.Attr {
+		el.Attr = append(el.Attr, dom.Attribute{Key: a.Key, Val: a.Val})
+	}
+	p.top().AppendChild(el)
+	if t.Type == SelfClosingTagToken || dom.IsVoidElement(t.Data) {
+		return
+	}
+	p.stack = append(p.stack, el)
+}
+
+// closeImplied pops open elements whose tags are in closes, but only if
+// one of them is the current innermost element chain (stop at structural
+// boundaries like table/ul for safety).
+func (p *parser) closeImplied(closes []string) {
+	for len(p.stack) > 1 {
+		cur := p.top().Data
+		found := false
+		for _, c := range closes {
+			if cur == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return
+		}
+		p.stack = p.stack[:len(p.stack)-1]
+	}
+}
+
+func (p *parser) endTag(name string) {
+	// Find the matching open element (from the top); if found, pop
+	// through it. Unmatched end tags are ignored.
+	for i := len(p.stack) - 1; i >= 1; i-- {
+		if p.stack[i].Data == name {
+			p.stack = p.stack[:i]
+			return
+		}
+	}
+}
+
+// ensureDocumentShape guarantees the document has html > body structure,
+// moving stray top-level content into the body. head children (title,
+// meta, link, script found before body content) stay in head when an
+// explicit head exists; otherwise everything goes into body, which is
+// sufficient for crawling purposes.
+func ensureDocumentShape(doc *dom.Node) {
+	var htmlEl *dom.Node
+	for c := doc.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == dom.ElementNode && c.Data == "html" {
+			htmlEl = c
+			break
+		}
+	}
+	if htmlEl == nil {
+		htmlEl = dom.NewElement("html")
+		// Move everything except the doctype under html.
+		var move []*dom.Node
+		for c := doc.FirstChild; c != nil; c = c.NextSibling {
+			if c.Type != dom.DoctypeNode {
+				move = append(move, c)
+			}
+		}
+		for _, m := range move {
+			doc.RemoveChild(m)
+		}
+		doc.AppendChild(htmlEl)
+		htmlEl.AppendChildren(move)
+	}
+	var bodyEl *dom.Node
+	for c := htmlEl.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == dom.ElementNode && c.Data == "body" {
+			bodyEl = c
+			break
+		}
+	}
+	if bodyEl == nil {
+		bodyEl = dom.NewElement("body")
+		var move []*dom.Node
+		for c := htmlEl.FirstChild; c != nil; c = c.NextSibling {
+			if c.Type == dom.ElementNode && c.Data == "head" {
+				continue
+			}
+			move = append(move, c)
+		}
+		for _, m := range move {
+			htmlEl.RemoveChild(m)
+		}
+		htmlEl.AppendChild(bodyEl)
+		bodyEl.AppendChildren(move)
+	}
+}

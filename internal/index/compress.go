@@ -1,0 +1,279 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"ajaxcrawl/internal/model"
+)
+
+// Compressed on-disk index format. The gob encoding (Save/Load) is
+// convenient but verbose; this format applies the standard IR
+// compression tricks — delta-encoded, varint-coded posting lists — that
+// the related-work chapter points at (web-graph/index compression):
+//
+//	magic "AJIX" | version u8
+//	docCount varint
+//	  per doc: url (len-prefixed), pagerank f64,
+//	           states varint, stateLens varints, ajaxRanks f32s
+//	totalStates varint
+//	termCount varint
+//	  per term (sorted): term (len-prefixed), postingCount varint,
+//	    per posting: docDelta varint, state varint,
+//	                 posCount varint, positions as deltas varint
+//
+// Doc IDs within one term's posting list are ascending, so consecutive
+// deltas are small; positions within one posting likewise.
+
+const (
+	compressedMagic   = "AJIX"
+	compressedVersion = 1
+)
+
+// SaveCompressed writes the index in the compact binary format.
+func (ix *Index) SaveCompressed(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("index: save compressed: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := ix.writeCompressed(w); err != nil {
+		f.Close()
+		return fmt.Errorf("index: save compressed: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("index: save compressed: %w", err)
+	}
+	return f.Close()
+}
+
+func (ix *Index) writeCompressed(w *bufio.Writer) error {
+	w.WriteString(compressedMagic) //nolint:errcheck // checked via Flush
+	w.WriteByte(compressedVersion) //nolint:errcheck
+
+	putUvarint(w, uint64(len(ix.Docs)))
+	for _, d := range ix.Docs {
+		putString(w, d.URL)
+		putFloat64(w, d.PageRank)
+		putUvarint(w, uint64(d.States))
+		for _, l := range d.StateLens {
+			putUvarint(w, uint64(l))
+		}
+		for _, r := range d.AJAXRanks {
+			putFloat32(w, float32(r))
+		}
+	}
+	putUvarint(w, uint64(ix.TotalStates))
+
+	terms := make([]string, 0, len(ix.Terms))
+	for t := range ix.Terms {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	putUvarint(w, uint64(len(terms)))
+	for _, t := range terms {
+		putString(w, t)
+		ps := ix.Terms[t]
+		putUvarint(w, uint64(len(ps)))
+		prevDoc := DocID(0)
+		for _, p := range ps {
+			putUvarint(w, uint64(p.Doc-prevDoc))
+			prevDoc = p.Doc
+			putUvarint(w, uint64(p.State))
+			putUvarint(w, uint64(len(p.Positions)))
+			prev := int32(0)
+			for _, pos := range p.Positions {
+				putUvarint(w, uint64(pos-prev))
+				prev = pos
+			}
+		}
+	}
+	return nil
+}
+
+// LoadCompressed reads an index written by SaveCompressed.
+func LoadCompressed(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: load compressed: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	ix, err := readCompressed(r)
+	if err != nil {
+		return nil, fmt.Errorf("index: load compressed %s: %w", path, err)
+	}
+	return ix, nil
+}
+
+func readCompressed(r *bufio.Reader) (*Index, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != compressedMagic {
+		return nil, fmt.Errorf("bad magic %q", magic)
+	}
+	version, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != compressedVersion {
+		return nil, fmt.Errorf("unsupported version %d", version)
+	}
+
+	ix := New()
+	docCount, err := getUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < docCount; i++ {
+		var d DocInfo
+		if d.URL, err = getString(r); err != nil {
+			return nil, err
+		}
+		if d.PageRank, err = getFloat64(r); err != nil {
+			return nil, err
+		}
+		states, err := getUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		d.States = int(states)
+		d.StateLens = make([]int32, states)
+		for j := range d.StateLens {
+			v, err := getUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			d.StateLens[j] = int32(v)
+		}
+		d.AJAXRanks = make([]float64, states)
+		for j := range d.AJAXRanks {
+			v, err := getFloat32(r)
+			if err != nil {
+				return nil, err
+			}
+			d.AJAXRanks[j] = float64(v)
+		}
+		ix.docByURL[d.URL] = DocID(len(ix.Docs))
+		ix.Docs = append(ix.Docs, d)
+	}
+	total, err := getUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	ix.TotalStates = int(total)
+
+	termCount, err := getUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < termCount; i++ {
+		term, err := getString(r)
+		if err != nil {
+			return nil, err
+		}
+		n, err := getUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		ps := make([]Posting, n)
+		prevDoc := DocID(0)
+		for j := range ps {
+			dd, err := getUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			prevDoc += DocID(dd)
+			ps[j].Doc = prevDoc
+			st, err := getUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			ps[j].State = model.StateID(st)
+			pc, err := getUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			ps[j].Positions = make([]int32, pc)
+			prev := int32(0)
+			for k := range ps[j].Positions {
+				d, err := getUvarint(r)
+				if err != nil {
+					return nil, err
+				}
+				prev += int32(d)
+				ps[j].Positions[k] = prev
+			}
+		}
+		ix.Terms[term] = ps
+	}
+	return ix, nil
+}
+
+// ---- primitive codecs ----
+
+func putUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck
+}
+
+func getUvarint(r *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func putString(w *bufio.Writer, s string) {
+	putUvarint(w, uint64(len(s)))
+	w.WriteString(s) //nolint:errcheck
+}
+
+func getString(r *bufio.Reader) (string, error) {
+	n, err := getUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func putFloat64(w *bufio.Writer, f float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	w.Write(buf[:]) //nolint:errcheck
+}
+
+func getFloat64(r *bufio.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func putFloat32(w *bufio.Writer, f float32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], math.Float32bits(f))
+	w.Write(buf[:]) //nolint:errcheck
+}
+
+func getFloat32(r *bufio.Reader) (float32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(buf[:])), nil
+}

@@ -1,0 +1,246 @@
+// Package index implements the state-granular inverted file of thesis
+// chapter 5: every posting points at a (URL, state) pair rather than just
+// a document, so query results can name the exact application state a
+// keyword occurs in (Table 5.1). Positions are kept for term-proximity
+// ranking, per-state token counts for tf, and per-state AJAXRank plus
+// per-URL PageRank for the composite ranking formula 5.3.
+//
+// Indexes are built incrementally, one application model at a time
+// (AddGraph), and serialize to disk with encoding/gob — one index shard
+// per crawl partition in the parallel architecture (ch. 6).
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"unicode"
+
+	"ajaxcrawl/internal/model"
+)
+
+// DocID identifies a document (URL) within one index.
+type DocID int32
+
+// Posting records one state containing a term.
+type Posting struct {
+	Doc   DocID
+	State model.StateID
+	// Positions are the token offsets of the term within the state text.
+	Positions []int32
+}
+
+// TF returns the raw term frequency in the state.
+func (p Posting) TF() int { return len(p.Positions) }
+
+// DocInfo is the per-URL metadata of the index.
+type DocInfo struct {
+	URL      string
+	PageRank float64
+	// States is the number of indexed states of this document.
+	States int
+	// StateLens holds the token count of each indexed state.
+	StateLens []int32
+	// AJAXRanks holds the AJAXRank of each indexed state.
+	AJAXRanks []float64
+}
+
+// Index is one inverted-file shard.
+type Index struct {
+	Docs  []DocInfo
+	Terms map[string][]Posting
+	// TotalStates is the number of indexed states across all docs — the
+	// denominator universe of idf (states play the role of documents,
+	// eq. 5.2).
+	TotalStates int
+
+	docByURL map[string]DocID
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		Terms:    make(map[string][]Posting),
+		docByURL: make(map[string]DocID),
+	}
+}
+
+// ajaxRankDamping controls how AJAXRank decays with the BFS depth of a
+// state: deeper states (more clicks away) rank lower, following [20].
+const ajaxRankDamping = 0.7
+
+// AJAXRank returns the rank of a state at the given depth.
+func AJAXRank(depth int) float64 {
+	return math.Pow(ajaxRankDamping, float64(depth))
+}
+
+// AddGraph incrementally indexes one application model. Only states with
+// ID < maxStates are indexed (maxStates <= 0 means all): state IDs are
+// assigned in BFS discovery order, so this reproduces the thesis's
+// "Max. State ID" index-building knob used by the threshold and recall
+// experiments (§8.3.1, §7.7).
+func (ix *Index) AddGraph(g *model.Graph, pageRank float64, maxStates int) {
+	if _, dup := ix.docByURL[g.URL]; dup {
+		// Re-adding a URL would corrupt posting order; refuse silently
+		// is worse than loud: panic signals a caller bug early.
+		panic("index: AddGraph: duplicate URL " + g.URL)
+	}
+	doc := DocID(len(ix.Docs))
+	info := DocInfo{URL: g.URL, PageRank: pageRank}
+	ix.docByURL[g.URL] = doc
+
+	for _, s := range g.States {
+		if maxStates > 0 && int(s.ID) >= maxStates {
+			continue
+		}
+		tokens := Tokenize(s.Text)
+		info.States++
+		info.StateLens = append(info.StateLens, int32(len(tokens)))
+		info.AJAXRanks = append(info.AJAXRanks, AJAXRank(s.Depth))
+		ix.TotalStates++
+		// Collect positions per term for this state.
+		positions := make(map[string][]int32)
+		for pos, tok := range tokens {
+			positions[tok] = append(positions[tok], int32(pos))
+		}
+		for term, poss := range positions {
+			ix.Terms[term] = append(ix.Terms[term], Posting{Doc: doc, State: s.ID, Positions: poss})
+		}
+	}
+	ix.Docs = append(ix.Docs, info)
+	// Postings appended per state in increasing (doc, state) order stay
+	// sorted; normalize within this doc's range in case a graph's state
+	// iteration ever changes.
+	ix.sortTail(doc)
+}
+
+// sortTail restores (Doc, State) order for postings of the last doc.
+// States are iterated in increasing ID order so this is normally a no-op;
+// it guards the sorted-merge invariant of conjunction processing.
+func (ix *Index) sortTail(doc DocID) {
+	for term, ps := range ix.Terms {
+		// Find the first posting of this doc (they are at the tail).
+		i := len(ps)
+		for i > 0 && ps[i-1].Doc == doc {
+			i--
+		}
+		tail := ps[i:]
+		for j := 1; j < len(tail); j++ {
+			for k := j; k > 0 && tail[k].State < tail[k-1].State; k-- {
+				tail[k], tail[k-1] = tail[k-1], tail[k]
+			}
+		}
+		ix.Terms[term] = ps
+	}
+}
+
+// Lookup returns the posting list of a term (nil when absent). The list
+// is sorted by (Doc, State).
+func (ix *Index) Lookup(term string) []Posting {
+	return ix.Terms[strings.ToLower(term)]
+}
+
+// DF returns the number of states containing the term — the denominator
+// of eq. 5.2.
+func (ix *Index) DF(term string) int {
+	return len(ix.Terms[strings.ToLower(term)])
+}
+
+// Doc returns the metadata of a document.
+func (ix *Index) Doc(d DocID) DocInfo {
+	return ix.Docs[d]
+}
+
+// DocByURL resolves a URL to its DocID.
+func (ix *Index) DocByURL(url string) (DocID, bool) {
+	d, ok := ix.docByURL[url]
+	return d, ok
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return len(ix.Docs) }
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int { return len(ix.Terms) }
+
+// Build constructs an index over a set of graphs. pageRank may be nil
+// (all zeros). maxStates limits states per page as in AddGraph.
+func Build(graphs []*model.Graph, pageRank map[string]float64, maxStates int) *Index {
+	ix := New()
+	for _, g := range graphs {
+		ix.AddGraph(g, pageRank[g.URL], maxStates)
+	}
+	return ix
+}
+
+// indexWire is the gob image of an Index.
+type indexWire struct {
+	Docs        []DocInfo
+	Terms       map[string][]Posting
+	TotalStates int
+}
+
+// Save writes the index to a file.
+func (ix *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	w := indexWire{Docs: ix.Docs, Terms: ix.Terms, TotalStates: ix.TotalStates}
+	if err := gob.NewEncoder(f).Encode(w); err != nil {
+		f.Close()
+		return fmt.Errorf("index: encode: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads an index from a file.
+func Load(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	defer f.Close()
+	var w indexWire
+	if err := gob.NewDecoder(f).Decode(&w); err != nil {
+		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	ix := &Index{
+		Docs:        w.Docs,
+		Terms:       w.Terms,
+		TotalStates: w.TotalStates,
+		docByURL:    make(map[string]DocID, len(w.Docs)),
+	}
+	if ix.Terms == nil {
+		ix.Terms = make(map[string][]Posting)
+	}
+	for i, d := range w.Docs {
+		ix.docByURL[d.URL] = DocID(i)
+	}
+	return ix, nil
+}
+
+// Tokenize splits text into lower-case index terms: maximal runs of
+// letters and digits. Both indexing and query parsing use it, so the two
+// sides always agree.
+func Tokenize(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}

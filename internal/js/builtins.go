@@ -1,0 +1,676 @@
+package js
+
+import (
+	"math"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// installBuiltins defines the global functions and objects of the subset.
+func installBuiltins(it *Interp) {
+	g := it.Global
+
+	g.Define("undefined", Undefined)
+	g.Define("NaN", Num(math.NaN()))
+	g.Define("Infinity", Num(math.Inf(1)))
+
+	g.Define("parseInt", ObjVal(NewNative("parseInt", biParseInt)))
+	g.Define("parseFloat", ObjVal(NewNative("parseFloat", biParseFloat)))
+	g.Define("isNaN", ObjVal(NewNative("isNaN", func(it *Interp, this Value, args []Value) (Value, error) {
+		return Bool(math.IsNaN(arg(args, 0).ToNumber())), nil
+	})))
+	g.Define("isFinite", ObjVal(NewNative("isFinite", func(it *Interp, this Value, args []Value) (Value, error) {
+		f := arg(args, 0).ToNumber()
+		return Bool(!math.IsNaN(f) && !math.IsInf(f, 0)), nil
+	})))
+	g.Define("String", ObjVal(NewNative("String", func(it *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Str(""), nil
+		}
+		return Str(args[0].ToString()), nil
+	})))
+	g.Define("Number", ObjVal(NewNative("Number", func(it *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Num(0), nil
+		}
+		return Num(args[0].ToNumber()), nil
+	})))
+	g.Define("Boolean", ObjVal(NewNative("Boolean", func(it *Interp, this Value, args []Value) (Value, error) {
+		return Bool(arg(args, 0).ToBool()), nil
+	})))
+	g.Define("Array", ObjVal(NewNative("Array", func(it *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 1 && args[0].Kind() == KindNumber {
+			n := int(args[0].NumVal())
+			return ObjVal(NewArray(make([]Value, n)...)), nil
+		}
+		return ObjVal(NewArray(args...)), nil
+	})))
+	objectCtor := NewNative("Object", func(it *Interp, this Value, args []Value) (Value, error) {
+		if len(args) > 0 && args[0].Kind() == KindObject {
+			return args[0], nil
+		}
+		return ObjVal(NewObject()), nil
+	})
+	g.Define("Object", ObjVal(objectCtor))
+	errorCtor := NewNative("Error", func(it *Interp, this Value, args []Value) (Value, error) {
+		o := NewObject()
+		o.Class = "Error"
+		o.SetProp("name", Str("Error"))
+		o.SetProp("message", Str(arg(args, 0).ToString()))
+		return ObjVal(o), nil
+	})
+	g.Define("Error", ObjVal(errorCtor))
+	g.Define("TypeError", ObjVal(errorCtor))
+	g.Define("encodeURIComponent", ObjVal(NewNative("encodeURIComponent", func(it *Interp, this Value, args []Value) (Value, error) {
+		return Str(url.QueryEscape(arg(args, 0).ToString())), nil
+	})))
+	g.Define("decodeURIComponent", ObjVal(NewNative("decodeURIComponent", func(it *Interp, this Value, args []Value) (Value, error) {
+		s, err := url.QueryUnescape(arg(args, 0).ToString())
+		if err != nil {
+			return Undefined, &Thrown{Value: Str("URIError: malformed URI")}
+		}
+		return Str(s), nil
+	})))
+
+	g.Define("Math", ObjVal(makeMath(it)))
+	installJSON(it)
+}
+
+// arg returns args[i] or undefined.
+func arg(args []Value, i int) Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return Undefined
+}
+
+func biParseInt(it *Interp, this Value, args []Value) (Value, error) {
+	s := strings.TrimSpace(arg(args, 0).ToString())
+	radix := 10
+	if len(args) > 1 && !args[1].IsUndefined() {
+		radix = int(args[1].ToNumber())
+		if radix == 0 {
+			radix = 10
+		}
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	} else if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	}
+	if (radix == 16 || radix == 10) && (strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X")) {
+		s = s[2:]
+		radix = 16
+	}
+	// Consume the longest valid prefix.
+	end := 0
+	for end < len(s) && digitVal(s[end]) < radix {
+		end++
+	}
+	if end == 0 {
+		return Num(math.NaN()), nil
+	}
+	n, err := strconv.ParseInt(s[:end], radix, 64)
+	if err != nil {
+		// Overflow: fall back to float accumulation.
+		f := 0.0
+		for i := 0; i < end; i++ {
+			f = f*float64(radix) + float64(digitVal(s[i]))
+		}
+		if neg {
+			f = -f
+		}
+		return Num(f), nil
+	}
+	f := float64(n)
+	if neg {
+		f = -f
+	}
+	return Num(f), nil
+}
+
+func digitVal(b byte) int {
+	switch {
+	case b >= '0' && b <= '9':
+		return int(b - '0')
+	case b >= 'a' && b <= 'z':
+		return int(b-'a') + 10
+	case b >= 'A' && b <= 'Z':
+		return int(b-'A') + 10
+	}
+	return 99
+}
+
+func biParseFloat(it *Interp, this Value, args []Value) (Value, error) {
+	s := strings.TrimSpace(arg(args, 0).ToString())
+	end := 0
+	seenDot, seenExp := false, false
+	for end < len(s) {
+		c := s[end]
+		switch {
+		case c >= '0' && c <= '9':
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+		case (c == 'e' || c == 'E') && !seenExp && end > 0:
+			seenExp = true
+			if end+1 < len(s) && (s[end+1] == '+' || s[end+1] == '-') {
+				end++
+			}
+		case (c == '+' || c == '-') && end == 0:
+		default:
+			goto done
+		}
+		end++
+	}
+done:
+	if end == 0 {
+		return Num(math.NaN()), nil
+	}
+	f, err := strconv.ParseFloat(s[:end], 64)
+	if err != nil {
+		return Num(math.NaN()), nil
+	}
+	return Num(f), nil
+}
+
+func makeMath(it *Interp) *Object {
+	m := NewObject()
+	m.SetProp("PI", Num(math.Pi))
+	m.SetProp("E", Num(math.E))
+	def := func(name string, fn NativeFunc) { m.SetProp(name, ObjVal(NewNative(name, fn))) }
+	def("abs", func(it *Interp, this Value, args []Value) (Value, error) {
+		return Num(math.Abs(arg(args, 0).ToNumber())), nil
+	})
+	def("floor", func(it *Interp, this Value, args []Value) (Value, error) {
+		return Num(math.Floor(arg(args, 0).ToNumber())), nil
+	})
+	def("ceil", func(it *Interp, this Value, args []Value) (Value, error) {
+		return Num(math.Ceil(arg(args, 0).ToNumber())), nil
+	})
+	def("round", func(it *Interp, this Value, args []Value) (Value, error) {
+		return Num(math.Floor(arg(args, 0).ToNumber() + 0.5)), nil
+	})
+	def("sqrt", func(it *Interp, this Value, args []Value) (Value, error) {
+		return Num(math.Sqrt(arg(args, 0).ToNumber())), nil
+	})
+	def("pow", func(it *Interp, this Value, args []Value) (Value, error) {
+		return Num(math.Pow(arg(args, 0).ToNumber(), arg(args, 1).ToNumber())), nil
+	})
+	def("max", func(it *Interp, this Value, args []Value) (Value, error) {
+		out := math.Inf(-1)
+		for _, a := range args {
+			f := a.ToNumber()
+			if math.IsNaN(f) {
+				return Num(math.NaN()), nil
+			}
+			if f > out {
+				out = f
+			}
+		}
+		return Num(out), nil
+	})
+	def("min", func(it *Interp, this Value, args []Value) (Value, error) {
+		out := math.Inf(1)
+		for _, a := range args {
+			f := a.ToNumber()
+			if math.IsNaN(f) {
+				return Num(math.NaN()), nil
+			}
+			if f < out {
+				out = f
+			}
+		}
+		return Num(out), nil
+	})
+	// Deterministic xorshift random: the crawler needs reproducible runs
+	// (DESIGN.md "Determinism").
+	def("random", func(it *Interp, this Value, args []Value) (Value, error) {
+		x := it.rngState
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		it.rngState = x
+		return Num(float64(x>>11) / float64(1<<53)), nil
+	})
+	return m
+}
+
+// ---- prototype method tables ----
+
+func thisString(this Value) string { return this.ToString() }
+
+var stringMethods = map[string]NativeFunc{
+	"charAt": func(it *Interp, this Value, args []Value) (Value, error) {
+		s := thisString(this)
+		i := int(arg(args, 0).ToNumber())
+		if i < 0 || i >= len(s) {
+			return Str(""), nil
+		}
+		return Str(string(s[i])), nil
+	},
+	"charCodeAt": func(it *Interp, this Value, args []Value) (Value, error) {
+		s := thisString(this)
+		i := int(arg(args, 0).ToNumber())
+		if i < 0 || i >= len(s) {
+			return Num(math.NaN()), nil
+		}
+		return Num(float64(s[i])), nil
+	},
+	"indexOf": func(it *Interp, this Value, args []Value) (Value, error) {
+		s := thisString(this)
+		needle := arg(args, 0).ToString()
+		from := 0
+		if len(args) > 1 {
+			from = clampIndex(int(args[1].ToNumber()), len(s))
+		}
+		idx := strings.Index(s[from:], needle)
+		if idx < 0 {
+			return Num(-1), nil
+		}
+		return Num(float64(idx + from)), nil
+	},
+	"lastIndexOf": func(it *Interp, this Value, args []Value) (Value, error) {
+		s := thisString(this)
+		return Num(float64(strings.LastIndex(s, arg(args, 0).ToString()))), nil
+	},
+	"substring": func(it *Interp, this Value, args []Value) (Value, error) {
+		s := thisString(this)
+		start := clampIndex(int(arg(args, 0).ToNumber()), len(s))
+		end := len(s)
+		if len(args) > 1 && !args[1].IsUndefined() {
+			end = clampIndex(int(args[1].ToNumber()), len(s))
+		}
+		if start > end {
+			start, end = end, start
+		}
+		return Str(s[start:end]), nil
+	},
+	"substr": func(it *Interp, this Value, args []Value) (Value, error) {
+		s := thisString(this)
+		start := int(arg(args, 0).ToNumber())
+		if start < 0 {
+			start = len(s) + start
+			if start < 0 {
+				start = 0
+			}
+		}
+		if start > len(s) {
+			start = len(s)
+		}
+		length := len(s) - start
+		if len(args) > 1 && !args[1].IsUndefined() {
+			length = int(args[1].ToNumber())
+		}
+		if length < 0 {
+			length = 0
+		}
+		if start+length > len(s) {
+			length = len(s) - start
+		}
+		return Str(s[start : start+length]), nil
+	},
+	"slice": func(it *Interp, this Value, args []Value) (Value, error) {
+		s := thisString(this)
+		start, end := sliceBounds(args, len(s))
+		if start > end {
+			return Str(""), nil
+		}
+		return Str(s[start:end]), nil
+	},
+	"split": func(it *Interp, this Value, args []Value) (Value, error) {
+		s := thisString(this)
+		if len(args) == 0 || args[0].IsUndefined() {
+			return ObjVal(NewArray(Str(s))), nil
+		}
+		sep := args[0].ToString()
+		var parts []string
+		if sep == "" {
+			for i := 0; i < len(s); i++ {
+				parts = append(parts, string(s[i]))
+			}
+		} else {
+			parts = strings.Split(s, sep)
+		}
+		vals := make([]Value, len(parts))
+		for i, p := range parts {
+			vals[i] = Str(p)
+		}
+		return ObjVal(NewArray(vals...)), nil
+	},
+	"toLowerCase": func(it *Interp, this Value, args []Value) (Value, error) {
+		return Str(strings.ToLower(thisString(this))), nil
+	},
+	"toUpperCase": func(it *Interp, this Value, args []Value) (Value, error) {
+		return Str(strings.ToUpper(thisString(this))), nil
+	},
+	"replace": func(it *Interp, this Value, args []Value) (Value, error) {
+		// String-pattern form only (no regexes in the subset): replaces
+		// the first occurrence, as JS does for string patterns.
+		s := thisString(this)
+		pat := arg(args, 0).ToString()
+		repl := arg(args, 1).ToString()
+		return Str(strings.Replace(s, pat, repl, 1)), nil
+	},
+	"concat": func(it *Interp, this Value, args []Value) (Value, error) {
+		s := thisString(this)
+		for _, a := range args {
+			s += a.ToString()
+		}
+		return Str(s), nil
+	},
+	"trim": func(it *Interp, this Value, args []Value) (Value, error) {
+		return Str(strings.TrimSpace(thisString(this))), nil
+	},
+	"toString": func(it *Interp, this Value, args []Value) (Value, error) {
+		return Str(thisString(this)), nil
+	},
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+// sliceBounds resolves (start, end) arguments with negative indexing.
+func sliceBounds(args []Value, n int) (int, int) {
+	start := 0
+	if len(args) > 0 && !args[0].IsUndefined() {
+		start = int(args[0].ToNumber())
+		if start < 0 {
+			start += n
+		}
+		start = clampIndex(start, n)
+	}
+	end := n
+	if len(args) > 1 && !args[1].IsUndefined() {
+		end = int(args[1].ToNumber())
+		if end < 0 {
+			end += n
+		}
+		end = clampIndex(end, n)
+	}
+	return start, end
+}
+
+var numberMethods = map[string]NativeFunc{
+	"toString": func(it *Interp, this Value, args []Value) (Value, error) {
+		if len(args) > 0 && !args[0].IsUndefined() {
+			radix := int(args[0].ToNumber())
+			if radix >= 2 && radix <= 36 {
+				return Str(strconv.FormatInt(int64(this.ToNumber()), radix)), nil
+			}
+		}
+		return Str(this.ToString()), nil
+	},
+	"toFixed": func(it *Interp, this Value, args []Value) (Value, error) {
+		digits := int(arg(args, 0).ToNumber())
+		return Str(strconv.FormatFloat(this.ToNumber(), 'f', digits, 64)), nil
+	},
+}
+
+var arrayMethods map[string]NativeFunc
+
+func init() {
+	arrayMethods = map[string]NativeFunc{
+		"push": func(it *Interp, this Value, args []Value) (Value, error) {
+			o := this.Object()
+			if o == nil {
+				return Undefined, &RuntimeError{Msg: "push on non-array"}
+			}
+			o.Elems = append(o.Elems, args...)
+			return Num(float64(len(o.Elems))), nil
+		},
+		"pop": func(it *Interp, this Value, args []Value) (Value, error) {
+			o := this.Object()
+			if o == nil || len(o.Elems) == 0 {
+				return Undefined, nil
+			}
+			v := o.Elems[len(o.Elems)-1]
+			o.Elems = o.Elems[:len(o.Elems)-1]
+			return v, nil
+		},
+		"shift": func(it *Interp, this Value, args []Value) (Value, error) {
+			o := this.Object()
+			if o == nil || len(o.Elems) == 0 {
+				return Undefined, nil
+			}
+			v := o.Elems[0]
+			o.Elems = append([]Value(nil), o.Elems[1:]...)
+			return v, nil
+		},
+		"unshift": func(it *Interp, this Value, args []Value) (Value, error) {
+			o := this.Object()
+			if o == nil {
+				return Undefined, &RuntimeError{Msg: "unshift on non-array"}
+			}
+			o.Elems = append(append([]Value(nil), args...), o.Elems...)
+			return Num(float64(len(o.Elems))), nil
+		},
+		"join": func(it *Interp, this Value, args []Value) (Value, error) {
+			o := this.Object()
+			if o == nil {
+				return Str(""), nil
+			}
+			sep := ","
+			if len(args) > 0 && !args[0].IsUndefined() {
+				sep = args[0].ToString()
+			}
+			parts := make([]string, len(o.Elems))
+			for i, e := range o.Elems {
+				if e.IsUndefined() || e.IsNull() {
+					continue
+				}
+				parts[i] = e.ToString()
+			}
+			return Str(strings.Join(parts, sep)), nil
+		},
+		"slice": func(it *Interp, this Value, args []Value) (Value, error) {
+			o := this.Object()
+			if o == nil {
+				return ObjVal(NewArray()), nil
+			}
+			start, end := sliceBounds(args, len(o.Elems))
+			if start > end {
+				return ObjVal(NewArray()), nil
+			}
+			out := make([]Value, end-start)
+			copy(out, o.Elems[start:end])
+			return ObjVal(NewArray(out...)), nil
+		},
+		"concat": func(it *Interp, this Value, args []Value) (Value, error) {
+			o := this.Object()
+			var out []Value
+			if o != nil {
+				out = append(out, o.Elems...)
+			}
+			for _, a := range args {
+				if ao := a.Object(); ao.IsArray() {
+					out = append(out, ao.Elems...)
+				} else {
+					out = append(out, a)
+				}
+			}
+			return ObjVal(NewArray(out...)), nil
+		},
+		"indexOf": func(it *Interp, this Value, args []Value) (Value, error) {
+			o := this.Object()
+			if o == nil {
+				return Num(-1), nil
+			}
+			needle := arg(args, 0)
+			for i, e := range o.Elems {
+				if StrictEquals(e, needle) {
+					return Num(float64(i)), nil
+				}
+			}
+			return Num(-1), nil
+		},
+		"splice": func(it *Interp, this Value, args []Value) (Value, error) {
+			o := this.Object()
+			if o == nil {
+				return ObjVal(NewArray()), nil
+			}
+			n := len(o.Elems)
+			start := int(arg(args, 0).ToNumber())
+			if start < 0 {
+				start += n
+			}
+			start = clampIndex(start, n)
+			count := n - start
+			if len(args) > 1 && !args[1].IsUndefined() {
+				count = int(args[1].ToNumber())
+			}
+			if count < 0 {
+				count = 0
+			}
+			if start+count > n {
+				count = n - start
+			}
+			removed := make([]Value, count)
+			copy(removed, o.Elems[start:start+count])
+			var inserted []Value
+			if len(args) > 2 {
+				inserted = args[2:]
+			}
+			tail := append([]Value(nil), o.Elems[start+count:]...)
+			o.Elems = append(append(o.Elems[:start], inserted...), tail...)
+			return ObjVal(NewArray(removed...)), nil
+		},
+		"sort": func(it *Interp, this Value, args []Value) (Value, error) {
+			o := this.Object()
+			if o == nil {
+				return this, nil
+			}
+			cmp := arg(args, 0)
+			var sortErr error
+			sort.SliceStable(o.Elems, func(i, j int) bool {
+				if sortErr != nil {
+					return false
+				}
+				a, b := o.Elems[i], o.Elems[j]
+				if fn := cmp.Object(); fn.IsCallable() {
+					r, err := it.callFunction(fn, Undefined, []Value{a, b}, 0)
+					if err != nil {
+						sortErr = err
+						return false
+					}
+					return r.ToNumber() < 0
+				}
+				return a.ToString() < b.ToString()
+			})
+			if sortErr != nil {
+				return Undefined, sortErr
+			}
+			return this, nil
+		},
+		"map": func(it *Interp, this Value, args []Value) (Value, error) {
+			o := this.Object()
+			fn := arg(args, 0).Object()
+			if o == nil || !fn.IsCallable() {
+				return ObjVal(NewArray()), nil
+			}
+			out := make([]Value, len(o.Elems))
+			for i, e := range o.Elems {
+				v, err := it.callFunction(fn, Undefined, []Value{e, Num(float64(i)), this}, 0)
+				if err != nil {
+					return Undefined, err
+				}
+				out[i] = v
+			}
+			return ObjVal(NewArray(out...)), nil
+		},
+		"filter": func(it *Interp, this Value, args []Value) (Value, error) {
+			o := this.Object()
+			fn := arg(args, 0).Object()
+			if o == nil || !fn.IsCallable() {
+				return ObjVal(NewArray()), nil
+			}
+			var out []Value
+			for i, e := range o.Elems {
+				v, err := it.callFunction(fn, Undefined, []Value{e, Num(float64(i)), this}, 0)
+				if err != nil {
+					return Undefined, err
+				}
+				if v.ToBool() {
+					out = append(out, e)
+				}
+			}
+			return ObjVal(NewArray(out...)), nil
+		},
+		"reverse": func(it *Interp, this Value, args []Value) (Value, error) {
+			o := this.Object()
+			if o == nil {
+				return this, nil
+			}
+			for i, j := 0, len(o.Elems)-1; i < j; i, j = i+1, j-1 {
+				o.Elems[i], o.Elems[j] = o.Elems[j], o.Elems[i]
+			}
+			return this, nil
+		},
+		"toString": func(it *Interp, this Value, args []Value) (Value, error) {
+			return Str(this.ToString()), nil
+		},
+	}
+}
+
+var functionMethods map[string]NativeFunc
+
+func init() {
+	functionMethods = map[string]NativeFunc{
+		"call": func(it *Interp, this Value, args []Value) (Value, error) {
+			fn := this.Object()
+			if !fn.IsCallable() {
+				return Undefined, &RuntimeError{Msg: "call on non-function"}
+			}
+			newThis := arg(args, 0)
+			var rest []Value
+			if len(args) > 1 {
+				rest = args[1:]
+			}
+			return it.callFunction(fn, newThis, rest, 0)
+		},
+		"apply": func(it *Interp, this Value, args []Value) (Value, error) {
+			fn := this.Object()
+			if !fn.IsCallable() {
+				return Undefined, &RuntimeError{Msg: "apply on non-function"}
+			}
+			newThis := arg(args, 0)
+			var rest []Value
+			if len(args) > 1 {
+				if ao := args[1].Object(); ao.IsArray() {
+					rest = ao.Elems
+				}
+			}
+			return it.callFunction(fn, newThis, rest, 0)
+		},
+	}
+}
+
+var objectMethods = map[string]NativeFunc{
+	"hasOwnProperty": func(it *Interp, this Value, args []Value) (Value, error) {
+		o := this.Object()
+		if o == nil {
+			return Bool(false), nil
+		}
+		name := arg(args, 0).ToString()
+		if o.IsArray() {
+			if idx, err := strconv.Atoi(name); err == nil && idx >= 0 && idx < len(o.Elems) {
+				return Bool(true), nil
+			}
+		}
+		_, ok := o.GetOwn(name)
+		return Bool(ok), nil
+	},
+	"toString": func(it *Interp, this Value, args []Value) (Value, error) {
+		return Str(this.ToString()), nil
+	},
+}

@@ -1,0 +1,1127 @@
+package js
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Env is a lexical environment (function-level scope, as in ES3).
+type Env struct {
+	vars   map[string]Value
+	parent *Env
+}
+
+// NewEnv returns a new environment with the given parent.
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: make(map[string]Value), parent: parent}
+}
+
+// Lookup finds name in this or an enclosing environment.
+func (e *Env) Lookup(name string) (Value, bool) {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[name]; ok {
+			return v, true
+		}
+	}
+	return Undefined, false
+}
+
+// Assign sets an existing binding, walking outward. It reports whether a
+// binding was found.
+func (e *Env) Assign(name string, v Value) bool {
+	for env := e; env != nil; env = env.parent {
+		if _, ok := env.vars[name]; ok {
+			env.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+// Define creates (or overwrites) a binding in this environment.
+func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+
+// Frame describes one live function activation. It is what the hot-node
+// detector inspects: the function name and the actual argument values —
+// the thesis's StackInfo.getHotnodeInfo() reads exactly these.
+type Frame struct {
+	FuncName string
+	Args     []Value
+	Line     int // call-site line
+	// Native marks frames of Go-implemented functions (host methods,
+	// builtins). Hot-node detection looks for the topmost non-native
+	// frame — the user function whose call opened the XMLHttpRequest.
+	Native bool
+}
+
+// Key renders the frame as "name(arg1,arg2,...)" — the canonical form
+// used as hot-node cache key (§4.4.1).
+func (f *Frame) Key() string {
+	s := f.FuncName + "("
+	for i, a := range f.Args {
+		if i > 0 {
+			s += ","
+		}
+		s += a.ToString()
+	}
+	return s + ")"
+}
+
+// Debugger observes function entries and exits, mirroring Rhino's
+// Debugger/DebugFrame interfaces that the thesis builds hot-node
+// detection on (§4.4.2).
+type Debugger interface {
+	OnEnter(it *Interp, f *Frame)
+	OnExit(it *Interp, f *Frame, result Value, err error)
+}
+
+// Thrown wraps a JavaScript value raised by `throw`.
+type Thrown struct{ Value Value }
+
+func (t *Thrown) Error() string { return "js: uncaught " + t.Value.ToString() }
+
+// RuntimeError is an interpreter-detected error (TypeError-ish).
+type RuntimeError struct {
+	Msg  string
+	Line int
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("js: runtime error at line %d: %s", e.Line, e.Msg)
+}
+
+// ErrBudget is returned when the step budget is exhausted — the hard
+// limit the thesis applies against infinite loops (§3.2).
+var ErrBudget = fmt.Errorf("js: execution step budget exhausted")
+
+// control-flow signals (internal sentinel errors).
+type breakSignal struct{ label string }
+type continueSignal struct{ label string }
+type returnSignal struct{ v Value }
+
+func (breakSignal) Error() string    { return "break outside loop" }
+func (continueSignal) Error() string { return "continue outside loop" }
+func (returnSignal) Error() string   { return "return outside function" }
+
+// Interp executes parsed programs. An Interp is not safe for concurrent
+// use; the crawler creates one per page.
+type Interp struct {
+	Global     *Env
+	GlobalThis Value
+	Debugger   Debugger
+
+	// MaxSteps bounds the number of AST evaluations per Run/Call to
+	// defend against infinite loops. Zero means the default.
+	MaxSteps int
+	steps    int
+
+	// MaxDepth bounds recursion. Zero means the default.
+	MaxDepth int
+	stack    []*Frame
+	// pendingLabel is set by a labeled statement and consumed by the
+	// loop statement it wraps, so the loop can recognize labeled
+	// break/continue that target it.
+	pendingLabel string
+
+	rngState uint64 // deterministic Math.random
+}
+
+const (
+	defaultMaxSteps = 10_000_000
+	defaultMaxDepth = 250
+)
+
+// New returns an interpreter with the standard builtins installed.
+func New() *Interp {
+	it := &Interp{Global: NewEnv(nil), rngState: 0x9E3779B97F4A7C15}
+	globalObj := NewObject()
+	it.GlobalThis = ObjVal(globalObj)
+	installBuiltins(it)
+	return it
+}
+
+// DefineGlobal binds a global variable.
+func (it *Interp) DefineGlobal(name string, v Value) { it.Global.Define(name, v) }
+
+// LookupGlobal reads a global variable.
+func (it *Interp) LookupGlobal(name string) (Value, bool) { return it.Global.Lookup(name) }
+
+// CallStack returns the live frames, innermost last. The returned slice
+// must not be mutated.
+func (it *Interp) CallStack() []*Frame { return it.stack }
+
+// TopUserFrame returns the innermost non-native frame, or nil when no
+// user function is executing. This is what StackInfo.getHotnodeInfo()
+// reads in the thesis implementation (§4.4.1).
+func (it *Interp) TopUserFrame() *Frame {
+	for i := len(it.stack) - 1; i >= 0; i-- {
+		if !it.stack[i].Native {
+			return it.stack[i]
+		}
+	}
+	return nil
+}
+
+// ResetBudget clears the step counter (called per event dispatch so each
+// handler invocation gets a fresh budget).
+func (it *Interp) ResetBudget() { it.steps = 0 }
+
+func (it *Interp) step(line int) error {
+	it.steps++
+	max := it.MaxSteps
+	if max == 0 {
+		max = defaultMaxSteps
+	}
+	if it.steps > max {
+		return ErrBudget
+	}
+	return nil
+}
+
+// Run parses and executes src in the global scope.
+func (it *Interp) Run(src string) (Value, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return Undefined, err
+	}
+	return it.RunProgram(prog)
+}
+
+// RunProgram executes a parsed program in the global scope.
+func (it *Interp) RunProgram(prog *Program) (Value, error) {
+	it.hoist(it.Global, prog.VarNames, prog.FuncDecls)
+	var last Value
+	for _, s := range prog.Stmts {
+		v, err := it.execStmt(it.Global, s)
+		if err != nil {
+			switch err.(type) {
+			case breakSignal, continueSignal, returnSignal:
+				return Undefined, &RuntimeError{Msg: err.Error(), Line: s.Pos()}
+			}
+			return Undefined, err
+		}
+		last = v
+	}
+	return last, nil
+}
+
+// hoist declares vars (as undefined, unless already bound) and function
+// declarations in env.
+func (it *Interp) hoist(env *Env, vars []string, funcs []*FuncLit) {
+	for _, name := range vars {
+		if _, ok := env.vars[name]; !ok {
+			env.Define(name, Undefined)
+		}
+	}
+	for _, fn := range funcs {
+		env.Define(fn.Name, ObjVal(it.makeFunction(fn, env)))
+	}
+}
+
+func (it *Interp) makeFunction(fn *FuncLit, env *Env) *Object {
+	return &Object{Class: "Function", Fn: fn, Env: env, Name: fn.Name}
+}
+
+// Call invokes a callable value with the given this and arguments.
+func (it *Interp) Call(fn Value, this Value, args []Value) (Value, error) {
+	obj := fn.Object()
+	if !obj.IsCallable() {
+		return Undefined, &RuntimeError{Msg: fn.ToString() + " is not a function"}
+	}
+	return it.callFunction(obj, this, args, 0)
+}
+
+func (it *Interp) callFunction(fnObj *Object, this Value, args []Value, line int) (Value, error) {
+	maxDepth := it.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = defaultMaxDepth
+	}
+	if len(it.stack) >= maxDepth {
+		return Undefined, &RuntimeError{Msg: "maximum call depth exceeded", Line: line}
+	}
+	name := fnObj.Name
+	if name == "" {
+		name = "<anonymous>"
+	}
+	frame := &Frame{FuncName: name, Args: args, Line: line, Native: fnObj.Native != nil}
+	it.stack = append(it.stack, frame)
+	if it.Debugger != nil {
+		it.Debugger.OnEnter(it, frame)
+	}
+	var result Value
+	var err error
+	if fnObj.Native != nil {
+		result, err = fnObj.Native(it, this, args)
+	} else {
+		result, err = it.callUser(fnObj, this, args)
+	}
+	if it.Debugger != nil {
+		it.Debugger.OnExit(it, frame, result, err)
+	}
+	it.stack = it.stack[:len(it.stack)-1]
+	return result, err
+}
+
+func (it *Interp) callUser(fnObj *Object, this Value, args []Value) (Value, error) {
+	fn := fnObj.Fn
+	env := NewEnv(fnObj.Env)
+	for i, p := range fn.Params {
+		if i < len(args) {
+			env.Define(p, args[i])
+		} else {
+			env.Define(p, Undefined)
+		}
+	}
+	env.Define("arguments", ObjVal(NewArray(args...)))
+	env.Define("this", this)
+	// Named function expressions can refer to themselves.
+	if fn.Name != "" {
+		if _, ok := env.vars[fn.Name]; !ok {
+			env.Define(fn.Name, ObjVal(fnObj))
+		}
+	}
+	it.hoist(env, fn.VarNames, fn.FuncDecls)
+	for _, s := range fn.Body {
+		if _, err := it.execStmt(env, s); err != nil {
+			if r, ok := err.(returnSignal); ok {
+				return r.v, nil
+			}
+			return Undefined, err
+		}
+	}
+	return Undefined, nil
+}
+
+// ---- statement execution ----
+
+func (it *Interp) execStmt(env *Env, n Node) (Value, error) {
+	if err := it.step(n.Pos()); err != nil {
+		return Undefined, err
+	}
+	switch s := n.(type) {
+	case *Empty, *FuncDecl:
+		// Function declarations were hoisted.
+		return Undefined, nil
+	case *VarDecl:
+		for i, name := range s.Names {
+			if s.Inits[i] == nil {
+				continue
+			}
+			v, err := it.evalExpr(env, s.Inits[i])
+			if err != nil {
+				return Undefined, err
+			}
+			if !env.Assign(name, v) {
+				env.Define(name, v)
+			}
+		}
+		return Undefined, nil
+	case *ExprStmt:
+		return it.evalExpr(env, s.X)
+	case *Block:
+		var last Value
+		for _, st := range s.Stmts {
+			v, err := it.execStmt(env, st)
+			if err != nil {
+				return Undefined, err
+			}
+			last = v
+		}
+		return last, nil
+	case *If:
+		test, err := it.evalExpr(env, s.Test)
+		if err != nil {
+			return Undefined, err
+		}
+		if test.ToBool() {
+			return it.execStmt(env, s.Then)
+		}
+		if s.Else != nil {
+			return it.execStmt(env, s.Else)
+		}
+		return Undefined, nil
+	case *While:
+		label := it.takeLabel()
+		for {
+			test, err := it.evalExpr(env, s.Test)
+			if err != nil {
+				return Undefined, err
+			}
+			if !test.ToBool() {
+				return Undefined, nil
+			}
+			if err := it.execLoopBody(env, s.Body, label); err != nil {
+				if loopBreaks(err, label) {
+					return Undefined, nil
+				}
+				return Undefined, err
+			}
+		}
+	case *DoWhile:
+		label := it.takeLabel()
+		for {
+			if err := it.execLoopBody(env, s.Body, label); err != nil {
+				if loopBreaks(err, label) {
+					return Undefined, nil
+				}
+				return Undefined, err
+			}
+			test, err := it.evalExpr(env, s.Test)
+			if err != nil {
+				return Undefined, err
+			}
+			if !test.ToBool() {
+				return Undefined, nil
+			}
+		}
+	case *For:
+		label := it.takeLabel()
+		if s.Init != nil {
+			if _, err := it.execInitOrExpr(env, s.Init); err != nil {
+				return Undefined, err
+			}
+		}
+		for {
+			if s.Test != nil {
+				test, err := it.evalExpr(env, s.Test)
+				if err != nil {
+					return Undefined, err
+				}
+				if !test.ToBool() {
+					return Undefined, nil
+				}
+			}
+			if err := it.execLoopBody(env, s.Body, label); err != nil {
+				if loopBreaks(err, label) {
+					return Undefined, nil
+				}
+				return Undefined, err
+			}
+			if s.Post != nil {
+				if _, err := it.evalExpr(env, s.Post); err != nil {
+					return Undefined, err
+				}
+			}
+		}
+	case *ForIn:
+		label := it.takeLabel()
+		obj, err := it.evalExpr(env, s.Obj)
+		if err != nil {
+			return Undefined, err
+		}
+		var keys []string
+		switch obj.Kind() {
+		case KindObject:
+			keys = obj.Object().OwnKeys()
+		case KindString:
+			for i := range []byte(obj.StrVal()) {
+				keys = append(keys, strconv.Itoa(i))
+			}
+		default:
+			return Undefined, nil
+		}
+		assign := func(k string) {
+			if !env.Assign(s.Name, Str(k)) {
+				env.Define(s.Name, Str(k))
+			}
+		}
+		for _, k := range keys {
+			assign(k)
+			if err := it.execLoopBody(env, s.Body, label); err != nil {
+				if loopBreaks(err, label) {
+					return Undefined, nil
+				}
+				return Undefined, err
+			}
+		}
+		return Undefined, nil
+	case *Return:
+		var v Value
+		if s.Value != nil {
+			var err error
+			v, err = it.evalExpr(env, s.Value)
+			if err != nil {
+				return Undefined, err
+			}
+		}
+		return Undefined, returnSignal{v}
+	case *Break:
+		return Undefined, breakSignal{label: s.Label}
+	case *Continue:
+		return Undefined, continueSignal{label: s.Label}
+	case *Labeled:
+		return it.execLabeled(env, s)
+	case *Throw:
+		v, err := it.evalExpr(env, s.Value)
+		if err != nil {
+			return Undefined, err
+		}
+		return Undefined, &Thrown{Value: v}
+	case *Try:
+		return it.execTry(env, s)
+	case *Switch:
+		return it.execSwitch(env, s)
+	}
+	return Undefined, &RuntimeError{Msg: fmt.Sprintf("unknown statement %T", n), Line: n.Pos()}
+}
+
+func (it *Interp) execInitOrExpr(env *Env, n Node) (Value, error) {
+	if vd, ok := n.(*VarDecl); ok {
+		return it.execStmt(env, vd)
+	}
+	return it.evalExpr(env, n)
+}
+
+// takeLabel consumes the pending label set by an enclosing Labeled
+// statement; loop statements call it on entry.
+func (it *Interp) takeLabel() string {
+	l := it.pendingLabel
+	it.pendingLabel = ""
+	return l
+}
+
+// execLoopBody runs a loop body, swallowing continues that target this
+// loop (unlabeled, or labeled with the loop's own label).
+func (it *Interp) execLoopBody(env *Env, body Node, label string) error {
+	_, err := it.execStmt(env, body)
+	if err != nil {
+		if c, ok := err.(continueSignal); ok && (c.label == "" || c.label == label) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// loopBreaks reports whether err is a break targeting this loop.
+func loopBreaks(err error, label string) bool {
+	b, ok := err.(breakSignal)
+	return ok && (b.label == "" || (label != "" && b.label == label))
+}
+
+// execLabeled runs `name: stmt`. For loops, the label is handed to the
+// loop statement (via pendingLabel) so labeled continue works; for other
+// statements, a matching labeled break simply exits the statement.
+func (it *Interp) execLabeled(env *Env, s *Labeled) (Value, error) {
+	switch s.Stmt.(type) {
+	case *While, *DoWhile, *For, *ForIn:
+		it.pendingLabel = s.Name
+	}
+	v, err := it.execStmt(env, s.Stmt)
+	if b, ok := err.(breakSignal); ok && b.label == s.Name {
+		return Undefined, nil
+	}
+	return v, err
+}
+
+func (it *Interp) execTry(env *Env, s *Try) (Value, error) {
+	_, bodyErr := it.execStmt(env, s.Body)
+	// Catch handles thrown JS values and runtime errors; control-flow
+	// signals and budget exhaustion pass through.
+	if bodyErr != nil && s.Catch != nil && isCatchable(bodyErr) {
+		catchEnv := NewEnv(env)
+		catchEnv.Define(s.CatchName, errToValue(bodyErr))
+		_, bodyErr = it.execStmt(catchEnv, s.Catch)
+	}
+	if s.Finally != nil {
+		if _, finErr := it.execStmt(env, s.Finally); finErr != nil {
+			return Undefined, finErr // finally overrides
+		}
+	}
+	if bodyErr != nil {
+		return Undefined, bodyErr
+	}
+	return Undefined, nil
+}
+
+func isCatchable(err error) bool {
+	switch err.(type) {
+	case *Thrown, *RuntimeError:
+		return true
+	}
+	return false
+}
+
+// errToValue converts a caught error into the JS value seen by catch.
+func errToValue(err error) Value {
+	if t, ok := err.(*Thrown); ok {
+		return t.Value
+	}
+	o := NewObject()
+	o.Class = "Error"
+	o.SetProp("message", Str(err.Error()))
+	o.SetProp("name", Str("Error"))
+	return ObjVal(o)
+}
+
+func (it *Interp) execSwitch(env *Env, s *Switch) (Value, error) {
+	disc, err := it.evalExpr(env, s.Disc)
+	if err != nil {
+		return Undefined, err
+	}
+	start := -1
+	for i, c := range s.Cases {
+		if c.Test == nil {
+			continue
+		}
+		tv, err := it.evalExpr(env, c.Test)
+		if err != nil {
+			return Undefined, err
+		}
+		if StrictEquals(disc, tv) {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		start = s.DefaultIdx
+	}
+	if start < 0 {
+		return Undefined, nil
+	}
+	for i := start; i < len(s.Cases); i++ {
+		for _, st := range s.Cases[i].Stmts {
+			if _, err := it.execStmt(env, st); err != nil {
+				if b, ok := err.(breakSignal); ok && b.label == "" {
+					return Undefined, nil
+				}
+				return Undefined, err
+			}
+		}
+	}
+	return Undefined, nil
+}
+
+// ---- expression evaluation ----
+
+func (it *Interp) evalExpr(env *Env, n Node) (Value, error) {
+	if err := it.step(n.Pos()); err != nil {
+		return Undefined, err
+	}
+	switch e := n.(type) {
+	case *NumberLit:
+		return Num(e.Value), nil
+	case *StringLit:
+		return Str(e.Value), nil
+	case *BoolLit:
+		return Bool(e.Value), nil
+	case *NullLit:
+		return Null(), nil
+	case *ThisLit:
+		if v, ok := env.Lookup("this"); ok {
+			return v, nil
+		}
+		return it.GlobalThis, nil
+	case *Ident:
+		if v, ok := env.Lookup(e.Name); ok {
+			return v, nil
+		}
+		return Undefined, &RuntimeError{Msg: e.Name + " is not defined", Line: e.Line}
+	case *ArrayLit:
+		arr := make([]Value, len(e.Elems))
+		for i, el := range e.Elems {
+			v, err := it.evalExpr(env, el)
+			if err != nil {
+				return Undefined, err
+			}
+			arr[i] = v
+		}
+		return ObjVal(NewArray(arr...)), nil
+	case *ObjectLit:
+		o := NewObject()
+		for i, k := range e.Keys {
+			v, err := it.evalExpr(env, e.Values[i])
+			if err != nil {
+				return Undefined, err
+			}
+			o.SetProp(k, v)
+		}
+		return ObjVal(o), nil
+	case *FuncLit:
+		return ObjVal(it.makeFunction(e, env)), nil
+	case *Seq:
+		var last Value
+		for _, x := range e.Exprs {
+			v, err := it.evalExpr(env, x)
+			if err != nil {
+				return Undefined, err
+			}
+			last = v
+		}
+		return last, nil
+	case *Cond:
+		test, err := it.evalExpr(env, e.Test)
+		if err != nil {
+			return Undefined, err
+		}
+		if test.ToBool() {
+			return it.evalExpr(env, e.Then)
+		}
+		return it.evalExpr(env, e.Else)
+	case *Logical:
+		l, err := it.evalExpr(env, e.L)
+		if err != nil {
+			return Undefined, err
+		}
+		if e.Op == AND {
+			if !l.ToBool() {
+				return l, nil
+			}
+			return it.evalExpr(env, e.R)
+		}
+		if l.ToBool() {
+			return l, nil
+		}
+		return it.evalExpr(env, e.R)
+	case *Binary:
+		return it.evalBinary(env, e)
+	case *Unary:
+		return it.evalUnary(env, e)
+	case *Postfix:
+		old, err := it.evalExpr(env, e.X)
+		if err != nil {
+			return Undefined, err
+		}
+		n := old.ToNumber()
+		delta := 1.0
+		if e.Op == DEC {
+			delta = -1
+		}
+		if err := it.assignTo(env, e.X, Num(n+delta), e.Line); err != nil {
+			return Undefined, err
+		}
+		return Num(n), nil
+	case *Assign:
+		return it.evalAssign(env, e)
+	case *Member:
+		obj, err := it.evalExpr(env, e.X)
+		if err != nil {
+			return Undefined, err
+		}
+		name, err := it.memberName(env, e)
+		if err != nil {
+			return Undefined, err
+		}
+		return it.getMember(obj, name, e.Line)
+	case *Call:
+		return it.evalCall(env, e)
+	case *NewExpr:
+		return it.evalNew(env, e)
+	}
+	return Undefined, &RuntimeError{Msg: fmt.Sprintf("unknown expression %T", n), Line: n.Pos()}
+}
+
+func (it *Interp) memberName(env *Env, m *Member) (string, error) {
+	if m.Index == nil {
+		return m.Name, nil
+	}
+	idx, err := it.evalExpr(env, m.Index)
+	if err != nil {
+		return "", err
+	}
+	return idx.ToString(), nil
+}
+
+// getMember reads obj.name, dispatching to host objects, prototype
+// methods for strings/arrays/objects, and plain properties.
+func (it *Interp) getMember(obj Value, name string, line int) (Value, error) {
+	switch obj.Kind() {
+	case KindString:
+		s := obj.StrVal()
+		if name == "length" {
+			return Num(float64(len(s))), nil
+		}
+		if idx, err := strconv.Atoi(name); err == nil && idx >= 0 && idx < len(s) {
+			return Str(string(s[idx])), nil
+		}
+		if m, ok := stringMethods[name]; ok {
+			return ObjVal(NewNative(name, m)), nil
+		}
+		return Undefined, nil
+	case KindNumber:
+		if m, ok := numberMethods[name]; ok {
+			return ObjVal(NewNative(name, m)), nil
+		}
+		return Undefined, nil
+	case KindBool:
+		return Undefined, nil
+	case KindObject:
+		o := obj.Object()
+		if v, ok := o.Get(name); ok {
+			return v, nil
+		}
+		// Every user function exposes a .prototype object, created on
+		// first access (new() relies on it for the proto chain).
+		if name == "prototype" && o.Fn != nil {
+			proto := NewObject()
+			o.SetProp("prototype", ObjVal(proto))
+			return ObjVal(proto), nil
+		}
+		if o.IsArray() {
+			if m, ok := arrayMethods[name]; ok {
+				return ObjVal(NewNative(name, m)), nil
+			}
+		}
+		if o.IsCallable() {
+			if m, ok := functionMethods[name]; ok {
+				return ObjVal(NewNative(name, m)), nil
+			}
+		}
+		if m, ok := objectMethods[name]; ok {
+			return ObjVal(NewNative(name, m)), nil
+		}
+		return Undefined, nil
+	}
+	return Undefined, &RuntimeError{
+		Msg:  fmt.Sprintf("cannot read property %q of %s", name, obj.ToString()),
+		Line: line,
+	}
+}
+
+func (it *Interp) evalAssign(env *Env, e *Assign) (Value, error) {
+	var v Value
+	var err error
+	if e.Op == ASSIGN {
+		v, err = it.evalExpr(env, e.Value)
+		if err != nil {
+			return Undefined, err
+		}
+	} else {
+		old, err := it.evalExpr(env, e.Target)
+		if err != nil {
+			return Undefined, err
+		}
+		rhs, err := it.evalExpr(env, e.Value)
+		if err != nil {
+			return Undefined, err
+		}
+		switch e.Op {
+		case PLUSASSIGN:
+			v = addValues(old, rhs)
+		case MINUSASSIGN:
+			v = Num(old.ToNumber() - rhs.ToNumber())
+		case STARASSIGN:
+			v = Num(old.ToNumber() * rhs.ToNumber())
+		case SLASHASSIGN:
+			v = Num(old.ToNumber() / rhs.ToNumber())
+		case PERCENTASSIGN:
+			v = Num(math.Mod(old.ToNumber(), rhs.ToNumber()))
+		}
+	}
+	if err := it.assignTo(env, e.Target, v, e.Line); err != nil {
+		return Undefined, err
+	}
+	return v, nil
+}
+
+func (it *Interp) assignTo(env *Env, target Node, v Value, line int) error {
+	switch t := target.(type) {
+	case *Ident:
+		if !env.Assign(t.Name, v) {
+			// Implicit global, as sloppy-mode JS does.
+			it.Global.Define(t.Name, v)
+		}
+		return nil
+	case *Member:
+		objV, err := it.evalExpr(env, t.X)
+		if err != nil {
+			return err
+		}
+		name, err := it.memberName(env, t)
+		if err != nil {
+			return err
+		}
+		o := objV.Object()
+		if o == nil {
+			return &RuntimeError{
+				Msg:  fmt.Sprintf("cannot set property %q of %s", name, objV.ToString()),
+				Line: line,
+			}
+		}
+		o.Set(name, v)
+		return nil
+	}
+	return &RuntimeError{Msg: "invalid assignment target", Line: line}
+}
+
+func (it *Interp) evalUnary(env *Env, e *Unary) (Value, error) {
+	if e.Op == KEYWORD {
+		switch e.KwOp {
+		case "typeof":
+			// typeof of an undefined variable must not throw.
+			if id, ok := e.X.(*Ident); ok {
+				if v, found := env.Lookup(id.Name); found {
+					return Str(v.TypeOf()), nil
+				}
+				return Str("undefined"), nil
+			}
+			v, err := it.evalExpr(env, e.X)
+			if err != nil {
+				return Undefined, err
+			}
+			return Str(v.TypeOf()), nil
+		case "void":
+			if _, err := it.evalExpr(env, e.X); err != nil {
+				return Undefined, err
+			}
+			return Undefined, nil
+		case "delete":
+			m, ok := e.X.(*Member)
+			if !ok {
+				return Bool(false), nil
+			}
+			objV, err := it.evalExpr(env, m.X)
+			if err != nil {
+				return Undefined, err
+			}
+			name, err := it.memberName(env, m)
+			if err != nil {
+				return Undefined, err
+			}
+			if o := objV.Object(); o != nil {
+				o.DeleteProp(name)
+				return Bool(true), nil
+			}
+			return Bool(false), nil
+		}
+	}
+	switch e.Op {
+	case INC, DEC:
+		old, err := it.evalExpr(env, e.X)
+		if err != nil {
+			return Undefined, err
+		}
+		delta := 1.0
+		if e.Op == DEC {
+			delta = -1
+		}
+		nv := Num(old.ToNumber() + delta)
+		if err := it.assignTo(env, e.X, nv, e.Line); err != nil {
+			return Undefined, err
+		}
+		return nv, nil
+	}
+	v, err := it.evalExpr(env, e.X)
+	if err != nil {
+		return Undefined, err
+	}
+	switch e.Op {
+	case NOT:
+		return Bool(!v.ToBool()), nil
+	case MINUS:
+		return Num(-v.ToNumber()), nil
+	case PLUS:
+		return Num(v.ToNumber()), nil
+	case BITNOT:
+		return Num(float64(^v.ToInt32())), nil
+	}
+	return Undefined, &RuntimeError{Msg: "unknown unary operator", Line: e.Line}
+}
+
+// addValues implements the + operator.
+func addValues(a, b Value) Value {
+	ap, bp := a.toPrimitive(), b.toPrimitive()
+	if ap.Kind() == KindString || bp.Kind() == KindString {
+		return Str(ap.ToString() + bp.ToString())
+	}
+	return Num(ap.ToNumber() + bp.ToNumber())
+}
+
+func (it *Interp) evalBinary(env *Env, e *Binary) (Value, error) {
+	l, err := it.evalExpr(env, e.L)
+	if err != nil {
+		return Undefined, err
+	}
+	r, err := it.evalExpr(env, e.R)
+	if err != nil {
+		return Undefined, err
+	}
+	if e.Op == KEYWORD {
+		switch e.KwOp {
+		case "in":
+			o := r.Object()
+			if o == nil {
+				return Undefined, &RuntimeError{Msg: "'in' requires an object", Line: e.Line}
+			}
+			return Bool(o.Has(l.ToString())), nil
+		case "instanceof":
+			fn := r.Object()
+			if !fn.IsCallable() {
+				return Undefined, &RuntimeError{Msg: "instanceof requires a function", Line: e.Line}
+			}
+			protoV, _ := fn.Get("prototype")
+			proto := protoV.Object()
+			o := l.Object()
+			for o != nil {
+				if o.Proto == proto && proto != nil {
+					return Bool(true), nil
+				}
+				o = o.Proto
+			}
+			return Bool(false), nil
+		}
+	}
+	switch e.Op {
+	case PLUS:
+		return addValues(l, r), nil
+	case MINUS:
+		return Num(l.ToNumber() - r.ToNumber()), nil
+	case STAR:
+		return Num(l.ToNumber() * r.ToNumber()), nil
+	case SLASH:
+		return Num(l.ToNumber() / r.ToNumber()), nil
+	case PERCENT:
+		return Num(math.Mod(l.ToNumber(), r.ToNumber())), nil
+	case EQ:
+		return Bool(LooseEquals(l, r)), nil
+	case NEQ:
+		return Bool(!LooseEquals(l, r)), nil
+	case SEQ:
+		return Bool(StrictEquals(l, r)), nil
+	case SNEQ:
+		return Bool(!StrictEquals(l, r)), nil
+	case LT, GT, LE, GE:
+		return compareValues(e.Op, l, r), nil
+	case BITAND:
+		return Num(float64(l.ToInt32() & r.ToInt32())), nil
+	case BITOR:
+		return Num(float64(l.ToInt32() | r.ToInt32())), nil
+	case BITXOR:
+		return Num(float64(l.ToInt32() ^ r.ToInt32())), nil
+	case SHL:
+		return Num(float64(l.ToInt32() << (uint32(r.ToUint32()) & 31))), nil
+	case SHR:
+		return Num(float64(l.ToInt32() >> (uint32(r.ToUint32()) & 31))), nil
+	case USHR:
+		return Num(float64(l.ToUint32() >> (uint32(r.ToUint32()) & 31))), nil
+	}
+	return Undefined, &RuntimeError{Msg: "unknown binary operator", Line: e.Line}
+}
+
+func compareValues(op TokenType, l, r Value) Value {
+	lp, rp := l.toPrimitive(), r.toPrimitive()
+	if lp.Kind() == KindString && rp.Kind() == KindString {
+		ls, rs := lp.StrVal(), rp.StrVal()
+		switch op {
+		case LT:
+			return Bool(ls < rs)
+		case GT:
+			return Bool(ls > rs)
+		case LE:
+			return Bool(ls <= rs)
+		case GE:
+			return Bool(ls >= rs)
+		}
+	}
+	ln, rn := lp.ToNumber(), rp.ToNumber()
+	if math.IsNaN(ln) || math.IsNaN(rn) {
+		return Bool(false)
+	}
+	switch op {
+	case LT:
+		return Bool(ln < rn)
+	case GT:
+		return Bool(ln > rn)
+	case LE:
+		return Bool(ln <= rn)
+	case GE:
+		return Bool(ln >= rn)
+	}
+	return Bool(false)
+}
+
+func (it *Interp) evalCall(env *Env, e *Call) (Value, error) {
+	var this Value = it.GlobalThis
+	var fnVal Value
+	var err error
+	if m, ok := e.Fn.(*Member); ok {
+		this, err = it.evalExpr(env, m.X)
+		if err != nil {
+			return Undefined, err
+		}
+		name, err := it.memberName(env, m)
+		if err != nil {
+			return Undefined, err
+		}
+		fnVal, err = it.getMember(this, name, e.Line)
+		if err != nil {
+			return Undefined, err
+		}
+		if !fnVal.Object().IsCallable() {
+			return Undefined, &RuntimeError{
+				Msg:  fmt.Sprintf("%s.%s is not a function", this.TypeOf(), name),
+				Line: e.Line,
+			}
+		}
+	} else {
+		fnVal, err = it.evalExpr(env, e.Fn)
+		if err != nil {
+			return Undefined, err
+		}
+		if !fnVal.Object().IsCallable() {
+			return Undefined, &RuntimeError{Msg: fnVal.ToString() + " is not a function", Line: e.Line}
+		}
+	}
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		args[i], err = it.evalExpr(env, a)
+		if err != nil {
+			return Undefined, err
+		}
+	}
+	return it.callFunction(fnVal.Object(), this, args, e.Line)
+}
+
+func (it *Interp) evalNew(env *Env, e *NewExpr) (Value, error) {
+	fnVal, err := it.evalExpr(env, e.Fn)
+	if err != nil {
+		return Undefined, err
+	}
+	fnObj := fnVal.Object()
+	if !fnObj.IsCallable() {
+		return Undefined, &RuntimeError{Msg: "new requires a function", Line: e.Line}
+	}
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		args[i], err = it.evalExpr(env, a)
+		if err != nil {
+			return Undefined, err
+		}
+	}
+	obj := NewObject()
+	// Wire the prototype chain; create fn.prototype on first use.
+	if protoV, ok := fnObj.GetOwn("prototype"); ok {
+		obj.Proto = protoV.Object()
+	} else if fnObj.Fn != nil {
+		proto := NewObject()
+		fnObj.SetProp("prototype", ObjVal(proto))
+		obj.Proto = proto
+	}
+	result, err := it.callFunction(fnObj, ObjVal(obj), args, e.Line)
+	if err != nil {
+		return Undefined, err
+	}
+	if result.Kind() == KindObject {
+		return result, nil
+	}
+	return ObjVal(obj), nil
+}
+
+// CompileFunction wraps a script as a callable zero-argument function
+// value closing over the global scope. The embedder uses this to turn
+// HTML event-handler attributes (onclick="...") into invocable handlers
+// whose `this` can be bound to the source element at dispatch time.
+func (it *Interp) CompileFunction(name, src string) (Value, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return Undefined, err
+	}
+	fn := &FuncLit{
+		Name:      name,
+		Body:      prog.Stmts,
+		VarNames:  prog.VarNames,
+		FuncDecls: prog.FuncDecls,
+	}
+	return ObjVal(it.makeFunction(fn, it.Global)), nil
+}

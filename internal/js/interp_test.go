@@ -1,0 +1,795 @@
+package js
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// run evaluates src in a fresh interpreter and fails the test on error.
+func run(t *testing.T, src string) Value {
+	t.Helper()
+	it := New()
+	v, err := it.Run(src)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return v
+}
+
+// expectNum asserts that src evaluates to the number want.
+func expectNum(t *testing.T, src string, want float64) {
+	t.Helper()
+	v := run(t, src)
+	if v.Kind() != KindNumber || v.NumVal() != want {
+		t.Fatalf("%q = %v, want %v", src, v, want)
+	}
+}
+
+func expectStr(t *testing.T, src string, want string) {
+	t.Helper()
+	v := run(t, src)
+	if v.Kind() != KindString || v.StrVal() != want {
+		t.Fatalf("%q = %v, want %q", src, v, want)
+	}
+}
+
+func expectBool(t *testing.T, src string, want bool) {
+	t.Helper()
+	v := run(t, src)
+	if v.Kind() != KindBool || v.BoolVal() != want {
+		t.Fatalf("%q = %v, want %v", src, v, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	expectNum(t, "1 + 2 * 3", 7)
+	expectNum(t, "(1 + 2) * 3", 9)
+	expectNum(t, "10 / 4", 2.5)
+	expectNum(t, "10 % 3", 1)
+	expectNum(t, "-5 + +3", -2)
+	expectNum(t, "2 * 2 + 3 * 3", 13)
+	expectNum(t, "1e3 + 0x10", 1016)
+	expectNum(t, "0.25 + 0.5", 0.75)
+}
+
+func TestStringConcat(t *testing.T) {
+	expectStr(t, `"a" + "b"`, "ab")
+	expectStr(t, `"n=" + 5`, "n=5")
+	expectStr(t, `5 + "=n"`, "5=n")
+	expectStr(t, `"" + true`, "true")
+	expectStr(t, `"" + null`, "null")
+	expectStr(t, `"" + undefined`, "undefined")
+	expectNum(t, `"3" - 1`, 2) // minus coerces to number
+	expectStr(t, `1 + 2 + "x"`, "3x")
+	expectStr(t, `"x" + 1 + 2`, "x12")
+}
+
+func TestComparisons(t *testing.T) {
+	expectBool(t, "1 < 2", true)
+	expectBool(t, "2 <= 2", true)
+	expectBool(t, "3 > 4", false)
+	expectBool(t, `"a" < "b"`, true)
+	expectBool(t, `"10" < "9"`, true) // string compare
+	expectBool(t, `10 < "9"`, false)  // numeric compare
+	expectBool(t, "1 == 1", true)
+	expectBool(t, `1 == "1"`, true)
+	expectBool(t, `1 === "1"`, false)
+	expectBool(t, "null == undefined", true)
+	expectBool(t, "null === undefined", false)
+	expectBool(t, "NaN == NaN", false)
+	expectBool(t, "true == 1", true)
+	expectBool(t, "false == 0", true)
+	expectBool(t, `1 != 2`, true)
+	expectBool(t, `1 !== 1`, false)
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	expectNum(t, "1 && 2", 2)
+	expectNum(t, "0 && 2", 0)
+	expectNum(t, "0 || 3", 3)
+	expectNum(t, "4 || 5", 4)
+	// The right side must not evaluate when short-circuited.
+	expectNum(t, "var x = 0; false && (x = 1); x", 0)
+	expectNum(t, "var x = 0; true || (x = 1); x", 0)
+	expectBool(t, "!0", true)
+	expectBool(t, "!!''", false)
+}
+
+func TestBitwise(t *testing.T) {
+	expectNum(t, "5 & 3", 1)
+	expectNum(t, "5 | 3", 7)
+	expectNum(t, "5 ^ 3", 6)
+	expectNum(t, "~5", -6)
+	expectNum(t, "1 << 4", 16)
+	expectNum(t, "-16 >> 2", -4)
+	expectNum(t, "-1 >>> 28", 15)
+}
+
+func TestTernaryAndComma(t *testing.T) {
+	expectNum(t, "1 ? 2 : 3", 2)
+	expectNum(t, "0 ? 2 : 3", 3)
+	expectNum(t, "(1, 2, 3)", 3)
+}
+
+func TestVariablesAndAssignment(t *testing.T) {
+	expectNum(t, "var x = 1; x = x + 1; x", 2)
+	expectNum(t, "var x = 1, y = 2; x + y", 3)
+	expectNum(t, "var x = 5; x += 3; x", 8)
+	expectNum(t, "var x = 5; x -= 3; x", 2)
+	expectNum(t, "var x = 5; x *= 3; x", 15)
+	expectNum(t, "var x = 6; x /= 3; x", 2)
+	expectNum(t, "var x = 7; x %= 3; x", 1)
+	expectStr(t, `var s = "a"; s += "b"; s`, "ab")
+}
+
+func TestIncrementDecrement(t *testing.T) {
+	expectNum(t, "var x = 1; x++; x", 2)
+	expectNum(t, "var x = 1; x++", 1) // postfix yields old
+	expectNum(t, "var x = 1; ++x", 2) // prefix yields new
+	expectNum(t, "var x = 1; x--; x", 0)
+	expectNum(t, "var a = [1]; a[0]++; a[0]", 2)
+	expectNum(t, "var o = {n: 5}; o.n++; o.n", 6)
+}
+
+func TestIfElse(t *testing.T) {
+	expectNum(t, "var x; if (1) x = 1; else x = 2; x", 1)
+	expectNum(t, "var x; if (0) x = 1; else x = 2; x", 2)
+	expectNum(t, "var x = 0; if (0) x = 1; x", 0)
+	expectNum(t, `var x; if (0) x = 1; else if (1) x = 2; else x = 3; x`, 2)
+}
+
+func TestLoops(t *testing.T) {
+	expectNum(t, "var s = 0; for (var i = 0; i < 5; i++) s += i; s", 10)
+	expectNum(t, "var s = 0, i = 0; while (i < 4) { s += i; i++; } s", 6)
+	expectNum(t, "var s = 0, i = 0; do { s += i; i++; } while (i < 3); s", 3)
+	expectNum(t, "var i = 0; do { i++; } while (false); i", 1)
+	// break / continue
+	expectNum(t, "var s = 0; for (var i = 0; i < 10; i++) { if (i == 3) break; s += i; } s", 3)
+	expectNum(t, "var s = 0; for (var i = 0; i < 5; i++) { if (i % 2) continue; s += i; } s", 6)
+	// nested loops: break only exits inner
+	expectNum(t, `var n = 0;
+		for (var i = 0; i < 3; i++) {
+			for (var j = 0; j < 3; j++) { if (j == 1) break; n++; }
+		}
+		n`, 3)
+}
+
+func TestForIn(t *testing.T) {
+	expectStr(t, `var o = {a: 1, b: 2, c: 3}, ks = "";
+		for (var k in o) ks += k; ks`, "abc")
+	expectNum(t, `var a = [10, 20, 30], s = 0;
+		for (var i in a) s += a[i]; s`, 60)
+}
+
+func TestFunctions(t *testing.T) {
+	expectNum(t, "function f(a, b) { return a + b; } f(2, 3)", 5)
+	expectNum(t, "function f() { return; } f() === undefined ? 1 : 0", 1)
+	expectNum(t, "function f(a) { return a; } f() === undefined ? 1 : 0", 1)
+	expectNum(t, "var f = function(x) { return x * 2; }; f(21)", 42)
+	// Hoisting: call before declaration.
+	expectNum(t, "var r = g(); function g() { return 9; } r", 9)
+	// Recursion.
+	expectNum(t, "function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); } fact(6)", 720)
+	// Named function expression self-reference.
+	expectNum(t, "var f = function fib(n) { return n < 2 ? n : fib(n-1) + fib(n-2); }; f(10)", 55)
+	// arguments object.
+	expectNum(t, "function f() { return arguments.length; } f(1, 2, 3)", 3)
+	expectNum(t, "function f() { return arguments[1]; } f(5, 7)", 7)
+}
+
+func TestClosures(t *testing.T) {
+	expectNum(t, `function counter() {
+		var n = 0;
+		return function() { n++; return n; };
+	}
+	var c = counter();
+	c(); c(); c()`, 3)
+	expectNum(t, `function adder(a) { return function(b) { return a + b; }; }
+	adder(10)(32)`, 42)
+	// Two closures share state.
+	expectNum(t, `function mk() {
+		var n = 0;
+		return [function() { n += 1; }, function() { return n; }];
+	}
+	var fns = mk(); fns[0](); fns[0](); fns[1]()`, 2)
+}
+
+func TestVarHoistingScope(t *testing.T) {
+	// var is function-scoped, not block-scoped.
+	expectNum(t, "function f() { if (true) { var x = 5; } return x; } f()", 5)
+	// Inner var shadows outer.
+	expectNum(t, `var x = 1;
+	function f() { var x = 2; return x; }
+	f() + x`, 3)
+	// Assignment without var writes the outer binding.
+	expectNum(t, `var x = 1;
+	function f() { x = 2; }
+	f(); x`, 2)
+	// Implicit global creation on unqualified assignment.
+	expectNum(t, "function f() { zz = 7; } f(); zz", 7)
+}
+
+func TestObjects(t *testing.T) {
+	expectNum(t, "var o = {a: 1, b: {c: 2}}; o.a + o.b.c", 3)
+	expectNum(t, `var o = {}; o.x = 4; o["y"] = 6; o.x + o.y`, 10)
+	expectStr(t, `var o = {"with space": "v"}; o["with space"]`, "v")
+	expectBool(t, `var o = {a: 1}; "a" in o`, true)
+	expectBool(t, `var o = {a: 1}; "b" in o`, false)
+	expectBool(t, `var o = {a: 1}; delete o.a; "a" in o`, false)
+	expectBool(t, `var o = {a: undefined}; o.hasOwnProperty("a")`, true)
+	expectStr(t, "typeof {}", "object")
+	// Numeric and keyword keys.
+	expectNum(t, "var o = {1: 10, "+`"in"`+": 20}; o[1] + o['in']", 30)
+}
+
+func TestArrays(t *testing.T) {
+	expectNum(t, "var a = [1, 2, 3]; a[0] + a[2]", 4)
+	expectNum(t, "[1,2,3].length", 3)
+	expectNum(t, "var a = []; a.push(5); a.push(6); a.length", 2)
+	expectNum(t, "var a = [1,2,3]; a.pop()", 3)
+	expectNum(t, "var a = [1,2,3]; a.pop(); a.length", 2)
+	expectNum(t, "var a = [1,2,3]; a.shift()", 1)
+	expectNum(t, "var a = [3]; a.unshift(1, 2); a[1]", 2)
+	expectStr(t, `[1,2,3].join("-")`, "1-2-3")
+	expectStr(t, "[1,2,3].join()", "1,2,3")
+	expectNum(t, "[10,20,30].slice(1)[0]", 20)
+	expectNum(t, "[10,20,30].slice(0, -1).length", 2)
+	expectNum(t, "[1,2].concat([3,4], 5).length", 5)
+	expectNum(t, "[5,6,7].indexOf(6)", 1)
+	expectNum(t, "[5,6,7].indexOf(9)", -1)
+	expectNum(t, "var a = [1,2,3]; a.reverse(); a[0]", 3)
+	// Sparse growth via index assignment.
+	expectNum(t, "var a = []; a[3] = 9; a.length", 4)
+	// length truncation.
+	expectNum(t, "var a = [1,2,3]; a.length = 1; a.length", 1)
+	expectStr(t, "typeof []", "object")
+}
+
+func TestStringMethods(t *testing.T) {
+	expectNum(t, `"hello".length`, 5)
+	expectStr(t, `"hello".charAt(1)`, "e")
+	expectNum(t, `"hello".charCodeAt(0)`, 104)
+	expectNum(t, `"hello world".indexOf("o")`, 4)
+	expectNum(t, `"hello world".indexOf("o", 5)`, 7)
+	expectNum(t, `"hello".indexOf("z")`, -1)
+	expectStr(t, `"hello".substring(1, 3)`, "el")
+	expectStr(t, `"hello".substring(3, 1)`, "el") // swapped args
+	expectStr(t, `"hello".substr(1, 3)`, "ell")
+	expectStr(t, `"hello".slice(-3)`, "llo")
+	expectStr(t, `"a,b,c".split(",")[1]`, "b")
+	expectNum(t, `"abc".split("").length`, 3)
+	expectStr(t, `"AbC".toLowerCase()`, "abc")
+	expectStr(t, `"AbC".toUpperCase()`, "ABC")
+	expectStr(t, `"a-b-a".replace("a", "x")`, "x-b-a")
+	expectStr(t, `"  pad  ".trim()`, "pad")
+	expectStr(t, `"ab".concat("cd", "ef")`, "abcdef")
+	expectStr(t, `"abc"[1]`, "b")
+	expectStr(t, "typeof ''", "string")
+}
+
+func TestTypeofAndVoid(t *testing.T) {
+	expectStr(t, "typeof 1", "number")
+	expectStr(t, "typeof 'x'", "string")
+	expectStr(t, "typeof true", "boolean")
+	expectStr(t, "typeof undefined", "undefined")
+	expectStr(t, "typeof null", "object")
+	expectStr(t, "typeof function(){}", "function")
+	expectStr(t, "typeof notDefinedAnywhere", "undefined") // must not throw
+	expectBool(t, "void 0 === undefined", true)
+}
+
+func TestThisAndMethods(t *testing.T) {
+	expectNum(t, `var o = {n: 41, get: function() { return this.n + 1; }};
+	o.get()`, 42)
+	expectNum(t, `var o = {n: 1, bump: function() { this.n += 10; }};
+	o.bump(); o.n`, 11)
+	// call/apply rebinding.
+	expectNum(t, `function get() { return this.v; }
+	get.call({v: 7})`, 7)
+	expectNum(t, `function add(a, b) { return this.base + a + b; }
+	add.apply({base: 100}, [1, 2])`, 103)
+}
+
+func TestNewAndPrototypes(t *testing.T) {
+	expectNum(t, `function Point(x, y) { this.x = x; this.y = y; }
+	var p = new Point(3, 4);
+	p.x + p.y`, 7)
+	expectNum(t, `function Counter() { this.n = 0; }
+	Counter.prototype = {inc: function() { this.n++; }};
+	var c = new Counter();
+	c.inc(); c.inc(); c.n`, 2)
+	expectBool(t, `function A() {}
+	var a = new A();
+	a instanceof A`, true)
+	expectBool(t, `function A() {} function B() {}
+	new A() instanceof B`, false)
+}
+
+func TestSwitch(t *testing.T) {
+	src := `function f(x) {
+		switch (x) {
+		case 1: return "one";
+		case 2:
+		case 3: return "few";
+		default: return "many";
+		}
+	}`
+	expectStr(t, src+`f(1)`, "one")
+	expectStr(t, src+`f(2)`, "few")
+	expectStr(t, src+`f(3)`, "few")
+	expectStr(t, src+`f(9)`, "many")
+	// Fallthrough without return/break.
+	expectNum(t, `var n = 0;
+	switch (1) { case 1: n += 1; case 2: n += 10; } n`, 11)
+	// break exits switch.
+	expectNum(t, `var n = 0;
+	switch (1) { case 1: n += 1; break; case 2: n += 10; } n`, 1)
+	// switch uses strict equality.
+	expectStr(t, src+`f("1")`, "many")
+}
+
+func TestThrowTryCatch(t *testing.T) {
+	expectStr(t, `var r;
+	try { throw "boom"; r = "no"; } catch (e) { r = e; }
+	r`, "boom")
+	expectNum(t, `var r = 0;
+	try { r = 1; } catch (e) { r = 2; }
+	r`, 1)
+	// finally always runs.
+	expectNum(t, `var n = 0;
+	try { throw 1; } catch (e) { n += 1; } finally { n += 10; }
+	n`, 11)
+	expectNum(t, `var n = 0;
+	function f() { try { return 1; } finally { n = 5; } }
+	f(); n`, 5)
+	// Runtime errors are catchable.
+	expectStr(t, `var r = "none";
+	try { undefinedFn(); } catch (e) { r = "caught"; }
+	r`, "caught")
+	// Uncaught throw surfaces as error.
+	it := New()
+	_, err := it.Run(`throw "unhandled";`)
+	th, ok := err.(*Thrown)
+	if !ok || th.Value.ToString() != "unhandled" {
+		t.Fatalf("uncaught throw = %v", err)
+	}
+}
+
+func TestErrorObjects(t *testing.T) {
+	expectStr(t, `var r;
+	try { throw new Error("msg here"); } catch (e) { r = e.message; }
+	r`, "msg here")
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	it := New()
+	if _, err := it.Run("nope()"); err == nil {
+		t.Fatalf("calling undefined should error")
+	}
+	if _, err := it.Run("var x = undefinedVar + 1;"); err == nil {
+		t.Fatalf("reading undefined variable should error")
+	}
+	if _, err := it.Run("null.x"); err == nil {
+		t.Fatalf("member of null should error")
+	}
+	if _, err := it.Run("undefined.x = 1"); err == nil {
+		t.Fatalf("assigning member of undefined should error")
+	}
+	if _, err := it.Run("(4)()"); err == nil {
+		t.Fatalf("calling a number should error")
+	}
+}
+
+func TestStepBudgetStopsInfiniteLoop(t *testing.T) {
+	it := New()
+	it.MaxSteps = 100000
+	_, err := it.Run("while (true) {}")
+	if err != ErrBudget {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestMaxDepthStopsRunawayRecursion(t *testing.T) {
+	it := New()
+	_, err := it.Run("function f() { return f(); } f()")
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("want depth error, got %v", err)
+	}
+}
+
+func TestGlobalBuiltins(t *testing.T) {
+	expectNum(t, `parseInt("42")`, 42)
+	expectNum(t, `parseInt("42abc")`, 42)
+	expectNum(t, `parseInt("0x1f")`, 31)
+	expectNum(t, `parseInt("-7")`, -7)
+	expectNum(t, `parseInt("ff", 16)`, 255)
+	expectBool(t, `isNaN(parseInt("zz"))`, true)
+	expectNum(t, `parseFloat("3.5rest")`, 3.5)
+	expectBool(t, `isNaN(parseFloat("x"))`, true)
+	expectBool(t, `isFinite(1/0)`, false)
+	expectStr(t, `String(12)`, "12")
+	expectNum(t, `Number("8")`, 8)
+	expectBool(t, `Boolean("")`, false)
+	expectStr(t, `encodeURIComponent("a b&c")`, "a+b%26c")
+	expectNum(t, `new Array(3).length`, 3)
+}
+
+func TestMath(t *testing.T) {
+	expectNum(t, "Math.abs(-4)", 4)
+	expectNum(t, "Math.floor(3.9)", 3)
+	expectNum(t, "Math.ceil(3.1)", 4)
+	expectNum(t, "Math.round(2.5)", 3)
+	expectNum(t, "Math.max(1, 9, 4)", 9)
+	expectNum(t, "Math.min(5, 2, 7)", 2)
+	expectNum(t, "Math.pow(2, 10)", 1024)
+	expectNum(t, "Math.sqrt(81)", 9)
+	v := run(t, "Math.random()")
+	if f := v.NumVal(); f < 0 || f >= 1 {
+		t.Fatalf("Math.random out of range: %v", f)
+	}
+	// Deterministic across fresh interpreters.
+	a := run(t, "Math.random()")
+	b := run(t, "Math.random()")
+	if a.NumVal() != b.NumVal() {
+		t.Fatalf("Math.random must be deterministic per fresh interp")
+	}
+}
+
+func TestNumberFormatting(t *testing.T) {
+	expectStr(t, "(255).toString(16)", "ff")
+	expectStr(t, "(3.14159).toFixed(2)", "3.14")
+	expectStr(t, `"" + 1000000`, "1000000")
+	expectStr(t, `"" + 1.5`, "1.5")
+	expectStr(t, `"" + (0/0)`, "NaN")
+	expectStr(t, `"" + (1/0)`, "Infinity")
+	expectStr(t, `"" + (-1/0)`, "-Infinity")
+}
+
+func TestASIAndNewlines(t *testing.T) {
+	expectNum(t, "var x = 1\nvar y = 2\nx + y", 3)
+	expectNum(t, "var x = 1; x\n", 1)
+	// Restricted return: newline after return means return undefined.
+	expectBool(t, "function f() { return\n5; } f() === undefined", true)
+	expectNum(t, "function f() { return 5; } f()", 5)
+}
+
+func TestComments(t *testing.T) {
+	expectNum(t, "// line comment\n1 + 1", 2)
+	expectNum(t, "/* block\ncomment */ 2 + 2", 4)
+	expectNum(t, "1 + /* inline */ 2", 3)
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"var = 5",
+		"function () {}", // declaration without name
+		"if (1 {",
+		"1 +",
+		"var x = ;",
+		"'unterminated",
+		"/* unterminated",
+		"do { } until (1);",
+		"switch (x) { what: 1; }",
+		"try { }", // try without catch/finally
+		"5 = x",
+		"x ++ ++",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, err := Parse("var x = 1;\nvar y = @;")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("want SyntaxError, got %v", err)
+	}
+	if se.Line != 2 {
+		t.Fatalf("error line = %d, want 2", se.Line)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	expectStr(t, `"a\nb"`, "a\nb")
+	expectStr(t, `"a\tb"`, "a\tb")
+	expectStr(t, `"q\"q"`, `q"q`)
+	expectStr(t, `'s\'s'`, "s's")
+	expectStr(t, `"\x41"`, "A")
+	expectStr(t, `"A"`, "A")
+	expectStr(t, `"back\\slash"`, `back\slash`)
+}
+
+func TestHostObjectHooks(t *testing.T) {
+	it := New()
+	host := &fakeHost{props: map[string]Value{"x": Num(10)}}
+	o := NewObject()
+	o.Host = host
+	it.DefineGlobal("h", ObjVal(o))
+	v, err := it.Run("h.x + 1")
+	if err != nil || v.NumVal() != 11 {
+		t.Fatalf("host get failed: %v %v", v, err)
+	}
+	if _, err := it.Run("h.x = 99"); err != nil {
+		t.Fatalf("host set: %v", err)
+	}
+	if host.props["x"].NumVal() != 99 {
+		t.Fatalf("host set not routed, got %v", host.props["x"])
+	}
+	// Non-host props still work.
+	if _, err := it.Run("h.other = 5"); err != nil {
+		t.Fatalf("fallthrough set: %v", err)
+	}
+	v, _ = it.Run("h.other")
+	if v.NumVal() != 5 {
+		t.Fatalf("fallthrough get = %v", v)
+	}
+}
+
+type fakeHost struct{ props map[string]Value }
+
+func (f *fakeHost) HostGet(name string) (Value, bool) {
+	v, ok := f.props[name]
+	return v, ok
+}
+
+func (f *fakeHost) HostSet(name string, v Value) bool {
+	if _, ok := f.props[name]; ok {
+		f.props[name] = v
+		return true
+	}
+	return false
+}
+
+func TestNativeFunctions(t *testing.T) {
+	it := New()
+	calls := 0
+	it.DefineGlobal("native", ObjVal(NewNative("native", func(it *Interp, this Value, args []Value) (Value, error) {
+		calls++
+		return Num(args[0].ToNumber() * 2), nil
+	})))
+	v, err := it.Run("native(21)")
+	if err != nil || v.NumVal() != 42 || calls != 1 {
+		t.Fatalf("native call: v=%v err=%v calls=%d", v, err, calls)
+	}
+}
+
+// TestDebuggerHooks verifies the Rhino-style debugger facility: every
+// function entry/exit is observed with name and actual args, and the call
+// stack is inspectable during execution — the foundation of hot-node
+// detection.
+func TestDebuggerHooks(t *testing.T) {
+	it := New()
+	var entered, exited []string
+	var stackAtInner []string
+	dbg := &recordingDebugger{
+		onEnter: func(it *Interp, f *Frame) {
+			entered = append(entered, f.Key())
+			if f.FuncName == "inner" {
+				for _, fr := range it.CallStack() {
+					stackAtInner = append(stackAtInner, fr.FuncName)
+				}
+			}
+		},
+		onExit: func(it *Interp, f *Frame, v Value, err error) {
+			exited = append(exited, f.FuncName)
+		},
+	}
+	it.Debugger = dbg
+	_, err := it.Run(`
+		function outer(a) { return inner(a + 1, "s"); }
+		function inner(n, s) { return n; }
+		outer(1);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entered) != 2 || entered[0] != "outer(1)" || entered[1] != `inner(2,s)` {
+		t.Fatalf("entered = %v", entered)
+	}
+	if len(exited) != 2 || exited[0] != "inner" || exited[1] != "outer" {
+		t.Fatalf("exited = %v (want inner first, LIFO)", exited)
+	}
+	if len(stackAtInner) != 2 || stackAtInner[0] != "outer" || stackAtInner[1] != "inner" {
+		t.Fatalf("stack at inner = %v", stackAtInner)
+	}
+	if it.TopUserFrame() != nil {
+		t.Fatalf("stack not empty after run")
+	}
+}
+
+type recordingDebugger struct {
+	onEnter func(*Interp, *Frame)
+	onExit  func(*Interp, *Frame, Value, error)
+}
+
+func (d *recordingDebugger) OnEnter(it *Interp, f *Frame) { d.onEnter(it, f) }
+func (d *recordingDebugger) OnExit(it *Interp, f *Frame, v Value, err error) {
+	d.onExit(it, f, v, err)
+}
+
+func TestFrameKey(t *testing.T) {
+	f := &Frame{FuncName: "getUrl", Args: []Value{Str("/comments?v=1&p=2"), Bool(false)}}
+	if got := f.Key(); got != "getUrl(/comments?v=1&p=2,false)" {
+		t.Fatalf("Key = %q", got)
+	}
+	empty := &Frame{FuncName: "init"}
+	if empty.Key() != "init()" {
+		t.Fatalf("empty Key = %q", empty.Key())
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if Num(0).ToBool() || Str("").ToBool() || Null().ToBool() || Undefined.ToBool() {
+		t.Fatalf("falsy values wrong")
+	}
+	if !Num(1).ToBool() || !Str("x").ToBool() || !ObjVal(NewObject()).ToBool() {
+		t.Fatalf("truthy values wrong")
+	}
+	if Str(" 42 ").ToNumber() != 42 {
+		t.Fatalf("string->number trim failed")
+	}
+	if Str("").ToNumber() != 0 {
+		t.Fatalf("empty string should be 0")
+	}
+	if !math.IsNaN(Str("abc").ToNumber()) {
+		t.Fatalf("junk string should be NaN")
+	}
+	if Str("0x10").ToNumber() != 16 {
+		t.Fatalf("hex string conversion failed")
+	}
+	if Bool(true).ToNumber() != 1 || Bool(false).ToNumber() != 0 {
+		t.Fatalf("bool->number failed")
+	}
+	if ObjVal(NewArray(Num(1), Num(2))).ToString() != "1,2" {
+		t.Fatalf("array toString failed")
+	}
+}
+
+func TestRunProgramReuse(t *testing.T) {
+	it := New()
+	if _, err := it.Run("var shared = 10;"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := it.Run("shared + 5")
+	if err != nil || v.NumVal() != 15 {
+		t.Fatalf("state not preserved across Run calls: %v %v", v, err)
+	}
+}
+
+func TestInstanceMutationThroughReference(t *testing.T) {
+	expectNum(t, `var a = {list: []};
+	var ref = a.list;
+	ref.push(1); ref.push(2);
+	a.list.length`, 2)
+}
+
+func TestDeterministicForInOrder(t *testing.T) {
+	// Insertion order must be stable across runs (determinism guarantee).
+	for i := 0; i < 5; i++ {
+		expectStr(t, `var o = {}; o.z = 1; o.a = 2; o.m = 3;
+		var ks = ""; for (var k in o) ks += k; ks`, "zam")
+	}
+}
+
+func BenchmarkInterpFib(b *testing.B) {
+	prog, err := Parse("function fib(n) { return n < 2 ? n : fib(n-1) + fib(n-2); } fib(15)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it := New()
+		if _, err := it.RunProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpStringOps(b *testing.B) {
+	prog, err := Parse(`var s = ""; for (var i = 0; i < 200; i++) { s += "x"; } s.length`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it := New()
+		if _, err := it.RunProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	expectNum(t, `
+	var n = 0;
+	outer:
+	for (var i = 0; i < 5; i++) {
+		for (var j = 0; j < 5; j++) {
+			if (i == 1 && j == 1) { break outer; }
+			n++;
+		}
+	}
+	n`, 6) // i=0: 5 iterations, i=1: 1 iteration
+	// Labeled break from a while inside a for.
+	expectNum(t, `
+	var n = 0;
+	loop:
+	for (var i = 0; i < 3; i++) {
+		var j = 0;
+		while (true) {
+			j++;
+			if (j > 2) { break loop; }
+			n++;
+		}
+	}
+	n`, 2)
+	// Labeled break on a non-loop statement (block).
+	expectNum(t, `
+	var n = 0;
+	blk: {
+		n = 1;
+		break blk;
+		n = 2;
+	}
+	n`, 1)
+}
+
+func TestLabeledContinue(t *testing.T) {
+	expectNum(t, `
+	var n = 0;
+	outer:
+	for (var i = 0; i < 3; i++) {
+		for (var j = 0; j < 3; j++) {
+			if (j == 1) { continue outer; }
+			n++;
+		}
+	}
+	n`, 3) // one inner iteration per outer pass
+	// continue with label on the innermost labeled loop == plain continue.
+	expectNum(t, `
+	var n = 0;
+	self:
+	for (var i = 0; i < 4; i++) {
+		if (i % 2 == 0) { continue self; }
+		n++;
+	}
+	n`, 2)
+}
+
+func TestUnlabeledSignalsStillLocal(t *testing.T) {
+	// Inner unlabeled break must not exit the labeled outer loop.
+	expectNum(t, `
+	var n = 0;
+	outer:
+	for (var i = 0; i < 3; i++) {
+		for (var j = 0; j < 10; j++) {
+			if (j == 1) { break; }
+			n++;
+		}
+	}
+	n`, 3)
+}
+
+func TestLabelIsNotASIVictim(t *testing.T) {
+	// `break\nlabel` is a bare break then an expression statement.
+	expectNum(t, `
+	var outer = 5;
+	var n = 0;
+	for (var i = 0; i < 3; i++) {
+		n++;
+		break
+		outer;
+	}
+	n`, 1)
+}
+
+func TestLabelLooksLikeTernaryIsNotConfused(t *testing.T) {
+	// An identifier followed by ':' only labels in statement position;
+	// object literals and ternaries still parse.
+	expectNum(t, `var o = {lbl: 7}; o.lbl`, 7)
+	expectNum(t, `var x = true ? 1 : 2; x`, 1)
+}

@@ -1,0 +1,328 @@
+package js
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// installJSON defines the global JSON object (stringify/parse). Era AJAX
+// applications increasingly shipped JSON payloads instead of HTML
+// fragments; the crawler's interpreter supports both.
+func installJSON(it *Interp) {
+	j := NewObject()
+	j.SetProp("stringify", ObjVal(NewNative("stringify", biJSONStringify)))
+	j.SetProp("parse", ObjVal(NewNative("parse", biJSONParse)))
+	it.Global.Define("JSON", ObjVal(j))
+}
+
+func biJSONStringify(it *Interp, this Value, args []Value) (Value, error) {
+	v := arg(args, 0)
+	var b strings.Builder
+	if !writeJSON(&b, v, 0) {
+		return Undefined, nil
+	}
+	return Str(b.String()), nil
+}
+
+// writeJSON serializes v; returns false for undefined/functions (which
+// JSON.stringify omits or maps to undefined at the top level).
+func writeJSON(b *strings.Builder, v Value, depth int) bool {
+	if depth > 64 {
+		b.WriteString("null") // cycle guard
+		return true
+	}
+	switch v.Kind() {
+	case KindUndefined:
+		return false
+	case KindNull:
+		b.WriteString("null")
+	case KindBool:
+		b.WriteString(v.ToString())
+	case KindNumber:
+		f := v.NumVal()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			b.WriteString("null")
+		} else {
+			b.WriteString(numToString(f))
+		}
+	case KindString:
+		writeJSONString(b, v.StrVal())
+	case KindObject:
+		o := v.Object()
+		if o.IsCallable() {
+			return false
+		}
+		if o.IsArray() {
+			b.WriteByte('[')
+			for i, e := range o.Elems {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				if !writeJSON(b, e, depth+1) {
+					b.WriteString("null")
+				}
+			}
+			b.WriteByte(']')
+			return true
+		}
+		b.WriteByte('{')
+		first := true
+		keys := append([]string(nil), o.keys...)
+		sort.Strings(keys)
+		for _, k := range keys {
+			pv, _ := o.GetOwn(k)
+			var vb strings.Builder
+			if !writeJSON(&vb, pv, depth+1) {
+				continue
+			}
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			writeJSONString(b, k)
+			b.WriteByte(':')
+			b.WriteString(vb.String())
+		}
+		b.WriteByte('}')
+	}
+	return true
+}
+
+func writeJSONString(b *strings.Builder, s string) {
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+}
+
+func biJSONParse(it *Interp, this Value, args []Value) (Value, error) {
+	p := &jsonParser{src: arg(args, 0).ToString()}
+	v, err := p.value()
+	if err != nil {
+		return Undefined, &Thrown{Value: Str("SyntaxError: " + err.Error())}
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return Undefined, &Thrown{Value: Str("SyntaxError: trailing characters in JSON")}
+	}
+	return v, nil
+}
+
+type jsonParser struct {
+	src string
+	pos int
+}
+
+func (p *jsonParser) ws() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *jsonParser) value() (Value, error) {
+	p.ws()
+	if p.pos >= len(p.src) {
+		return Undefined, fmt.Errorf("unexpected end of JSON")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '{':
+		return p.object()
+	case c == '[':
+		return p.array()
+	case c == '"':
+		s, err := p.string()
+		if err != nil {
+			return Undefined, err
+		}
+		return Str(s), nil
+	case c == 't':
+		return p.literal("true", Bool(true))
+	case c == 'f':
+		return p.literal("false", Bool(false))
+	case c == 'n':
+		return p.literal("null", Null())
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.number()
+	}
+	return Undefined, fmt.Errorf("unexpected character %q at %d", p.src[p.pos], p.pos)
+}
+
+func (p *jsonParser) literal(word string, v Value) (Value, error) {
+	if strings.HasPrefix(p.src[p.pos:], word) {
+		p.pos += len(word)
+		return v, nil
+	}
+	return Undefined, fmt.Errorf("invalid literal at %d", p.pos)
+}
+
+func (p *jsonParser) number() (Value, error) {
+	start := p.pos
+	if p.pos < len(p.src) && p.src[p.pos] == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' ||
+		p.src[p.pos] == '.' || p.src[p.pos] == 'e' || p.src[p.pos] == 'E' ||
+		p.src[p.pos] == '+' || p.src[p.pos] == '-') {
+		p.pos++
+	}
+	f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return Undefined, fmt.Errorf("bad number at %d", start)
+	}
+	return Num(f), nil
+}
+
+func (p *jsonParser) string() (string, error) {
+	p.pos++ // opening quote
+	var b strings.Builder
+	for {
+		if p.pos >= len(p.src) {
+			return "", fmt.Errorf("unterminated string")
+		}
+		c := p.src[p.pos]
+		if c == '"' {
+			p.pos++
+			return b.String(), nil
+		}
+		if c != '\\' {
+			b.WriteByte(c)
+			p.pos++
+			continue
+		}
+		p.pos++
+		if p.pos >= len(p.src) {
+			return "", fmt.Errorf("unterminated escape")
+		}
+		switch e := p.src[p.pos]; e {
+		case '"', '\\', '/':
+			b.WriteByte(e)
+			p.pos++
+		case 'n':
+			b.WriteByte('\n')
+			p.pos++
+		case 't':
+			b.WriteByte('\t')
+			p.pos++
+		case 'r':
+			b.WriteByte('\r')
+			p.pos++
+		case 'b':
+			b.WriteByte('\b')
+			p.pos++
+		case 'f':
+			b.WriteByte('\f')
+			p.pos++
+		case 'u':
+			if p.pos+4 >= len(p.src) {
+				return "", fmt.Errorf("bad unicode escape")
+			}
+			n, err := strconv.ParseUint(p.src[p.pos+1:p.pos+5], 16, 32)
+			if err != nil {
+				return "", fmt.Errorf("bad unicode escape")
+			}
+			b.WriteRune(rune(n))
+			p.pos += 5
+		default:
+			return "", fmt.Errorf("bad escape \\%c", e)
+		}
+	}
+}
+
+func (p *jsonParser) object() (Value, error) {
+	p.pos++ // {
+	o := NewObject()
+	p.ws()
+	if p.pos < len(p.src) && p.src[p.pos] == '}' {
+		p.pos++
+		return ObjVal(o), nil
+	}
+	for {
+		p.ws()
+		if p.pos >= len(p.src) || p.src[p.pos] != '"' {
+			return Undefined, fmt.Errorf("expected object key at %d", p.pos)
+		}
+		key, err := p.string()
+		if err != nil {
+			return Undefined, err
+		}
+		p.ws()
+		if p.pos >= len(p.src) || p.src[p.pos] != ':' {
+			return Undefined, fmt.Errorf("expected ':' at %d", p.pos)
+		}
+		p.pos++
+		v, err := p.value()
+		if err != nil {
+			return Undefined, err
+		}
+		o.SetProp(key, v)
+		p.ws()
+		if p.pos >= len(p.src) {
+			return Undefined, fmt.Errorf("unterminated object")
+		}
+		switch p.src[p.pos] {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return ObjVal(o), nil
+		default:
+			return Undefined, fmt.Errorf("expected ',' or '}' at %d", p.pos)
+		}
+	}
+}
+
+func (p *jsonParser) array() (Value, error) {
+	p.pos++ // [
+	arr := NewArray()
+	p.ws()
+	if p.pos < len(p.src) && p.src[p.pos] == ']' {
+		p.pos++
+		return ObjVal(arr), nil
+	}
+	for {
+		v, err := p.value()
+		if err != nil {
+			return Undefined, err
+		}
+		arr.Elems = append(arr.Elems, v)
+		p.ws()
+		if p.pos >= len(p.src) {
+			return Undefined, fmt.Errorf("unterminated array")
+		}
+		switch p.src[p.pos] {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			return ObjVal(arr), nil
+		default:
+			return Undefined, fmt.Errorf("expected ',' or ']' at %d", p.pos)
+		}
+	}
+}

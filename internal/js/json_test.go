@@ -1,0 +1,124 @@
+package js
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONStringify(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`JSON.stringify(null)`, "null"},
+		{`JSON.stringify(true)`, "true"},
+		{`JSON.stringify(42)`, "42"},
+		{`JSON.stringify(1.5)`, "1.5"},
+		{`JSON.stringify("hi")`, `"hi"`},
+		{`JSON.stringify("q\"t")`, `"q\"t"`},
+		{`JSON.stringify("a\nb")`, `"a\nb"`},
+		{`JSON.stringify([1, "x", null])`, `[1,"x",null]`},
+		{`JSON.stringify([])`, "[]"},
+		{`JSON.stringify({})`, "{}"},
+		{`JSON.stringify({a: 1, b: [2, 3]})`, `{"a":1,"b":[2,3]}`},
+		{`JSON.stringify({b: 1, a: 2})`, `{"a":2,"b":1}`}, // sorted keys (deterministic)
+		{`JSON.stringify({f: function(){}, a: 1})`, `{"a":1}`},
+		{`JSON.stringify([undefined])`, "[null]"},
+		{`JSON.stringify(0/0)`, "null"},
+	}
+	for _, c := range cases {
+		expectStr(t, c.src, c.want)
+	}
+	// Top-level undefined yields undefined.
+	v := run(t, `JSON.stringify(undefined) === undefined`)
+	if !v.BoolVal() {
+		t.Fatalf("stringify(undefined) should be undefined")
+	}
+}
+
+func TestJSONParse(t *testing.T) {
+	expectNum(t, `JSON.parse("42")`, 42)
+	expectNum(t, `JSON.parse("-1.5e2")`, -150)
+	expectBool(t, `JSON.parse("true")`, true)
+	expectBool(t, `JSON.parse("null") === null`, true)
+	expectStr(t, `JSON.parse("\"hi\"")`, "hi")
+	expectStr(t, `JSON.parse('"a\\nb"')`, "a\nb")
+	expectStr(t, `JSON.parse('"\\u0041"')`, "A")
+	expectNum(t, `JSON.parse("[1,2,3]").length`, 3)
+	expectNum(t, `JSON.parse("[1,[2,3]]")[1][0]`, 2)
+	expectNum(t, `JSON.parse('{"a": {"b": 7}}').a.b`, 7)
+	expectNum(t, `JSON.parse(' { "x" : [ 1 , 2 ] } ').x[1]`, 2)
+}
+
+func TestJSONParseErrors(t *testing.T) {
+	bad := []string{
+		`JSON.parse("")`,
+		`JSON.parse("{")`,
+		`JSON.parse("[1,")`,
+		`JSON.parse("{a:1}")`, // unquoted key
+		`JSON.parse("[1] extra")`,
+		`JSON.parse("'single'")`,
+		`JSON.parse("tru")`,
+	}
+	for _, src := range bad {
+		it := New()
+		if _, err := it.Run(src); err == nil {
+			t.Errorf("%s should throw", src)
+		}
+		// The error must be a catchable JS exception.
+		v, err := New().Run(`var r = "no"; try { ` + src + `; } catch (e) { r = "caught"; } r`)
+		if err != nil || v.StrVal() != "caught" {
+			t.Errorf("%s not catchable: %v %v", src, v, err)
+		}
+	}
+}
+
+// Property: stringify(parse(stringify(x))) == stringify(x) for values
+// built from random primitive content.
+func TestPropertyJSONRoundTrip(t *testing.T) {
+	f := func(n float64, s string, b bool) bool {
+		it := New()
+		o := NewObject()
+		o.SetProp("n", Num(n))
+		o.SetProp("s", Str(s))
+		o.SetProp("b", Bool(b))
+		o.SetProp("arr", ObjVal(NewArray(Num(n), Str(s))))
+		it.DefineGlobal("x", ObjVal(o))
+		v1, err := it.Run(`JSON.stringify(x)`)
+		if err != nil {
+			return false
+		}
+		if v1.IsUndefined() {
+			return true
+		}
+		it.DefineGlobal("s1", v1)
+		v2, err := it.Run(`JSON.stringify(JSON.parse(s1))`)
+		if err != nil {
+			return false
+		}
+		return v1.StrVal() == v2.StrVal()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArraySort(t *testing.T) {
+	expectStr(t, `["b","a","c"].sort().join("")`, "abc")
+	expectStr(t, `[10, 9, 1].sort().join(",")`, "1,10,9") // default: string compare
+	expectStr(t, `[10, 9, 1].sort(function(a, b) { return a - b; }).join(",")`, "1,9,10")
+	expectStr(t, `[3,1,2].sort(function(a,b){ return b - a; }).join("")`, "321")
+	// sort returns the array itself (chained).
+	expectNum(t, `[2,1].sort().length`, 2)
+}
+
+func TestArraySplice(t *testing.T) {
+	expectStr(t, `var a = [1,2,3,4]; a.splice(1, 2); a.join(",")`, "1,4")
+	expectStr(t, `var a = [1,2,3,4]; a.splice(1, 2).join(",")`, "2,3")
+	expectStr(t, `var a = [1,4]; a.splice(1, 0, 2, 3); a.join(",")`, "1,2,3,4")
+	expectStr(t, `var a = [1,2,3]; a.splice(-1, 1); a.join(",")`, "1,2")
+	expectStr(t, `var a = [1,2]; a.splice(0); a.join(",")`, "")
+}
+
+func TestArrayMapFilter(t *testing.T) {
+	expectStr(t, `[1,2,3].map(function(x) { return x * 2; }).join(",")`, "2,4,6")
+	expectStr(t, `[1,2,3,4].filter(function(x) { return x % 2 == 0; }).join(",")`, "2,4")
+	expectNum(t, `[5,6].map(function(x, i) { return i; })[1]`, 1)
+}

@@ -1,0 +1,280 @@
+package js
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// lex returns the token types of src, failing the test on lex errors.
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatalf("lexAll(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"0", 0},
+		{"42", 42},
+		{"3.25", 3.25},
+		{".5", 0.5},
+		{"1e3", 1000},
+		{"1.5e-2", 0.015},
+		{"1E+2", 100},
+		{"0x1f", 31},
+		{"0XFF", 255},
+	}
+	for _, c := range cases {
+		toks := lex(t, c.src)
+		if toks[0].Type != NUMBER || toks[0].Num != c.want {
+			t.Errorf("lex(%q) = %v (%v), want %v", c.src, toks[0].Type, toks[0].Num, c.want)
+		}
+	}
+}
+
+func TestLexNumberFollowedByIdent(t *testing.T) {
+	// `1e` where e is not an exponent: the number ends, an ident starts.
+	toks := lex(t, "1e x")
+	if toks[0].Type != NUMBER || toks[0].Num != 1 {
+		t.Fatalf("1e should lex as 1 then ident: %v", toks)
+	}
+	if toks[1].Type != IDENT || toks[1].Lit != "e" {
+		t.Fatalf("expected ident e, got %v", toks[1])
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`"plain"`, "plain"},
+		{`'single'`, "single"},
+		{`"tab\tend"`, "tab\tend"},
+		{`"quote\"in"`, `quote"in`},
+		{`"uniA"`, "uniA"},
+		{`"hex\x41"`, "hexA"},
+		{`"null\0x"`, "null\x00x"},
+		{"\"cont\\\ninued\"", "continued"},
+	}
+	for _, c := range cases {
+		toks := lex(t, c.src)
+		if toks[0].Type != STRING || toks[0].Lit != c.want {
+			t.Errorf("lex(%s) = %q, want %q", c.src, toks[0].Lit, c.want)
+		}
+	}
+}
+
+func TestLexOperatorsLongestMatch(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []TokenType
+	}{
+		{"===", []TokenType{SEQ, EOF}},
+		{"==", []TokenType{EQ, EOF}},
+		{"= ==", []TokenType{ASSIGN, EQ, EOF}},
+		{">>>", []TokenType{USHR, EOF}},
+		{">> >", []TokenType{SHR, GT, EOF}},
+		{"+++", []TokenType{INC, PLUS, EOF}},
+		{"a+=b", []TokenType{IDENT, PLUSASSIGN, IDENT, EOF}},
+		{"!==!", []TokenType{SNEQ, NOT, EOF}},
+		{"&&&", []TokenType{AND, BITAND, EOF}},
+	}
+	for _, c := range cases {
+		toks := lex(t, c.src)
+		for i, want := range c.want {
+			if toks[i].Type != want {
+				t.Errorf("lex(%q)[%d] = %v, want %v", c.src, i, toks[i].Type, want)
+			}
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks := lex(t, "var varx if iff function functions")
+	wantTypes := []TokenType{KEYWORD, IDENT, KEYWORD, IDENT, KEYWORD, IDENT}
+	for i, want := range wantTypes {
+		if toks[i].Type != want {
+			t.Errorf("token %d (%s): %v, want %v", i, toks[i].Lit, toks[i].Type, want)
+		}
+	}
+}
+
+func TestLexNewlineTracking(t *testing.T) {
+	toks := lex(t, "a\nb c")
+	if toks[0].NewlineBefore {
+		t.Fatalf("first token should not be newline-marked")
+	}
+	if !toks[1].NewlineBefore {
+		t.Fatalf("b follows a newline")
+	}
+	if toks[2].NewlineBefore {
+		t.Fatalf("c does not follow a newline")
+	}
+	// Newline inside a block comment counts.
+	toks = lex(t, "a /* x\ny */ b")
+	if !toks[1].NewlineBefore {
+		t.Fatalf("newline inside block comment must mark the next token")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lex(t, "a\n  bb\n\tccc")
+	if toks[0].Line != 1 || toks[1].Line != 2 || toks[2].Line != 3 {
+		t.Fatalf("lines = %d %d %d", toks[0].Line, toks[1].Line, toks[2].Line)
+	}
+	if toks[1].Col != 3 {
+		t.Fatalf("bb col = %d, want 3", toks[1].Col)
+	}
+}
+
+func TestLexUnicodeIdentifiers(t *testing.T) {
+	toks := lex(t, "café = 1; _x$2 = café")
+	if toks[0].Type != IDENT || toks[0].Lit != "café" {
+		t.Fatalf("unicode ident failed: %v", toks[0])
+	}
+	if toks[4].Type != IDENT || toks[4].Lit != "_x$2" {
+		t.Fatalf("$_digit ident failed: %v", toks[4])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		`"unterminated`,
+		`'unterminated`,
+		"\"newline\nin string\"",
+		"/* unterminated comment",
+		"@",
+		`"bad \x escape: \xZZ"`,
+		"0x",
+	}
+	for _, src := range bad {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q) should fail", src)
+		}
+	}
+}
+
+// Property: lexing never panics on arbitrary input, and on success the
+// token stream always ends with EOF.
+func TestPropertyLexTotal(t *testing.T) {
+	f := func(src string) bool {
+		toks, err := lexAll(src)
+		if err != nil {
+			return true // rejected input is fine
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Type == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseASTShapes(t *testing.T) {
+	prog, err := Parse("var x = 1 + 2 * 3;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl, ok := prog.Stmts[0].(*VarDecl)
+	if !ok {
+		t.Fatalf("stmt = %T", prog.Stmts[0])
+	}
+	// Precedence: + at the top, * below.
+	add, ok := decl.Inits[0].(*Binary)
+	if !ok || add.Op != PLUS {
+		t.Fatalf("init = %T", decl.Inits[0])
+	}
+	mul, ok := add.R.(*Binary)
+	if !ok || mul.Op != STAR {
+		t.Fatalf("rhs = %T", add.R)
+	}
+}
+
+func TestParseRightAssociativeAssignment(t *testing.T) {
+	prog, err := Parse("a = b = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := prog.Stmts[0].(*ExprStmt).X.(*Assign)
+	if _, ok := outer.Value.(*Assign); !ok {
+		t.Fatalf("assignment not right-associative: %T", outer.Value)
+	}
+}
+
+func TestParseMemberCallChain(t *testing.T) {
+	prog, err := Parse(`a.b["c"](1)(2).d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outermost is .d on a call on a call on a member chain.
+	m := prog.Stmts[0].(*ExprStmt).X.(*Member)
+	if m.Name != "d" {
+		t.Fatalf("outer member = %q", m.Name)
+	}
+	call2 := m.X.(*Call)
+	call1 := call2.Fn.(*Call)
+	idx := call1.Fn.(*Member)
+	if idx.Index == nil {
+		t.Fatalf("bracket member lost")
+	}
+}
+
+func TestParseNewPrecedence(t *testing.T) {
+	// new a.b(args) — member binds before the argument list.
+	prog, err := Parse("new ns.Ctor(1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne := prog.Stmts[0].(*ExprStmt).X.(*NewExpr)
+	if _, ok := ne.Fn.(*Member); !ok {
+		t.Fatalf("new callee = %T", ne.Fn)
+	}
+	if len(ne.Args) != 1 {
+		t.Fatalf("new args = %d", len(ne.Args))
+	}
+}
+
+func TestParseHoistCollection(t *testing.T) {
+	prog, err := Parse(`
+		var top = 1;
+		function outer() {
+			var a;
+			if (x) { var b = 2; }
+			function inner() { var deep; }
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.VarNames) != 1 || prog.VarNames[0] != "top" {
+		t.Fatalf("top-level vars = %v", prog.VarNames)
+	}
+	if len(prog.FuncDecls) != 1 || prog.FuncDecls[0].Name != "outer" {
+		t.Fatalf("top-level funcs = %v", prog.FuncDecls)
+	}
+	outer := prog.FuncDecls[0]
+	if len(outer.VarNames) != 2 { // a and b, b hoisted out of the block
+		t.Fatalf("outer vars = %v", outer.VarNames)
+	}
+	if len(outer.FuncDecls) != 1 || outer.FuncDecls[0].Name != "inner" {
+		t.Fatalf("outer nested funcs = %v", outer.FuncDecls)
+	}
+	if len(outer.FuncDecls[0].VarNames) != 1 || outer.FuncDecls[0].VarNames[0] != "deep" {
+		t.Fatalf("inner vars = %v", outer.FuncDecls[0].VarNames)
+	}
+}
+
+// Property: parsing never panics on arbitrary input.
+func TestPropertyParseTotal(t *testing.T) {
+	f := func(src string) bool {
+		_, err := Parse(src)
+		_ = err // success or SyntaxError, either is acceptable
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

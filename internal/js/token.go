@@ -1,0 +1,120 @@
+// Package js implements a from-scratch interpreter for the subset of
+// JavaScript (roughly ECMAScript 3) that AJAX applications of the paper's
+// era use: functions and closures, objects and arrays, the usual
+// statements and operators, and host objects supplied by the embedder.
+//
+// It stands in for the Rhino engine used by the thesis implementation.
+// Crucially, it reproduces Rhino's Debugger/DebugFrame facility (§4.4.2):
+// an embedder can register a Debugger that observes every function entry
+// and exit together with the actual argument values, and can inspect the
+// live call stack — exactly the mechanism the hot-node detection of
+// chapter 4 is built on.
+package js
+
+import "fmt"
+
+// TokenType identifies a lexical token.
+type TokenType int
+
+// Token kinds. Punctuation and operators each get their own type so the
+// parser can switch on them directly.
+const (
+	EOF TokenType = iota
+	IDENT
+	NUMBER
+	STRING
+	KEYWORD
+
+	// Punctuation.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	SEMI     // ;
+	COMMA    // ,
+	DOT      // .
+	COLON    // :
+	QUESTION // ?
+
+	// Operators.
+	ASSIGN        // =
+	PLUS          // +
+	MINUS         // -
+	STAR          // *
+	SLASH         // /
+	PERCENT       // %
+	PLUSASSIGN    // +=
+	MINUSASSIGN   // -=
+	STARASSIGN    // *=
+	SLASHASSIGN   // /=
+	PERCENTASSIGN // %=
+	INC           // ++
+	DEC           // --
+	EQ            // ==
+	NEQ           // !=
+	SEQ           // ===
+	SNEQ          // !==
+	LT            // <
+	GT            // >
+	LE            // <=
+	GE            // >=
+	AND           // &&
+	OR            // ||
+	NOT           // !
+	BITAND        // &
+	BITOR         // |
+	BITXOR        // ^
+	BITNOT        // ~
+	SHL           // <<
+	SHR           // >>
+	USHR          // >>>
+)
+
+var keywords = map[string]bool{
+	"var": true, "function": true, "return": true, "if": true, "else": true,
+	"while": true, "do": true, "for": true, "in": true, "break": true,
+	"continue": true, "new": true, "delete": true, "typeof": true,
+	"void": true, "this": true, "null": true, "true": true, "false": true,
+	"throw": true, "try": true, "catch": true, "finally": true,
+	"switch": true, "case": true, "default": true, "instanceof": true,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Type TokenType
+	Lit  string // literal text: identifier name, keyword, string value (decoded), number text
+	Num  float64
+	Line int
+	Col  int
+	// NewlineBefore reports whether a line terminator occurred between
+	// the previous token and this one; used for automatic semicolon
+	// insertion and the restricted `return` production.
+	NewlineBefore bool
+}
+
+func (t Token) String() string {
+	switch t.Type {
+	case IDENT, KEYWORD:
+		return t.Lit
+	case NUMBER:
+		return t.Lit
+	case STRING:
+		return fmt.Sprintf("%q", t.Lit)
+	case EOF:
+		return "<eof>"
+	}
+	return t.Lit
+}
+
+// SyntaxError describes a lexing or parsing failure with position info.
+type SyntaxError struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("js: syntax error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}

@@ -1,0 +1,143 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func TestEmptyGraph(t *testing.T) {
+	if got := Compute(nil, Options{}); len(got) != 0 {
+		t.Fatalf("empty graph rank = %v", got)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	r := Compute(map[string][]string{"a": nil}, Options{})
+	if math.Abs(r["a"]-1) > 1e-9 {
+		t.Fatalf("single node rank = %v", r["a"])
+	}
+}
+
+func TestSymmetricCycleIsUniform(t *testing.T) {
+	links := map[string][]string{"a": {"b"}, "b": {"c"}, "c": {"a"}}
+	r := Compute(links, Options{})
+	for n, v := range r {
+		if math.Abs(v-1.0/3) > 1e-6 {
+			t.Fatalf("cycle rank %s = %v, want 1/3", n, v)
+		}
+	}
+}
+
+func TestHubGetsHigherRank(t *testing.T) {
+	// Everyone links to "hub"; hub links back to one node.
+	links := map[string][]string{
+		"a": {"hub"}, "b": {"hub"}, "c": {"hub"}, "hub": {"a"},
+	}
+	r := Compute(links, Options{})
+	if r["hub"] <= r["b"] || r["hub"] <= r["c"] {
+		t.Fatalf("hub not ranked highest: %v", r)
+	}
+	// "a" receives the hub's mass, so it should outrank b and c.
+	if r["a"] <= r["b"] {
+		t.Fatalf("a should outrank b: %v", r)
+	}
+}
+
+func TestLinkOnlyTargetsIncluded(t *testing.T) {
+	r := Compute(map[string][]string{"a": {"sink"}}, Options{})
+	if _, ok := r["sink"]; !ok {
+		t.Fatalf("sink missing from result: %v", r)
+	}
+}
+
+func TestDanglingNodesConserveMass(t *testing.T) {
+	links := map[string][]string{"a": {"b"}, "b": nil}
+	r := Compute(links, Options{})
+	if math.Abs(sum(r)-1) > 1e-6 {
+		t.Fatalf("ranks sum to %v, want 1", sum(r))
+	}
+}
+
+func TestSelfAndDuplicateLinksIgnored(t *testing.T) {
+	withNoise := Compute(map[string][]string{
+		"a": {"a", "b", "b", "b"}, "b": {"a"},
+	}, Options{})
+	clean := Compute(map[string][]string{
+		"a": {"b"}, "b": {"a"},
+	}, Options{})
+	for n := range clean {
+		if math.Abs(withNoise[n]-clean[n]) > 1e-9 {
+			t.Fatalf("self/dup links changed ranks: %v vs %v", withNoise, clean)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	links := map[string][]string{
+		"a": {"b", "c"}, "b": {"c"}, "c": {"a", "d"}, "d": {"b"},
+	}
+	r1 := Compute(links, Options{})
+	r2 := Compute(links, Options{})
+	for n := range r1 {
+		if r1[n] != r2[n] {
+			t.Fatalf("nondeterministic rank for %s", n)
+		}
+	}
+}
+
+// Property: for arbitrary random graphs, ranks are positive and sum to 1.
+func TestPropertyStochastic(t *testing.T) {
+	f := func(edges []uint8) bool {
+		links := map[string][]string{}
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		for i := 0; i+1 < len(edges); i += 2 {
+			from := names[int(edges[i])%len(names)]
+			to := names[int(edges[i+1])%len(names)]
+			links[from] = append(links[from], to)
+		}
+		if len(links) == 0 {
+			return true
+		}
+		r := Compute(links, Options{})
+		if math.Abs(sum(r)-1) > 1e-6 {
+			return false
+		}
+		for _, v := range r {
+			if v <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPageRank1000Nodes(b *testing.B) {
+	links := map[string][]string{}
+	for i := 0; i < 1000; i++ {
+		from := nodeName(i)
+		for j := 1; j <= 5; j++ {
+			links[from] = append(links[from], nodeName((i+j*97)%1000))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(links, Options{})
+	}
+}
+
+func nodeName(i int) string {
+	return string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+}

@@ -1,0 +1,311 @@
+// Package query implements the query-processing side of the AJAX search
+// engine (thesis §5.3 and §6.5): simple keyword queries, conjunctions as
+// sorted posting-list merges on (URL, state), the composite ranking
+// formula 5.3 (PageRank + AJAXRank + tf·idf + term proximity), and
+// distributed query shipping over index shards with the global idf
+// correction of eq. 6.1.
+package query
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"ajaxcrawl/internal/index"
+	"ajaxcrawl/internal/model"
+)
+
+// Weights are the w1..w4 coefficients of formula 5.3.
+type Weights struct {
+	PageRank  float64 // w1
+	AJAXRank  float64 // w2
+	TFIDF     float64 // w3
+	Proximity float64 // w4
+}
+
+// DefaultWeights balance the four components for the experiments.
+var DefaultWeights = Weights{PageRank: 1.0, AJAXRank: 0.5, TFIDF: 2.0, Proximity: 0.5}
+
+// Result is one ranked search hit: a URL plus the application state
+// containing the query.
+type Result struct {
+	URL   string
+	State model.StateID
+	Score float64
+}
+
+// Parse tokenizes a query string into terms (conjunction semantics).
+func Parse(q string) []string {
+	return index.Tokenize(q)
+}
+
+// match is one (doc, state) containing all query terms, with the
+// postings aligned per term.
+type match struct {
+	doc      index.DocID
+	state    model.StateID
+	postings []index.Posting // one per term, same (doc, state)
+}
+
+// conjunction merges the posting lists of all terms, keeping only
+// (doc, state) pairs where every term occurs — the two-phase
+// compatibility merge of Figure 5.2 (URLs first, then states).
+func conjunction(ix *index.Index, terms []string) []match {
+	if len(terms) == 0 {
+		return nil
+	}
+	lists := make([][]index.Posting, len(terms))
+	for i, t := range terms {
+		lists[i] = ix.Lookup(t)
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	// k-way sorted merge: advance the cursor with the smallest
+	// (doc, state); emit when all cursors agree.
+	cursors := make([]int, len(lists))
+	var out []match
+	for {
+		// Find the max (doc, state) among cursors; all must reach it.
+		maxDoc, maxState := lists[0][cursors[0]].Doc, lists[0][cursors[0]].State
+		equal := true
+		for i := range lists {
+			p := lists[i][cursors[i]]
+			if p.Doc != maxDoc || p.State != maxState {
+				equal = false
+			}
+			if p.Doc > maxDoc || (p.Doc == maxDoc && p.State > maxState) {
+				maxDoc, maxState = p.Doc, p.State
+			}
+		}
+		if equal {
+			m := match{doc: maxDoc, state: maxState, postings: make([]index.Posting, len(lists))}
+			for i := range lists {
+				m.postings[i] = lists[i][cursors[i]]
+			}
+			out = append(out, m)
+			// Advance all cursors past the emitted pair.
+			for i := range lists {
+				cursors[i]++
+				if cursors[i] >= len(lists[i]) {
+					return out
+				}
+			}
+			continue
+		}
+		// Advance every cursor that is behind (maxDoc, maxState).
+		for i := range lists {
+			for cursors[i] < len(lists[i]) {
+				p := lists[i][cursors[i]]
+				if p.Doc < maxDoc || (p.Doc == maxDoc && p.State < maxState) {
+					cursors[i]++
+				} else {
+					break
+				}
+			}
+			if cursors[i] >= len(lists[i]) {
+				return out
+			}
+		}
+	}
+}
+
+// proximity computes the term-proximity coefficient T(q, s): k/span,
+// where span is the smallest window (in tokens) containing one
+// occurrence of every term. It is 1.0 when the terms appear adjacently
+// ("contains the query as is") and decays as they spread out. Single-term
+// queries score 1.
+func proximity(postings []index.Posting) float64 {
+	k := len(postings)
+	if k <= 1 {
+		return 1.0
+	}
+	// Pointers into each term's position list; classic minimal-window.
+	ptr := make([]int, k)
+	best := math.MaxInt32
+	for {
+		lo, hi := int32(math.MaxInt32), int32(math.MinInt32)
+		loIdx := -1
+		for i := 0; i < k; i++ {
+			pos := postings[i].Positions[ptr[i]]
+			if pos < lo {
+				lo, loIdx = pos, i
+			}
+			if pos > hi {
+				hi = pos
+			}
+		}
+		if span := int(hi-lo) + 1; span < best {
+			best = span
+		}
+		ptr[loIdx]++
+		if ptr[loIdx] >= len(postings[loIdx].Positions) {
+			break
+		}
+	}
+	if best < k {
+		best = k // overlapping positions cannot beat adjacency
+	}
+	return float64(k) / float64(best)
+}
+
+// tf computes eq. 5.1: occurrences of the term divided by the state's
+// token count.
+func tf(p index.Posting, stateLen int32) float64 {
+	if stateLen == 0 {
+		return 0
+	}
+	return float64(p.TF()) / float64(stateLen)
+}
+
+// Engine evaluates queries over a single index with formula 5.3.
+type Engine struct {
+	Idx *index.Index
+	W   Weights
+}
+
+// NewEngine returns a query engine with default weights.
+func NewEngine(ix *index.Index) *Engine {
+	return &Engine{Idx: ix, W: DefaultWeights}
+}
+
+// Search evaluates a (conjunctive) keyword query and returns results
+// sorted by descending score.
+func (e *Engine) Search(q string) []Result {
+	b := &Broker{Shards: []*index.Index{e.Idx}, W: e.W}
+	return b.Search(q)
+}
+
+// partial is a shard-local result before the global tf·idf component is
+// added (Figure 6.4, step 1 input).
+type partial struct {
+	url   string
+	state model.StateID
+	base  float64   // w1·PR + w2·A + w4·T
+	tfs   []float64 // per query term
+}
+
+// shardSearch evaluates the query on one shard, returning partial scores
+// and the shard's local df counts.
+func shardSearch(ix *index.Index, terms []string, w Weights) (results []partial, dfs []int) {
+	dfs = make([]int, len(terms))
+	for i, t := range terms {
+		dfs[i] = ix.DF(t)
+	}
+	for _, m := range conjunction(ix, terms) {
+		doc := ix.Doc(m.doc)
+		stateLen := int32(0)
+		ajaxRank := 0.0
+		if int(m.state) < len(doc.StateLens) {
+			stateLen = doc.StateLens[m.state]
+			ajaxRank = doc.AJAXRanks[m.state]
+		}
+		p := partial{
+			url:   doc.URL,
+			state: m.state,
+			base:  w.PageRank*doc.PageRank + w.AJAXRank*ajaxRank + w.Proximity*proximity(m.postings),
+			tfs:   make([]float64, len(terms)),
+		}
+		for i, post := range m.postings {
+			p.tfs[i] = tf(post, stateLen)
+		}
+		results = append(results, p)
+	}
+	return results, dfs
+}
+
+// Broker ships a query to every shard, merges the result sets, computes
+// the global idf from the shards' local counts (eq. 6.1), adds the
+// weighted tf·idf component, and re-sorts — the two-step merge of
+// Figure 6.4.
+type Broker struct {
+	Shards []*index.Index
+	W      Weights
+	// LocalIDF disables the global idf correction: each shard scores
+	// tf·idf with its own local counts. This is the ablation knob for
+	// the design choice of §6.5.2 — with it on, rankings from sharded
+	// indexes can diverge from the single-index ranking.
+	LocalIDF bool
+}
+
+// NewBroker returns a broker with default weights.
+func NewBroker(shards []*index.Index) *Broker {
+	return &Broker{Shards: shards, W: DefaultWeights}
+}
+
+// Search evaluates the query across all shards.
+func (b *Broker) Search(q string) []Result {
+	terms := Parse(q)
+	if len(terms) == 0 {
+		return nil
+	}
+	// Query shipping: evaluate on each shard, collect local counts.
+	var partials []partial
+	globalDF := make([]int, len(terms))
+	totalStates := 0
+	for _, shard := range b.Shards {
+		ps, dfs := shardSearch(shard, terms, b.W)
+		if b.LocalIDF {
+			// Ablation: fold tf·idf in per shard with local counts.
+			for i := range ps {
+				for t := range terms {
+					if dfs[t] > 0 && shard.TotalStates > 0 {
+						ps[i].base += b.W.TFIDF * ps[i].tfs[t] *
+							math.Log(float64(shard.TotalStates)/float64(dfs[t]))
+					}
+				}
+				ps[i].tfs = nil
+			}
+		}
+		partials = append(partials, ps...)
+		for i, df := range dfs {
+			globalDF[i] += df
+		}
+		totalStates += shard.TotalStates
+	}
+	// Global idf (eq. 6.1): log of total states over total containing
+	// states, summed across shards.
+	idf := make([]float64, len(terms))
+	for i, df := range globalDF {
+		if df == 0 || totalStates == 0 {
+			idf[i] = 0
+			continue
+		}
+		idf[i] = math.Log(float64(totalStates) / float64(df))
+	}
+	if len(partials) == 0 {
+		return nil
+	}
+	// Step 1: add the tf·idf component. Step 2: sort by rank.
+	out := make([]Result, len(partials))
+	for i, p := range partials {
+		score := p.base
+		if !b.LocalIDF {
+			for t := range terms {
+				score += b.W.TFIDF * p.tfs[t] * idf[t]
+			}
+		}
+		out[i] = Result{URL: p.url, State: p.state, Score: score}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].URL != out[j].URL {
+			return out[i].URL < out[j].URL
+		}
+		return out[i].State < out[j].State
+	})
+	return out
+}
+
+// TopK truncates a result list to its k best entries.
+func TopK(rs []Result, k int) []Result {
+	if k <= 0 || k >= len(rs) {
+		return rs
+	}
+	return rs[:k]
+}
+
+// QueryString normalizes a query for display.
+func QueryString(terms []string) string { return strings.Join(terms, " ") }

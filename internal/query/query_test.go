@@ -1,0 +1,505 @@
+package query
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ajaxcrawl/internal/dom"
+	"ajaxcrawl/internal/index"
+	"ajaxcrawl/internal/model"
+)
+
+var nextHash byte
+
+func freshHash() dom.Hash {
+	nextHash++
+	var h dom.Hash
+	h[0] = nextHash
+	h[1] = byte(int(nextHash) >> 8)
+	return h
+}
+
+// buildIndex makes an index from (url, state texts...) tuples.
+func buildIndex(pages map[string][]string, pr map[string]float64) *index.Index {
+	urls := make([]string, 0, len(pages))
+	for u := range pages {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	var graphs []*model.Graph
+	for _, u := range urls {
+		g := model.NewGraph(u)
+		for depth, text := range pages[u] {
+			g.AddState(freshHash(), text, depth)
+		}
+		graphs = append(graphs, g)
+	}
+	return index.Build(graphs, pr, 0)
+}
+
+// thesisIndex is the Morcheeba running example (§1.1, Table 5.1).
+func thesisIndex() *index.Index {
+	return buildIndex(map[string][]string{
+		"url1": {
+			"morcheeba enjoy the ride official video mysterious topic",
+			"the new singer is great morcheeba fans rejoice",
+		},
+		"url2": {
+			"morcheeba morcheeba concert video",
+		},
+		"url3": {
+			"unrelated content about cats",
+		},
+	}, map[string]float64{"url1": 0.4, "url2": 0.35, "url3": 0.25})
+}
+
+func TestSimpleKeywordQuery(t *testing.T) {
+	e := NewEngine(thesisIndex())
+	rs := e.Search("morcheeba")
+	if len(rs) != 3 {
+		t.Fatalf("morcheeba results = %d, want 3 states", len(rs))
+	}
+	for _, r := range rs {
+		if r.URL == "url3" {
+			t.Fatalf("url3 must not match")
+		}
+		if r.Score <= 0 {
+			t.Fatalf("nonpositive score: %+v", r)
+		}
+	}
+	// Sorted by descending score.
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Score > rs[i-1].Score {
+			t.Fatalf("results not sorted: %v", rs)
+		}
+	}
+}
+
+func TestQueryNoResults(t *testing.T) {
+	e := NewEngine(thesisIndex())
+	if rs := e.Search("zebra"); rs != nil {
+		t.Fatalf("absent term should return nil, got %v", rs)
+	}
+	if rs := e.Search(""); rs != nil {
+		t.Fatalf("empty query should return nil")
+	}
+	if rs := e.Search("... !!!"); rs != nil {
+		t.Fatalf("punctuation-only query should return nil")
+	}
+}
+
+// TestConjunctionQ2 reproduces the motivating example: Q2 "morcheeba
+// mysterious video" must hit only url1 state 0, where all three terms
+// co-occur.
+func TestConjunctionQ2(t *testing.T) {
+	e := NewEngine(thesisIndex())
+	rs := e.Search("morcheeba mysterious video")
+	if len(rs) != 1 || rs[0].URL != "url1" || rs[0].State != 0 {
+		t.Fatalf("Q2 results = %v", rs)
+	}
+}
+
+// TestConjunctionQ3 reproduces Q3 "morcheeba singer": both terms only
+// co-occur in url1's second state (the second comment page) — the tuple
+// <URL1, s2> of Figure 5.2.
+func TestConjunctionQ3(t *testing.T) {
+	e := NewEngine(thesisIndex())
+	rs := e.Search("morcheeba singer")
+	if len(rs) != 1 || rs[0].URL != "url1" || rs[0].State != 1 {
+		t.Fatalf("Q3 results = %v", rs)
+	}
+}
+
+func TestConjunctionEliminatesIncompatibleStates(t *testing.T) {
+	// Terms appear in the same URL but different states: no match.
+	ix := buildIndex(map[string][]string{
+		"u": {"alpha only here", "beta only here"},
+	}, nil)
+	e := NewEngine(ix)
+	if rs := e.Search("alpha beta"); len(rs) != 0 {
+		t.Fatalf("cross-state conjunction must not match: %v", rs)
+	}
+}
+
+func TestTFInfluencesRanking(t *testing.T) {
+	ix := buildIndex(map[string][]string{
+		"many": {"term term term term filler"},
+		"one":  {"term filler filler filler filler"},
+	}, nil)
+	e := NewEngine(ix)
+	rs := e.Search("term")
+	if len(rs) != 2 || rs[0].URL != "many" {
+		t.Fatalf("higher-tf state must rank first: %v", rs)
+	}
+}
+
+func TestPageRankInfluencesRanking(t *testing.T) {
+	ix := buildIndex(map[string][]string{
+		"popular": {"keyword same text"},
+		"obscure": {"keyword same text"},
+	}, map[string]float64{"popular": 0.9, "obscure": 0.1})
+	e := NewEngine(ix)
+	rs := e.Search("keyword")
+	if len(rs) != 2 || rs[0].URL != "popular" {
+		t.Fatalf("PageRank must break the tie: %v", rs)
+	}
+}
+
+func TestAJAXRankPrefersShallowStates(t *testing.T) {
+	ix := buildIndex(map[string][]string{
+		"u": {"keyword filler one", "keyword filler two"},
+	}, nil)
+	e := NewEngine(ix)
+	rs := e.Search("keyword")
+	if len(rs) != 2 || rs[0].State != 0 {
+		t.Fatalf("shallower state must rank first: %v", rs)
+	}
+}
+
+func TestProximityRewardsAdjacency(t *testing.T) {
+	ix := buildIndex(map[string][]string{
+		"adjacent": {"alpha beta and much more filler text here"},
+		"spread":   {"alpha filler filler filler filler filler beta x"},
+	}, nil)
+	e := NewEngine(ix)
+	rs := e.Search("alpha beta")
+	if len(rs) != 2 || rs[0].URL != "adjacent" {
+		t.Fatalf("adjacent phrase must rank first: %v", rs)
+	}
+}
+
+func TestProximityFunction(t *testing.T) {
+	mk := func(poss ...[]int32) []index.Posting {
+		out := make([]index.Posting, len(poss))
+		for i, p := range poss {
+			out[i] = index.Posting{Positions: p}
+		}
+		return out
+	}
+	if got := proximity(mk([]int32{3})); got != 1 {
+		t.Fatalf("single term proximity = %v", got)
+	}
+	if got := proximity(mk([]int32{0}, []int32{1})); got != 1 {
+		t.Fatalf("adjacent proximity = %v, want 1", got)
+	}
+	if got := proximity(mk([]int32{0}, []int32{9})); got != 0.2 {
+		t.Fatalf("spread proximity = %v, want 0.2", got)
+	}
+	// Multiple occurrences: the best window counts.
+	if got := proximity(mk([]int32{0, 20}, []int32{21})); got != 1 {
+		t.Fatalf("best-window proximity = %v, want 1", got)
+	}
+	// Three terms adjacent.
+	if got := proximity(mk([]int32{5}, []int32{6}, []int32{7})); got != 1 {
+		t.Fatalf("3-term adjacent = %v", got)
+	}
+}
+
+func TestIDFDownweightsCommonTerms(t *testing.T) {
+	// "common" is everywhere (idf 0); "rare" in one state.
+	ix := buildIndex(map[string][]string{
+		"a": {"common rare", "common filler"},
+		"b": {"common filler"},
+	}, nil)
+	e := NewEngine(ix)
+	rare := e.Search("rare")
+	common := e.Search("common")
+	if len(rare) != 1 || len(common) != 3 {
+		t.Fatalf("hits: rare=%d common=%d", len(rare), len(common))
+	}
+	// The tf·idf component for "common" is zero everywhere: idf =
+	// log(3/3) = 0, so scores come from base components only.
+	idf := math.Log(float64(ix.TotalStates) / float64(ix.DF("common")))
+	if idf != 0 {
+		t.Fatalf("idf(common) = %v", idf)
+	}
+}
+
+// TestBrokerMatchesSingleIndex pins the chapter-6 guarantee: sharding the
+// corpus and querying through the broker yields the same results and
+// scores as one big index, thanks to the global idf correction.
+func TestBrokerMatchesSingleIndex(t *testing.T) {
+	pagesA := map[string][]string{
+		"u1": {"morcheeba enjoy the ride", "singer news morcheeba here"},
+		"u2": {"cats and dogs"},
+	}
+	pagesB := map[string][]string{
+		"u3": {"morcheeba concert", "morcheeba singer interview extra"},
+		"u4": {"unrelated filler text"},
+	}
+	pr := map[string]float64{"u1": 0.3, "u2": 0.2, "u3": 0.3, "u4": 0.2}
+
+	merged := map[string][]string{}
+	for k, v := range pagesA {
+		merged[k] = v
+	}
+	for k, v := range pagesB {
+		merged[k] = v
+	}
+	single := NewEngine(buildIndex(merged, pr))
+	broker := NewBroker([]*index.Index{buildIndex(pagesA, pr), buildIndex(pagesB, pr)})
+
+	for _, q := range []string{"morcheeba", "morcheeba singer", "cats", "filler text", "absent"} {
+		sr := single.Search(q)
+		br := broker.Search(q)
+		if len(sr) != len(br) {
+			t.Fatalf("q=%q: single %d results, broker %d", q, len(sr), len(br))
+		}
+		for i := range sr {
+			if sr[i].URL != br[i].URL || sr[i].State != br[i].State {
+				t.Fatalf("q=%q result %d differs: %v vs %v", q, i, sr[i], br[i])
+			}
+			if math.Abs(sr[i].Score-br[i].Score) > 1e-12 {
+				t.Fatalf("q=%q score %d differs: %v vs %v", q, i, sr[i].Score, br[i].Score)
+			}
+		}
+	}
+}
+
+func TestBrokerEmptyShards(t *testing.T) {
+	b := NewBroker(nil)
+	if rs := b.Search("anything"); rs != nil {
+		t.Fatalf("no shards should return nil, got %v", rs)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	rs := []Result{{Score: 3}, {Score: 2}, {Score: 1}}
+	if got := TopK(rs, 2); len(got) != 2 || got[0].Score != 3 {
+		t.Fatalf("TopK = %v", got)
+	}
+	if got := TopK(rs, 0); len(got) != 3 {
+		t.Fatalf("TopK(0) should return all")
+	}
+	if got := TopK(rs, 10); len(got) != 3 {
+		t.Fatalf("TopK beyond len should return all")
+	}
+}
+
+func TestDeterministicTieBreaks(t *testing.T) {
+	ix := buildIndex(map[string][]string{
+		"b": {"same words here"},
+		"a": {"same words here"},
+	}, nil)
+	e := NewEngine(ix)
+	r1 := e.Search("same")
+	r2 := e.Search("same")
+	if len(r1) != 2 || r1[0].URL != "a" {
+		t.Fatalf("tie break not by URL: %v", r1)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("nondeterministic results")
+		}
+	}
+}
+
+// Property: conjunction results are exactly the (doc, state) pairs where
+// every term occurs, cross-checked against a naive scan.
+func TestPropertyConjunctionMatchesNaive(t *testing.T) {
+	f := func(seed uint32) bool {
+		words := []string{"a", "b", "c", "d"}
+		// Build 3 docs × up to 3 states with pseudo-random text.
+		x := uint64(seed)*2654435761 + 1
+		pages := map[string][]string{}
+		texts := map[[2]int]string{}
+		for d := 0; d < 3; d++ {
+			states := 1 + int(x%3)
+			x = x*6364136223846793005 + 1442695040888963407
+			var sts []string
+			for s := 0; s < states; s++ {
+				text := ""
+				for w := 0; w < 4; w++ {
+					if x&1 == 1 {
+						text += words[w] + " "
+					}
+					x >>= 1
+					if x == 0 {
+						x = uint64(seed) + 7
+					}
+				}
+				sts = append(sts, text)
+				texts[[2]int{d, s}] = text
+			}
+			pages[string(rune('p'+d))] = sts
+		}
+		ix := buildIndex(pages, nil)
+		e := NewEngine(ix)
+		rs := e.Search("a b")
+		got := map[string]bool{}
+		for _, r := range rs {
+			got[r.URL+"#"+itoa(int(r.State))] = true
+		}
+		// Naive scan.
+		want := map[string]bool{}
+		for d := 0; d < 3; d++ {
+			url := string(rune('p' + d))
+			for s, text := range pages[url] {
+				toks := index.Tokenize(text)
+				hasA, hasB := false, false
+				for _, tk := range toks {
+					if tk == "a" {
+						hasA = true
+					}
+					if tk == "b" {
+						hasB = true
+					}
+				}
+				if hasA && hasB {
+					want[url+"#"+itoa(s)] = true
+				}
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}
+
+// TestLocalIDFAblation checks the ablation knob: with LocalIDF on and an
+// unbalanced shard split, scores diverge from the single-index scores for
+// at least one query, while the global-idf broker always agrees.
+func TestLocalIDFAblation(t *testing.T) {
+	pagesA := map[string][]string{"u1": {"rare word here", "word filler pad"}}
+	pagesB := map[string][]string{
+		"u2": {"word word word common"},
+		"u3": {"word again common"},
+		"u4": {"word and more common words"},
+	}
+	pr := map[string]float64{}
+	merged := map[string][]string{"u1": pagesA["u1"]}
+	for k, v := range pagesB {
+		merged[k] = v
+	}
+	single := NewEngine(buildIndex(merged, pr))
+	shards := []*index.Index{buildIndex(pagesA, pr), buildIndex(pagesB, pr)}
+
+	global := &Broker{Shards: shards, W: DefaultWeights}
+	local := &Broker{Shards: shards, W: DefaultWeights, LocalIDF: true}
+
+	diverged := false
+	for _, q := range []string{"rare", "word", "common"} {
+		sr, gr, lr := single.Search(q), global.Search(q), local.Search(q)
+		if len(sr) != len(gr) || len(sr) != len(lr) {
+			t.Fatalf("q=%q result counts differ: %d %d %d", q, len(sr), len(gr), len(lr))
+		}
+		for i := range sr {
+			if math.Abs(sr[i].Score-gr[i].Score) > 1e-12 {
+				t.Fatalf("global-idf broker diverged on %q", q)
+			}
+			if math.Abs(sr[i].Score-lr[i].Score) > 1e-9 {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatalf("local-idf ablation never diverged; knob inert?")
+	}
+}
+
+// TestSearchTopKMatchesSortedSearch pins the heap-based top-k against
+// the reference implementation across k values, queries and tie cases.
+func TestSearchTopKMatchesSortedSearch(t *testing.T) {
+	pages := map[string][]string{}
+	// Deliberately include many identical texts to force score ties.
+	for i := 0; i < 12; i++ {
+		url := "u" + itoa(i)
+		pages[url] = []string{
+			"shared words with target here",
+			"another state target target maybe",
+			"filler without the term",
+		}
+	}
+	ix := buildIndex(pages, nil)
+	b := NewBroker([]*index.Index{ix})
+	for _, q := range []string{"target", "shared words", "filler", "absent"} {
+		full := b.Search(q)
+		for _, k := range []int{1, 2, 5, 10, 100} {
+			want := TopK(full, k)
+			got := b.SearchTopK(q, k)
+			if len(got) != len(want) {
+				t.Fatalf("q=%q k=%d: %d results, want %d", q, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("q=%q k=%d result %d: %v, want %v", q, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	// k <= 0 degrades to the full search.
+	if got := b.SearchTopK("target", 0); len(got) != len(b.Search("target")) {
+		t.Fatalf("k=0 should return everything")
+	}
+	if got := b.SearchTopK("", 3); got != nil {
+		t.Fatalf("empty query should be nil")
+	}
+}
+
+// TestSearchTopKAcrossShards checks heap top-k under query shipping.
+func TestSearchTopKAcrossShards(t *testing.T) {
+	a := buildIndex(map[string][]string{"s1": {"term alpha", "term beta"}}, nil)
+	bIx := buildIndex(map[string][]string{"s2": {"term gamma", "plain text"}}, nil)
+	broker := NewBroker([]*index.Index{a, bIx})
+	want := TopK(broker.Search("term"), 2)
+	got := broker.SearchTopK("term", 2)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("sharded top-k: %v want %v", got, want)
+	}
+}
+
+func BenchmarkSearchFullSort(b *testing.B) {
+	ix := largeBenchIndex()
+	e := NewEngine(ix)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopK(e.Search("common"), 10)
+	}
+}
+
+func BenchmarkSearchTopKHeap(b *testing.B) {
+	ix := largeBenchIndex()
+	e := NewEngine(ix)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.SearchTopK("common", 10)
+	}
+}
+
+// largeBenchIndex builds an index where "common" matches every state.
+func largeBenchIndex() *index.Index {
+	pages := map[string][]string{}
+	for i := 0; i < 300; i++ {
+		url := "bench" + itoa(i)
+		pages[url] = []string{
+			"common filler one " + itoa(i),
+			"common filler two " + itoa(i*7),
+		}
+	}
+	return buildIndex(pages, nil)
+}

@@ -1,0 +1,158 @@
+package query
+
+import (
+	"strings"
+
+	"ajaxcrawl/internal/index"
+)
+
+// Snippet generation: result presentation needs an excerpt of the state
+// text around the query terms (the thesis GUI lists raw results; any
+// user-facing search front end wants KWIC-style snippets with the match
+// highlighted).
+
+// SnippetOptions tune snippet extraction.
+type SnippetOptions struct {
+	// MaxTokens is the excerpt length in tokens (default 24).
+	MaxTokens int
+	// HighlightPre/Post wrap matched terms (default "[" and "]").
+	HighlightPre  string
+	HighlightPost string
+}
+
+func (o SnippetOptions) withDefaults() SnippetOptions {
+	if o.MaxTokens == 0 {
+		o.MaxTokens = 24
+	}
+	if o.HighlightPre == "" && o.HighlightPost == "" {
+		o.HighlightPre, o.HighlightPost = "[", "]"
+	}
+	return o
+}
+
+// Snippet extracts an excerpt of text centered on the smallest window
+// containing all query terms (the same minimal-window the proximity
+// ranking uses), with matches highlighted. It returns "" when no term
+// occurs.
+func Snippet(text, queryStr string, opts SnippetOptions) string {
+	opts = opts.withDefaults()
+	terms := Parse(queryStr)
+	if len(terms) == 0 {
+		return ""
+	}
+	want := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		want[t] = true
+	}
+	tokens := index.Tokenize(text)
+	// Token positions per term.
+	positions := make(map[string][]int)
+	for pos, tok := range tokens {
+		if want[tok] {
+			positions[tok] = append(positions[tok], pos)
+		}
+	}
+	if len(positions) == 0 {
+		return ""
+	}
+
+	// Find the smallest window covering every *present* term (absent
+	// terms are ignored so single-term matches still snippet).
+	var lists [][]int
+	for _, t := range terms {
+		if ps := positions[t]; len(ps) > 0 {
+			lists = append(lists, ps)
+		}
+	}
+	lo, hi := minimalWindow(lists)
+
+	// Expand the window to MaxTokens, centered.
+	span := hi - lo + 1
+	pad := (opts.MaxTokens - span) / 2
+	if pad < 0 {
+		pad = 0
+	}
+	start := lo - pad
+	if start < 0 {
+		start = 0
+	}
+	end := start + opts.MaxTokens
+	if end > len(tokens) {
+		end = len(tokens)
+		if start = end - opts.MaxTokens; start < 0 {
+			start = 0
+		}
+	}
+
+	var b strings.Builder
+	if start > 0 {
+		b.WriteString("... ")
+	}
+	for i := start; i < end; i++ {
+		if i > start {
+			b.WriteByte(' ')
+		}
+		if want[tokens[i]] {
+			b.WriteString(opts.HighlightPre)
+			b.WriteString(tokens[i])
+			b.WriteString(opts.HighlightPost)
+		} else {
+			b.WriteString(tokens[i])
+		}
+	}
+	if end < len(tokens) {
+		b.WriteString(" ...")
+	}
+	return b.String()
+}
+
+// minimalWindow returns the bounds (token positions) of the smallest
+// window containing one entry from every list. Lists must be non-empty
+// and sorted.
+func minimalWindow(lists [][]int) (lo, hi int) {
+	ptr := make([]int, len(lists))
+	bestLo, bestHi := lists[0][0], lists[0][0]
+	bestSpan := int(^uint(0) >> 1)
+	for {
+		curLo, curHi := int(^uint(0)>>1), -1
+		loIdx := -1
+		for i, ps := range lists {
+			p := ps[ptr[i]]
+			if p < curLo {
+				curLo, loIdx = p, i
+			}
+			if p > curHi {
+				curHi = p
+			}
+		}
+		if span := curHi - curLo; span < bestSpan {
+			bestSpan, bestLo, bestHi = span, curLo, curHi
+		}
+		ptr[loIdx]++
+		if ptr[loIdx] >= len(lists[loIdx]) {
+			return bestLo, bestHi
+		}
+	}
+}
+
+// ResultWithSnippet pairs a search result with its generated snippet.
+type ResultWithSnippet struct {
+	Result
+	Snippet string
+}
+
+// AttachSnippets looks each result's state text up in the graphs map
+// (URL → state texts) and generates snippets. Results whose text is not
+// available get an empty snippet.
+func AttachSnippets(results []Result, stateText func(url string, state int) string, q string, opts SnippetOptions) []ResultWithSnippet {
+	out := make([]ResultWithSnippet, len(results))
+	for i, r := range results {
+		out[i] = ResultWithSnippet{Result: r}
+		if stateText != nil {
+			if text := stateText(r.URL, int(r.State)); text != "" {
+				out[i].Snippet = Snippet(text, q, opts)
+			}
+		}
+	}
+	return out
+}

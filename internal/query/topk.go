@@ -1,0 +1,123 @@
+package query
+
+import (
+	"container/heap"
+	"math"
+
+	"ajaxcrawl/internal/index"
+)
+
+// Heap-based top-k evaluation: when the caller only wants the k best
+// results, sorting the full result set is wasted work. The thesis's
+// related-work chapter points at TopX and Threshold Algorithms for
+// "optimized computation of results and ranking"; this is the simple
+// member of that family that applies to our scoring: scores are computed
+// per match anyway (no sorted per-term score lists exist), so the win is
+// replacing the O(n log n) global sort with an O(n log k) bounded heap.
+//
+// SearchTopK returns exactly the same results as TopK(Search(q), k),
+// including tie-breaking, which the tests pin down.
+
+// SearchTopK evaluates the query and returns its k best results in rank
+// order without materializing and sorting the full result list.
+func (b *Broker) SearchTopK(q string, k int) []Result {
+	if k <= 0 {
+		return b.Search(q)
+	}
+	terms := Parse(q)
+	if len(terms) == 0 {
+		return nil
+	}
+	// Query shipping, as in Search.
+	var partials []partial
+	globalDF := make([]int, len(terms))
+	totalStates := 0
+	for _, shard := range b.Shards {
+		ps, dfs := shardSearch(shard, terms, b.W)
+		if b.LocalIDF {
+			for i := range ps {
+				for t := range terms {
+					if dfs[t] > 0 && shard.TotalStates > 0 {
+						ps[i].base += b.W.TFIDF * ps[i].tfs[t] *
+							math.Log(float64(shard.TotalStates)/float64(dfs[t]))
+					}
+				}
+				ps[i].tfs = nil
+			}
+		}
+		partials = append(partials, ps...)
+		for i, df := range dfs {
+			globalDF[i] += df
+		}
+		totalStates += shard.TotalStates
+	}
+	if len(partials) == 0 {
+		return nil
+	}
+	idf := make([]float64, len(terms))
+	for i, df := range globalDF {
+		if df > 0 && totalStates > 0 {
+			idf[i] = math.Log(float64(totalStates) / float64(df))
+		}
+	}
+
+	// Bounded min-heap of the k best seen so far.
+	h := &resultHeap{}
+	heap.Init(h)
+	for _, p := range partials {
+		score := p.base
+		if !b.LocalIDF {
+			for t := range terms {
+				score += b.W.TFIDF * p.tfs[t] * idf[t]
+			}
+		}
+		r := Result{URL: p.url, State: p.state, Score: score}
+		if h.Len() < k {
+			heap.Push(h, r)
+		} else if resultLess((*h)[0], r) {
+			(*h)[0] = r
+			heap.Fix(h, 0)
+		}
+	}
+	// Drain the heap into rank order (best first).
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result)
+	}
+	return out
+}
+
+// resultLess orders results by ascending rank quality: a < b means a is a
+// WORSE result than b (lower score; ties broken by URL then state, where
+// lexicographically later loses, mirroring Search's descending sort).
+func resultLess(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	if a.URL != b.URL {
+		return a.URL > b.URL
+	}
+	return a.State > b.State
+}
+
+// resultHeap is a min-heap on rank quality: the root is the worst of the
+// kept results, ready to be displaced.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return resultLess(h[i], h[j]) }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// EngineSearchTopK is the single-index convenience.
+func (e *Engine) SearchTopK(q string, k int) []Result {
+	b := &Broker{Shards: []*index.Index{e.Idx}, W: e.W}
+	return b.SearchTopK(q, k)
+}

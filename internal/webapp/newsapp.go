@@ -1,0 +1,186 @@
+package webapp
+
+// A second synthetic AJAX application: a news site with expandable
+// article sections. It exists to show the crawler is not overfit to the
+// YouTube comment-pagination shape (the thesis's future work asks for
+// "crawling more current AJAX applications"):
+//
+//   - /article?id=N pages carry collapsed sections ("Read more",
+//     "Show analysis", "Reader reactions"), each expanded by an
+//     XMLHttpRequest that *appends* content instead of replacing it;
+//   - several expand events can fire from the same state, so states form
+//     a lattice (subsets of expanded sections) rather than the comment
+//     box's linear chain — a structurally different transition graph;
+//   - two distinct hot-node functions fetch content (expandSection and
+//     loadReactions), unlike the watch page's single hot node.
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ajaxcrawl/internal/dom"
+)
+
+// NewsConfig parameterizes the news-site generator.
+type NewsConfig struct {
+	// Articles is the number of articles.
+	Articles int
+	// Seed drives deterministic content generation.
+	Seed int64
+	// Sections is the number of expandable sections per article.
+	Sections int
+}
+
+// NewsSite is a deterministic synthetic news application.
+type NewsSite struct {
+	cfg NewsConfig
+}
+
+// NewNews generates a news site.
+func NewNews(cfg NewsConfig) *NewsSite {
+	if cfg.Articles <= 0 {
+		cfg.Articles = 1
+	}
+	if cfg.Sections <= 0 {
+		cfg.Sections = 3
+	}
+	return &NewsSite{cfg: cfg}
+}
+
+// NumArticles returns the number of articles.
+func (n *NewsSite) NumArticles() int { return n.cfg.Articles }
+
+// ArticleURL returns the path of article i.
+func (n *NewsSite) ArticleURL(i int) string { return fmt.Sprintf("/article?id=%d", i) }
+
+// rng returns the deterministic generator for one article.
+func (n *NewsSite) rng(article int) *rand.Rand {
+	return rand.New(rand.NewSource(n.cfg.Seed*7_368_787 + int64(article)*104_729 + 3))
+}
+
+// headline builds article i's headline.
+func (n *NewsSite) headline(i int) string {
+	r := n.rng(i)
+	w := func() string { return vocabulary[r.Intn(len(vocabulary))] }
+	return strings.Title(w()) + " " + w() + " " + w() //nolint:staticcheck // ASCII corpus
+}
+
+// sectionText builds the body of one expandable section.
+func (n *NewsSite) sectionText(article, section int) string {
+	r := n.rng(article*1000 + section + 7)
+	words := make([]string, 20+r.Intn(20))
+	for i := range words {
+		words[i] = zipfWord(r)
+	}
+	// Plant a query phrase in roughly half the sections so search
+	// experiments can target hidden content.
+	if r.Intn(2) == 0 {
+		phrases := plantable()
+		words = append(words, phrases[r.Intn(20)])
+	}
+	return strings.Join(words, " ")
+}
+
+// newsScript is the client-side code: two distinct hot nodes.
+const newsScript = `
+function fetchInto(url, id) {
+	var req = new XMLHttpRequest();
+	req.open("GET", url, false);
+	req.send(null);
+	document.getElementById(id).innerHTML = req.responseText;
+}
+function expandSection(article, section) {
+	fetchInto('/section?id=' + article + '&s=' + section, 'section-' + section);
+}
+function loadReactions(article) {
+	var req = new XMLHttpRequest();
+	req.open("GET", '/reactions?id=' + article, false);
+	req.send(null);
+	document.getElementById('reactions').innerHTML = req.responseText;
+}
+`
+
+// Handler returns the news site's HTTP interface.
+func (n *NewsSite) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		var b strings.Builder
+		b.WriteString("<html><head><title>SimNews</title></head><body><h1>SimNews</h1><ul>")
+		for i := 0; i < n.cfg.Articles && i < 30; i++ {
+			fmt.Fprintf(&b, `<li><a href="%s">%s</a></li>`, n.ArticleURL(i), dom.EscapeText(n.headline(i)))
+		}
+		b.WriteString("</ul></body></html>")
+		fmt.Fprint(w, b.String())
+	})
+	mux.HandleFunc("/article", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.URL.Query().Get("id"))
+		if err != nil || id < 0 || id >= n.cfg.Articles {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, n.renderArticle(id))
+	})
+	mux.HandleFunc("/section", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		id, err1 := strconv.Atoi(q.Get("id"))
+		sec, err2 := strconv.Atoi(q.Get("s"))
+		if err1 != nil || err2 != nil || id < 0 || id >= n.cfg.Articles || sec < 0 || sec >= n.cfg.Sections {
+			http.Error(w, "bad section", http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, `<div class="expanded">%s</div>`, dom.EscapeText(n.sectionText(id, sec)))
+	})
+	mux.HandleFunc("/reactions", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.URL.Query().Get("id"))
+		if err != nil || id < 0 || id >= n.cfg.Articles {
+			http.NotFound(w, r)
+			return
+		}
+		rr := n.rng(id*31 + 11)
+		var b strings.Builder
+		b.WriteString(`<ul class="reactions">`)
+		for i := 0; i < 4; i++ {
+			fmt.Fprintf(&b, "<li>%s: %s</li>",
+				authorNames[rr.Intn(len(authorNames))],
+				dom.EscapeText(n.sectionText(id, 100+i)))
+		}
+		b.WriteString("</ul>")
+		fmt.Fprint(w, b.String())
+	})
+	return mux
+}
+
+// renderArticle renders the initial article state: headline, teaser, and
+// collapsed sections with expand controls.
+func (n *NewsSite) renderArticle(id int) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>")
+	b.WriteString(dom.EscapeText(n.headline(id)))
+	b.WriteString(` - SimNews</title><script type="text/javascript">`)
+	b.WriteString(newsScript)
+	b.WriteString("</script></head><body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", dom.EscapeText(n.headline(id)))
+	fmt.Fprintf(&b, `<p class="teaser">%s</p>`+"\n", dom.EscapeText(n.sectionText(id, 999)))
+	for s := 0; s < n.cfg.Sections; s++ {
+		fmt.Fprintf(&b,
+			`<div id="section-%d"><span class="expand" onclick="expandSection(%d, %d)">Read section %d</span></div>`+"\n",
+			s, id, s, s+1)
+	}
+	fmt.Fprintf(&b, `<div id="reactions"><span class="expand" onclick="loadReactions(%d)">Reader reactions</span></div>`+"\n", id)
+	// Related articles keep the precrawler busy.
+	b.WriteString(`<div id="related"><ul>`)
+	r := n.rng(id * 7)
+	for i := 0; i < 4; i++ {
+		j := r.Intn(n.cfg.Articles)
+		fmt.Fprintf(&b, `<li><a href="%s">%s</a></li>`, n.ArticleURL(j), dom.EscapeText(n.headline(j)))
+	}
+	b.WriteString("</ul></div>\n</body></html>\n")
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package webapp
+
+import (
+	"strings"
+	"testing"
+
+	"ajaxcrawl/internal/browser"
+	"ajaxcrawl/internal/fetch"
+)
+
+func newsFetcher(articles int) (*NewsSite, fetch.Fetcher) {
+	n := NewNews(NewsConfig{Articles: articles, Seed: 9, Sections: 3})
+	return n, &fetch.HandlerFetcher{Handler: n.Handler()}
+}
+
+func TestNewsSiteServes(t *testing.T) {
+	n, f := newsFetcher(5)
+	resp, err := f.Fetch(n.ArticleURL(0))
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("article fetch: %v %v", resp, err)
+	}
+	body := string(resp.Body)
+	if !strings.Contains(body, "expandSection") || !strings.Contains(body, "loadReactions") {
+		t.Fatalf("article missing scripts")
+	}
+	// Endpoints.
+	if resp, _ := f.Fetch("/section?id=0&s=1"); resp.Status != 200 {
+		t.Fatalf("section endpoint broken")
+	}
+	if resp, _ := f.Fetch("/section?id=0&s=99"); resp.Status != 400 {
+		t.Fatalf("bad section should 400")
+	}
+	if resp, _ := f.Fetch("/reactions?id=0"); resp.Status != 200 {
+		t.Fatalf("reactions endpoint broken")
+	}
+	if resp, _ := f.Fetch("/article?id=99"); resp.Status != 404 {
+		t.Fatalf("unknown article should 404")
+	}
+	if resp, _ := f.Fetch("/"); resp.Status != 200 {
+		t.Fatalf("index broken")
+	}
+}
+
+func TestNewsDeterministic(t *testing.T) {
+	a := NewNews(NewsConfig{Articles: 5, Seed: 9, Sections: 3})
+	b := NewNews(NewsConfig{Articles: 5, Seed: 9, Sections: 3})
+	if a.renderArticle(2) != b.renderArticle(2) {
+		t.Fatalf("equal seeds must render identically")
+	}
+	c := NewNews(NewsConfig{Articles: 5, Seed: 10, Sections: 3})
+	if a.renderArticle(2) == c.renderArticle(2) {
+		t.Fatalf("different seeds should differ")
+	}
+}
+
+// TestNewsLatticeStates drives the article with the emulated browser:
+// expanding sections in different orders reaches different intermediate
+// states but identical final states — the lattice structure.
+func TestNewsLatticeStates(t *testing.T) {
+	n, f := newsFetcher(3)
+	load := func() *browser.Page {
+		p := browser.NewPage(f)
+		if err := p.Load(n.ArticleURL(0)); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	expand := func(p *browser.Page, which string) {
+		for _, ev := range p.Events(nil) {
+			if strings.Contains(ev.Code, which) {
+				if _, err := p.Trigger(ev); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+		}
+		t.Fatalf("no event matching %q", which)
+	}
+
+	// Order A: section 0 then 1. Order B: 1 then 0.
+	pa := load()
+	expand(pa, "expandSection(0, 0)")
+	midA := pa.Hash()
+	expand(pa, "expandSection(0, 1)")
+	finalA := pa.Hash()
+
+	pb := load()
+	expand(pb, "expandSection(0, 1)")
+	midB := pb.Hash()
+	expand(pb, "expandSection(0, 0)")
+	finalB := pb.Hash()
+
+	if midA == midB {
+		t.Fatalf("different expansion orders should differ mid-way")
+	}
+	if finalA != finalB {
+		t.Fatalf("full expansion must converge to the same state")
+	}
+}
