@@ -19,16 +19,18 @@
 // Quickstart:
 //
 //	site := ajaxcrawl.NewSimSite(50, 1)
-//	eng, err := ajaxcrawl.BuildEngine(ajaxcrawl.Config{
+//	eng, err := ajaxcrawl.BuildEngine(context.Background(), ajaxcrawl.Config{
 //		Fetcher:  ajaxcrawl.NewHandlerFetcher(site.Handler()),
 //		StartURL: site.VideoURL(0),
 //		MaxPages: 25,
 //	})
 //	results := eng.Search("morcheeba singer")
-//	html, _ := eng.Reconstruct(results[0])
+//	html, _ := eng.Reconstruct(context.Background(), results[0])
 package ajaxcrawl
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -63,6 +65,17 @@ type (
 	Weights = query.Weights
 	// Index is one inverted-file shard.
 	Index = index.Index
+	// ErrorPolicy decides how a multi-page crawl treats a failed page.
+	ErrorPolicy = core.ErrorPolicy
+)
+
+// Error-policy values for CrawlOptions.OnError.
+const (
+	// SkipAndCount (default): skip the failed page, count it in
+	// Metrics.PagesFailed, keep crawling.
+	SkipAndCount = core.SkipAndCount
+	// FailFast: abort the crawl on the first page error.
+	FailFast = core.FailFast
 )
 
 // NewHandlerFetcher serves fetches from an in-process http.Handler — no
@@ -128,8 +141,15 @@ type Engine struct {
 
 // BuildEngine runs the full pipeline: precrawl (hyperlink graph +
 // PageRank), URL partitioning, parallel AJAX crawling, and per-partition
-// index building.
-func BuildEngine(cfg Config) (*Engine, error) {
+// index building. Crawling and indexing are pipelined: each partition is
+// indexed as soon as its process line finishes it, while later
+// partitions are still crawling.
+//
+// Canceling ctx stops the pipeline promptly. If any pages were already
+// crawled, BuildEngine returns the partial engine built from them
+// alongside ctx's error, so a graceful shutdown can still flush and
+// serve what it has; otherwise it returns nil and the error.
+func BuildEngine(ctx context.Context, cfg Config) (*Engine, error) {
 	if cfg.Fetcher == nil {
 		return nil, fmt.Errorf("ajaxcrawl: Config.Fetcher is required")
 	}
@@ -162,7 +182,7 @@ func BuildEngine(cfg Config) (*Engine, error) {
 		MaxPages: cfg.MaxPages,
 		KeepURL:  cfg.KeepURL,
 	}
-	preRes, err := pre.Run()
+	preRes, err := pre.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("ajaxcrawl: precrawl: %w", err)
 	}
@@ -179,40 +199,74 @@ func BuildEngine(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("ajaxcrawl: partition: %w", err)
 	}
 
-	// Phase 3: parallel crawl.
+	// Phases 3+4, pipelined: process lines crawl partitions while this
+	// goroutine indexes each completed partition into its shard. Shards
+	// stay index-aligned with partitions so the layout (and ranking
+	// tie-breaks) are deterministic regardless of completion order.
 	mp := &core.MPCrawler{
 		NewCrawler: func() *core.Crawler { return core.New(cfg.Fetcher, cfg.Crawl) },
 		ProcLines:  cfg.ProcLines,
 		Partitions: parts,
 	}
-	mpRes := mp.Run()
-	if err := mpRes.Err(); err != nil {
-		return nil, fmt.Errorf("ajaxcrawl: crawl: %w", err)
-	}
-
-	// Phase 4: one index shard per partition.
-	var shards []*index.Index
+	shardByPart := make([]*index.Index, len(parts))
+	perPart := make([]*core.Metrics, len(parts))
 	graphs := make(map[string]*model.Graph)
-	for _, partGraphs := range mpRes.GraphsByPartition {
+	var crawlErr, ctxErr error
+	for pr := range mp.Stream(ctx) {
+		if pr.Err != nil {
+			if errors.Is(pr.Err, context.Canceled) || errors.Is(pr.Err, context.DeadlineExceeded) {
+				ctxErr = pr.Err
+			} else if crawlErr == nil {
+				crawlErr = fmt.Errorf("ajaxcrawl: crawl partition %d: %w", pr.Index+1, pr.Err)
+			}
+		}
+		if len(pr.Graphs) == 0 {
+			continue
+		}
 		shard := index.New()
-		for _, g := range partGraphs {
+		for _, g := range pr.Graphs {
 			shard.AddGraph(g, preRes.PageRank[g.URL], 0)
 			graphs[g.URL] = g
 		}
+		shardByPart[pr.Index] = shard
+		perPart[pr.Index] = pr.Metrics
+	}
+	if crawlErr != nil {
+		return nil, crawlErr
+	}
+	if ctxErr == nil {
+		ctxErr = ctx.Err()
+	}
+	if ctxErr != nil && len(graphs) == 0 {
+		return nil, fmt.Errorf("ajaxcrawl: crawl: %w", ctxErr)
+	}
+
+	// Aggregate metrics and shards in partition order, not completion
+	// order, so PerPage rows and shard layout are reproducible.
+	metrics := &core.Metrics{}
+	var shards []*index.Index
+	for i, shard := range shardByPart {
+		if shard == nil {
+			continue
+		}
 		shards = append(shards, shard)
+		if perPart[i] != nil {
+			metrics.Merge(perPart[i])
+		}
 	}
 
 	weights := query.DefaultWeights
 	if cfg.Weights != nil {
 		weights = *cfg.Weights
 	}
-	return &Engine{
+	eng := &Engine{
 		broker:   &query.Broker{Shards: shards, W: weights},
 		graphs:   graphs,
 		fetcher:  cfg.Fetcher,
-		Metrics:  mpRes.Metrics,
+		Metrics:  metrics,
 		PageRank: preRes.PageRank,
-	}, nil
+	}
+	return eng, ctxErr
 }
 
 // NewEngineFromGraphs builds an engine directly from crawled application
@@ -260,8 +314,9 @@ func (e *Engine) Shards() []*Index { return e.broker.Shards }
 
 // Reconstruct re-creates the DOM of a result's application state by
 // loading the page and replaying the recorded events (thesis §5.4), and
-// returns its HTML serialization.
-func (e *Engine) Reconstruct(r Result) (string, error) {
+// returns its HTML serialization. The replay (fetches and script
+// execution) runs under ctx.
+func (e *Engine) Reconstruct(ctx context.Context, r Result) (string, error) {
 	g, ok := e.graphs[r.URL]
 	if !ok {
 		return "", fmt.Errorf("ajaxcrawl: no application model for %s", r.URL)
@@ -270,7 +325,7 @@ func (e *Engine) Reconstruct(r Result) (string, error) {
 	if path == nil {
 		return "", fmt.Errorf("ajaxcrawl: state %d unreachable in %s", r.State, r.URL)
 	}
-	doc, err := core.ReplayPath(e.fetcher, r.URL, path)
+	doc, err := core.ReplayPath(ctx, e.fetcher, r.URL, path)
 	if err != nil {
 		return "", err
 	}

@@ -1,8 +1,13 @@
 package ajaxcrawl
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
+
+	"ajaxcrawl/internal/fetch"
 )
 
 // buildTestEngine crawls a small synthetic site through the full
@@ -10,7 +15,7 @@ import (
 func buildTestEngine(t *testing.T, videos, maxPages int) (*SimSite, *Engine) {
 	t.Helper()
 	site := NewSimSite(videos, 123)
-	eng, err := BuildEngine(Config{
+	eng, err := BuildEngine(context.Background(), Config{
 		Fetcher:       NewHandlerFetcher(site.Handler()),
 		StartURL:      site.VideoURL(0),
 		MaxPages:      maxPages,
@@ -80,7 +85,7 @@ func TestEngineReconstruct(t *testing.T) {
 			best = r
 		}
 	}
-	html, err := eng.Reconstruct(best)
+	html, err := eng.Reconstruct(context.Background(), best)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,24 +100,66 @@ func TestEngineReconstruct(t *testing.T) {
 
 func TestReconstructErrors(t *testing.T) {
 	_, eng := buildTestEngine(t, 10, 5)
-	if _, err := eng.Reconstruct(Result{URL: "/watch?v=unknown", State: 0}); err == nil {
+	if _, err := eng.Reconstruct(context.Background(), Result{URL: "/watch?v=unknown", State: 0}); err == nil {
 		t.Fatalf("reconstructing unknown URL should fail")
+	}
+}
+
+func TestBuildEngineCancelReturnsPartialEngine(t *testing.T) {
+	// Cancel mid-crawl: the precrawl (first ~20 watch fetches) completes,
+	// then the crawl phase is cut short. BuildEngine must hand back the
+	// partial engine built from the partitions crawled so far, alongside
+	// the context error, so a graceful shutdown can still serve results.
+	site := NewSimSite(40, 123)
+	inner := NewHandlerFetcher(site.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var watchFetches atomic.Int64
+	counting := fetch.Func(func(c context.Context, rawurl string) (*fetch.Response, error) {
+		if strings.Contains(rawurl, "/watch?v=") && watchFetches.Add(1) == 26 {
+			cancel()
+		}
+		return inner.Fetch(c, rawurl)
+	})
+	eng, err := BuildEngine(ctx, Config{
+		Fetcher:       counting,
+		StartURL:      site.VideoURL(0),
+		MaxPages:      20,
+		PartitionSize: 5,
+		ProcLines:     2,
+		Crawl:         CrawlOptions{UseHotNode: true, MaxStates: 5},
+		KeepURL:       IsWatchURL,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if eng == nil {
+		t.Fatalf("canceled build should return the partial engine")
+	}
+	if eng.Metrics.Pages == 0 || eng.Metrics.Pages >= 20 {
+		t.Fatalf("want a partial crawl, got %d pages", eng.Metrics.Pages)
+	}
+	if eng.NumStates() == 0 {
+		t.Fatalf("partial engine has no indexed states")
+	}
+	if len(eng.Search("wow")) == 0 && len(eng.Search("video")) == 0 {
+		t.Logf("partial engine returned no hits (small sample); index still intact")
 	}
 }
 
 func TestBuildEngineValidation(t *testing.T) {
 	site := NewSimSite(5, 1)
-	if _, err := BuildEngine(Config{StartURL: "/", MaxPages: 5}); err == nil {
+	if _, err := BuildEngine(context.Background(), Config{StartURL: "/", MaxPages: 5}); err == nil {
 		t.Fatalf("missing fetcher should fail")
 	}
 	f := NewHandlerFetcher(site.Handler())
-	if _, err := BuildEngine(Config{Fetcher: f, MaxPages: 5}); err == nil {
+	if _, err := BuildEngine(context.Background(), Config{Fetcher: f, MaxPages: 5}); err == nil {
 		t.Fatalf("missing start URL should fail")
 	}
-	if _, err := BuildEngine(Config{Fetcher: f, StartURL: "/x"}); err == nil {
+	if _, err := BuildEngine(context.Background(), Config{Fetcher: f, StartURL: "/x"}); err == nil {
 		t.Fatalf("missing MaxPages should fail")
 	}
-	if _, err := BuildEngine(Config{Fetcher: f, StartURL: "/watch?v=none", MaxPages: 3}); err == nil {
+	if _, err := BuildEngine(context.Background(), Config{Fetcher: f, StartURL: "/watch?v=none", MaxPages: 3}); err == nil {
 		t.Fatalf("unreachable start should fail")
 	}
 }
@@ -121,7 +168,7 @@ func TestNewEngineFromGraphs(t *testing.T) {
 	site := NewSimSite(10, 7)
 	f := NewHandlerFetcher(site.Handler())
 	c := NewCrawler(f, CrawlOptions{UseHotNode: true, MaxStates: 3})
-	g, _, err := c.CrawlPage(site.VideoURL(0))
+	g, _, err := c.CrawlPage(context.Background(), site.VideoURL(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +211,7 @@ func TestTraditionalVsAJAXRecall(t *testing.T) {
 		c := NewCrawler(f, opts)
 		var graphs []*Graph
 		for i := 0; i < 30; i++ {
-			g, _, err := c.CrawlPage(site.VideoURL(i))
+			g, _, err := c.CrawlPage(context.Background(), site.VideoURL(i))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -206,7 +253,7 @@ func TestFetcherConstructors(t *testing.T) {
 	site := NewSimSite(3, 1)
 	// Latency fetcher wraps and still serves.
 	lf := NewLatencyFetcher(NewHandlerFetcher(site.Handler()), 0, 0)
-	resp, err := lf.Fetch(site.VideoURL(0))
+	resp, err := lf.Fetch(context.Background(), site.VideoURL(0))
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("latency fetcher: %v %v", resp, err)
 	}

@@ -17,6 +17,7 @@ package ajaxcrawl
 //	Result aggregation   -> BenchmarkReconstruct
 
 import (
+	"context"
 	"testing"
 
 	"ajaxcrawl/internal/core"
@@ -49,7 +50,7 @@ func benchGraphs(b *testing.B, opts core.Options) []*model.Graph {
 	b.Helper()
 	s := benchSite()
 	c := core.New(NewHandlerFetcher(s.Handler()), opts)
-	graphs, _, err := c.CrawlAll(benchURLs(s, benchVideos))
+	graphs, _, err := c.CrawlAll(context.Background(), benchURLs(s, benchVideos))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func BenchmarkTable71DatasetCrawl(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := core.New(f, core.Options{UseHotNode: true})
-		if _, m, err := c.CrawlAll(urls); err != nil || m.States == 0 {
+		if _, m, err := c.CrawlAll(context.Background(), urls); err != nil || m.States == 0 {
 			b.Fatalf("crawl failed: %v", err)
 		}
 	}
@@ -94,7 +95,7 @@ func BenchmarkCrawlTraditional(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := core.New(f, core.Options{Traditional: true})
-		if _, _, err := c.CrawlPage(url); err != nil {
+		if _, _, err := c.CrawlPage(context.Background(), url); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -110,7 +111,7 @@ func BenchmarkCrawlAJAX(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := core.New(f, core.Options{UseHotNode: true})
-		if _, _, err := c.CrawlPage(url); err != nil {
+		if _, _, err := c.CrawlPage(context.Background(), url); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -132,7 +133,7 @@ func BenchmarkCrawlManyStates(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := core.New(f, core.Options{UseHotNode: true})
-		if _, _, err := c.CrawlPage(url); err != nil {
+		if _, _, err := c.CrawlPage(context.Background(), url); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -155,7 +156,7 @@ func benchHotNode(b *testing.B, on bool) {
 	var calls int
 	for i := 0; i < b.N; i++ {
 		c := core.New(f, core.Options{UseHotNode: on})
-		_, m, err := c.CrawlAll(urls)
+		_, m, err := c.CrawlAll(context.Background(), urls)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -190,7 +191,7 @@ func benchParallel(b *testing.B, lines int) {
 			ProcLines:  lines,
 			Partitions: parts,
 		}
-		if res := mp.Run(); res.Err() != nil {
+		if res := mp.Run(context.Background()); res.Err() != nil {
 			b.Fatal(res.Err())
 		}
 	}
@@ -275,7 +276,7 @@ func BenchmarkReconstruct(b *testing.B) {
 	c := core.New(f, core.Options{UseHotNode: true})
 	var g *model.Graph
 	for i := 0; i < s.NumVideos(); i++ {
-		gg, _, err := c.CrawlPage(webapp.WatchURL(s.VideoID(i)))
+		gg, _, err := c.CrawlPage(context.Background(), webapp.WatchURL(s.VideoID(i)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -292,7 +293,7 @@ func BenchmarkReconstruct(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.ReplayPath(f, g.URL, path); err != nil {
+		if _, err := core.ReplayPath(context.Background(), f, g.URL, path); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -72,7 +73,7 @@ func ablateHotNode(e *env) error {
 		for _, u := range urls {
 			p := browser.NewPage(e.plain())
 			v.mk(p)
-			g, err := crawlOnePage(p, u)
+			g, err := crawlOnePage(e.ctx, p, u)
 			if err != nil {
 				return err
 			}
@@ -107,11 +108,11 @@ func (h hookCounter) AfterSend(p *browser.Page, req *browser.XHRRequest, body st
 // crawlOnePage is a minimal BFS crawl (MaxStates 11) over an
 // already-configured page, used by the hot-node ablation so the policy
 // hook can be swapped freely.
-func crawlOnePage(p *browser.Page, url string) (*graphLite, error) {
-	if err := p.Load(url); err != nil {
+func crawlOnePage(ctx context.Context, p *browser.Page, url string) (*graphLite, error) {
+	if err := p.Load(ctx, url); err != nil {
 		return nil, err
 	}
-	if err := p.RunOnLoad(); err != nil {
+	if err := p.RunOnLoad(ctx); err != nil {
 		return nil, err
 	}
 	g := &graphLite{seen: map[dom.Hash]bool{}}
@@ -128,7 +129,7 @@ func crawlOnePage(p *browser.Page, url string) (*graphLite, error) {
 				break
 			}
 			p.Restore(cur.snap)
-			changed, err := p.Trigger(ev)
+			changed, err := p.Trigger(ctx, ev)
 			if err != nil || !changed {
 				continue
 			}
@@ -328,12 +329,12 @@ func ablateRecrawl(e *env) error {
 
 	profile := core.NewCrawlProfile()
 	s1 := core.New(e.plain(), core.Options{UseHotNode: true, RecordProfile: profile})
-	g1, m1, err := s1.CrawlAll(urls)
+	g1, m1, err := s1.CrawlAll(e.ctx, urls)
 	if err != nil {
 		return err
 	}
 	s2 := core.New(e.plain(), core.Options{UseHotNode: true, PriorProfile: profile})
-	g2, m2, err := s2.CrawlAll(urls)
+	g2, m2, err := s2.CrawlAll(e.ctx, urls)
 	if err != nil {
 		return err
 	}
@@ -371,7 +372,7 @@ func ablateNearDup(e *env) error {
 
 	run := func(threshold float64) (*core.Metrics, int) {
 		c := core.New(f, core.Options{UseHotNode: true, NearDupThreshold: threshold})
-		graphs, m, err := c.CrawlAll(urls)
+		graphs, m, err := c.CrawlAll(e.ctx, urls)
 		if err != nil {
 			return nil, 0
 		}

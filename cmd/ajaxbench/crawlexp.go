@@ -262,7 +262,7 @@ func (e *env) parallelCrawl(n, lines int, opts core.Options) (time.Duration, *co
 		Partitions: parts,
 	}
 	start := time.Now()
-	res := mp.Run()
+	res := mp.Run(e.ctx)
 	elapsed := time.Since(start)
 	if err := res.Err(); err != nil {
 		return 0, nil, err

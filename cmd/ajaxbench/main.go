@@ -31,10 +31,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"ajaxcrawl/internal/core"
@@ -44,6 +47,7 @@ import (
 )
 
 type env struct {
+	ctx     context.Context
 	site    *webapp.Site
 	videos  int
 	seed    int64
@@ -83,7 +87,12 @@ func main() {
 		return
 	}
 
+	// Ctrl-C aborts the experiment batch between (and within) runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	e := &env{
+		ctx:     ctx,
 		site:    webapp.New(webapp.DefaultConfig(*videos, *seed)),
 		videos:  *videos,
 		seed:    *seed,
@@ -94,6 +103,10 @@ func main() {
 	for _, x := range experiments {
 		if *exp != "all" && *exp != x.id {
 			continue
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted; skipping remaining experiments")
+			break
 		}
 		fmt.Printf("== %s: %s ==\n", x.id, x.desc)
 		start := time.Now()
@@ -154,7 +167,7 @@ func (e *env) crawl(n int, opts core.Options) (*core.Metrics, []*model.Graph, er
 	inst := e.instrumented(clock)
 	opts.Clock = clock
 	c := core.New(inst, opts)
-	graphs, m, err := c.CrawlAll(e.urls(n))
+	graphs, m, err := c.CrawlAll(e.ctx, e.urls(n))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -19,10 +19,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"ajaxcrawl/internal/core"
@@ -66,10 +70,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Ctrl-C cancels the pipeline gracefully: in-flight partitions stop
+	// within one page budget and their partial models are flushed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	begin := time.Now()
 	fmt.Printf("precrawling %d pages from %s ...\n", *pages, startURL)
 	pre := &core.Precrawler{Fetcher: fetcher, StartURL: startURL, MaxPages: *pages}
-	preRes, err := pre.Run()
+	preRes, err := pre.Run(ctx)
 	if err != nil {
 		fatal("precrawl: %v", err)
 	}
@@ -103,7 +112,7 @@ func main() {
 		fmt.Printf("re-crawl with profile: %d known events\n", prior.NumEvents())
 	}
 	if *robots {
-		if rb, _ := core.FetchAjaxRobots(fetcher); rb != nil {
+		if rb, _ := core.FetchAjaxRobots(ctx, fetcher); rb != nil {
 			// Apply the advertised granularity of the start URL's path
 			// class; per-URL application would need per-page options.
 			opts = rb.ApplyTo(opts, startURL)
@@ -116,9 +125,16 @@ func main() {
 		Partitions: parts,
 		SaveModels: true,
 	}
-	res := mp.Run()
+	res := mp.Run(ctx)
 	if err := res.Err(); err != nil {
-		fatal("crawl: %v", err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Partial models of completed (and cut-short) partitions
+			// are already on disk; report and keep going so the run's
+			// outcome is usable.
+			fmt.Printf("interrupted: flushed partial models for %d crawled pages\n", res.Metrics.Pages)
+		} else {
+			fatal("crawl: %v", err)
+		}
 	}
 	m := res.Metrics
 	if *verbose {
@@ -129,6 +145,9 @@ func main() {
 	}
 	fmt.Printf("crawled %d pages: %d states, %d events (%d hit the network), %d hot-node hits\n",
 		m.Pages, m.States, m.EventsTriggered, m.NetworkEvents, m.HotNodeHits)
+	if m.PagesFailed > 0 {
+		fmt.Printf("skipped %d failed pages\n", m.PagesFailed)
+	}
 	fmt.Printf("models stored under %s (one ajaxmodels.gob per partition)\n", *out)
 	if m.EventsSkipped > 0 {
 		fmt.Printf("profile skipped %d events\n", m.EventsSkipped)

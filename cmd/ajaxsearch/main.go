@@ -126,9 +126,16 @@ func buildFromModels(root string, maxStates int) *index.Index {
 		fatal("no partition directories under %s", root)
 	}
 	ix := index.New()
-	pages := 0
+	pages, missing := 0, 0
 	for _, p := range parts {
-		graphs, err := model.LoadAll(filepath.Join(root, strconv.Itoa(p)))
+		dir := filepath.Join(root, strconv.Itoa(p))
+		if _, err := os.Stat(filepath.Join(dir, model.ModelFileName)); os.IsNotExist(err) {
+			// An interrupted crawl leaves untouched partitions without
+			// models; index what is there.
+			missing++
+			continue
+		}
+		graphs, err := model.LoadAll(dir)
 		if err != nil {
 			fatal("partition %d: %v", p, err)
 		}
@@ -136,6 +143,12 @@ func buildFromModels(root string, maxStates int) *index.Index {
 			ix.AddGraph(g, pageRank[g.URL], maxStates)
 			pages++
 		}
+	}
+	if pages == 0 {
+		fatal("no application models under %s", root)
+	}
+	if missing > 0 {
+		fmt.Printf("skipped %d uncrawled partitions (interrupted crawl)\n", missing)
 	}
 	fmt.Printf("built index over %d pages: %d states, %d terms\n",
 		pages, ix.TotalStates, ix.NumTerms())

@@ -10,10 +10,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ajaxcrawl/internal/webapp"
 )
@@ -26,11 +31,29 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	site := webapp.New(webapp.DefaultConfig(*videos, *seed))
 	fmt.Printf("serving %d synthetic videos on http://%s/\n", *videos, *addr)
 	fmt.Printf("first watch page: http://%s%s\n", *addr, webapp.WatchURL(site.VideoID(0)))
-	if err := http.ListenAndServe(*addr, site.Handler()); err != nil {
-		fmt.Fprintf(os.Stderr, "ytserve: %v\n", err)
-		os.Exit(1)
+	srv := &http.Server{Addr: *addr, Handler: site.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "ytserve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		// Ctrl-C: drain in-flight requests, then exit cleanly.
+		fmt.Println("shutting down ...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "ytserve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

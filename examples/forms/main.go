@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	site := ajaxcrawl.NewSimSiteWithForms(30, 21)
 	fetcher := ajaxcrawl.NewHandlerFetcher(site.Handler())
 
@@ -27,7 +29,7 @@ func main() {
 		})
 		var graphs []*ajaxcrawl.Graph
 		for i := 0; i < 15; i++ {
-			g, _, err := c.CrawlPage(site.VideoURL(i))
+			g, _, err := c.CrawlPage(ctx, site.VideoURL(i))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,8 +16,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	news := ajaxcrawl.NewNewsSite(12, 3)
-	eng, err := ajaxcrawl.BuildEngine(ajaxcrawl.Config{
+	eng, err := ajaxcrawl.BuildEngine(ctx, ajaxcrawl.Config{
 		Fetcher:  ajaxcrawl.NewHandlerFetcher(news.Handler()),
 		StartURL: news.ArticleURL(0),
 		MaxPages: 10,

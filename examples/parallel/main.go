@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	site := webapp.New(webapp.DefaultConfig(80, 5))
 	// Simulated per-request network latency makes the parallelism
 	// visible: process lines overlap their waiting time.
@@ -36,7 +38,7 @@ func main() {
 		MaxPages: 60,
 		KeepURL:  ajaxcrawl.IsWatchURL,
 	}
-	preRes, err := pre.Run()
+	preRes, err := pre.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func main() {
 			Partitions: parts,
 		}
 		start := time.Now()
-		res := mp.Run()
+		res := mp.Run(ctx)
 		elapsed := time.Since(start)
 		if err := res.Err(); err != nil {
 			log.Fatal(err)

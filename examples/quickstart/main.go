@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -13,13 +14,14 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A deterministic synthetic YouTube-like site: watch pages whose
 	// comment pagination loads via XMLHttpRequest.
 	site := ajaxcrawl.NewSimSite(60, 7)
 
 	// Build the full search engine: precrawl + PageRank, partitioning,
 	// parallel AJAX crawling with the hot-node cache, sharded indexing.
-	eng, err := ajaxcrawl.BuildEngine(ajaxcrawl.Config{
+	eng, err := ajaxcrawl.BuildEngine(ctx, ajaxcrawl.Config{
 		Fetcher:  ajaxcrawl.NewHandlerFetcher(site.Handler()),
 		StartURL: site.VideoURL(0),
 		MaxPages: 30,
@@ -47,7 +49,7 @@ func main() {
 
 	// Reconstruct the top result's state by replaying its event path,
 	// as the result-aggregation phase does for the user.
-	html, err := eng.Reconstruct(results[0])
+	html, err := eng.Reconstruct(ctx, results[0])
 	if err != nil {
 		log.Fatal(err)
 	}

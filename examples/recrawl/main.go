@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http"
@@ -67,6 +68,7 @@ func (r *recorder) status() int {
 }
 
 func main() {
+	ctx := context.Background()
 	site := webapp.New(webapp.DefaultConfig(40, 11))
 	fetcher := &fetch.HandlerFetcher{Handler: noisyHandler(site.Handler())}
 
@@ -78,7 +80,7 @@ func main() {
 	// Session 1: full crawl, recording the event profile.
 	profile := core.NewCrawlProfile()
 	session1 := core.New(fetcher, core.Options{UseHotNode: true, RecordProfile: profile})
-	graphs1, m1, err := session1.CrawlAll(urls)
+	graphs1, m1, err := session1.CrawlAll(ctx, urls)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func main() {
 
 	// Session 2: same site, guided by the profile.
 	session2 := core.New(fetcher, core.Options{UseHotNode: true, PriorProfile: profile})
-	graphs2, m2, err := session2.CrawlAll(urls)
+	graphs2, m2, err := session2.CrawlAll(ctx, urls)
 	if err != nil {
 		log.Fatal(err)
 	}

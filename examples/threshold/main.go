@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	site := ajaxcrawl.NewSimSite(100, 77)
 	fetcher := ajaxcrawl.NewHandlerFetcher(site.Handler())
 
@@ -25,7 +27,7 @@ func main() {
 	c := ajaxcrawl.NewCrawler(fetcher, ajaxcrawl.CrawlOptions{UseHotNode: true})
 	var graphs []*ajaxcrawl.Graph
 	for i := 0; i < 60; i++ {
-		g, _, err := c.CrawlPage(site.VideoURL(i))
+		g, _, err := c.CrawlPage(ctx, site.VideoURL(i))
 		if err != nil {
 			log.Fatal(err)
 		}

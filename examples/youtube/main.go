@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	site := ajaxcrawl.NewSimSite(120, 99)
 	fetcher := ajaxcrawl.NewHandlerFetcher(site.Handler())
 
@@ -24,7 +26,7 @@ func main() {
 		c := ajaxcrawl.NewCrawler(fetcher, opts)
 		var graphs []*ajaxcrawl.Graph
 		for i := 0; i < 60; i++ {
-			g, _, err := c.CrawlPage(site.VideoURL(i))
+			g, _, err := c.CrawlPage(ctx, site.VideoURL(i))
 			if err != nil {
 				log.Fatal(err)
 			}

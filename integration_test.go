@@ -4,6 +4,7 @@ package ajaxcrawl
 // including every persistence format — the flows the CLI tools drive.
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,7 +33,7 @@ func TestPipelinePersistenceRoundTrip(t *testing.T) {
 		MaxPages: 12,
 		KeepURL:  IsWatchURL,
 	}
-	preRes, err := pre.Run()
+	preRes, err := pre.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestPipelinePersistenceRoundTrip(t *testing.T) {
 		Partitions: parts,
 		SaveModels: true,
 	}
-	res := mp.Run()
+	res := mp.Run(context.Background())
 	if err := res.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestReconstructAllResults(t *testing.T) {
 	checked := 0
 	for _, q := range []string{"wow", "funny", "kiss"} {
 		for _, r := range eng.SearchTopK(q, 3) {
-			html, err := eng.Reconstruct(r)
+			html, err := eng.Reconstruct(context.Background(), r)
 			if err != nil {
 				t.Fatalf("reconstruct %v: %v", r, err)
 			}
@@ -152,7 +153,7 @@ func TestReconstructAllResults(t *testing.T) {
 func TestEngineDeterminism(t *testing.T) {
 	build := func() *Engine {
 		site := NewSimSite(20, 55)
-		eng, err := BuildEngine(Config{
+		eng, err := BuildEngine(context.Background(), Config{
 			Fetcher:       NewHandlerFetcher(site.Handler()),
 			StartURL:      site.VideoURL(0),
 			MaxPages:      10,
@@ -188,7 +189,7 @@ func TestEngineDeterminism(t *testing.T) {
 func TestWorkDirLayout(t *testing.T) {
 	site := NewSimSite(12, 77)
 	workDir := t.TempDir()
-	_, err := BuildEngine(Config{
+	_, err := BuildEngine(context.Background(), Config{
 		Fetcher:       NewHandlerFetcher(site.Handler()),
 		StartURL:      site.VideoURL(0),
 		MaxPages:      9,

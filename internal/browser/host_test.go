@@ -1,6 +1,7 @@
 package browser
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -48,14 +49,14 @@ function load(p) {
 // interpreter, host objects, and DOM mutation.
 func TestJSONAJAXFlow(t *testing.T) {
 	p := NewPage(&fetch.HandlerFetcher{Handler: jsonSite()})
-	if err := p.Load("/app"); err != nil {
+	if err := p.Load(context.Background(), "/app"); err != nil {
 		t.Fatal(err)
 	}
 	evs := p.Events(nil)
 	if len(evs) != 1 {
 		t.Fatalf("events = %v", evs)
 	}
-	changed, err := p.Trigger(evs[0])
+	changed, err := p.Trigger(context.Background(), evs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestJSONAJAXFlow(t *testing.T) {
 	// document.title assignment routed to the DOM... the test page has
 	// no <title>; add one and re-run to cover the mutable path.
 	p2 := NewPage(&fetch.HandlerFetcher{Handler: jsonSite()})
-	if err := p2.Load("/app"); err != nil {
+	if err := p2.Load(context.Background(), "/app"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := p2.Interp.Run(`document.title`); err != nil {

@@ -10,6 +10,7 @@
 package browser
 
 import (
+	"context"
 	"fmt"
 	"net/url"
 	"strings"
@@ -65,6 +66,12 @@ type Page struct {
 	Fetcher fetch.Fetcher
 	XHR     XHRHook
 
+	// MaxJSSteps bounds the interpreter steps per handler dispatch
+	// (0 = the interpreter default). The crawler sets it from
+	// Options.JSStepBudget so a hostile while(true) handler is
+	// preempted instead of hanging the process line.
+	MaxJSSteps int
+
 	// NetworkCalls counts XHR sends that actually hit the Fetcher
 	// (intercepted sends are not network calls).
 	NetworkCalls int
@@ -74,6 +81,31 @@ type Page struct {
 	ConsoleLog []string
 
 	wrappers map[*dom.Node]*js.Object
+	// ctx is the context of the Load/Trigger call currently executing;
+	// host objects (XMLHttpRequest) fetch under it so script-initiated
+	// network inherits the page budget.
+	ctx context.Context
+}
+
+// Context returns the context of the in-flight Load/Trigger call (the
+// one host objects should fetch under), or Background between calls.
+func (p *Page) Context() context.Context {
+	if p.ctx != nil {
+		return p.ctx
+	}
+	return context.Background()
+}
+
+// bind installs ctx as the page's execution context and points the
+// interpreter's interrupt hook at it. The returned func restores the
+// previous context (for nested calls).
+func (p *Page) bind(ctx context.Context) func() {
+	prev := p.ctx
+	p.ctx = ctx
+	if p.Interp != nil {
+		p.Interp.Interrupt = ctx.Err
+	}
+	return func() { p.ctx = prev }
 }
 
 // NewPage returns an unloaded page bound to a fetcher.
@@ -85,8 +117,8 @@ func NewPage(fetcher fetch.Fetcher) *Page {
 // and runs all scripts in document order. It does not fire onload; call
 // RunOnLoad after Load, as the crawling algorithm does (Alg. 3.1.1
 // line 3).
-func (p *Page) Load(rawurl string) error {
-	resp, err := p.Fetcher.Fetch(rawurl)
+func (p *Page) Load(ctx context.Context, rawurl string) error {
+	resp, err := p.Fetcher.Fetch(ctx, rawurl)
 	if err != nil {
 		return fmt.Errorf("browser: load %s: %w", rawurl, err)
 	}
@@ -96,16 +128,18 @@ func (p *Page) Load(rawurl string) error {
 	p.URL = rawurl
 	p.Doc = html.Parse(string(resp.Body))
 	p.Interp = js.New()
+	p.Interp.MaxSteps = p.MaxJSSteps
 	p.wrappers = make(map[*dom.Node]*js.Object)
 	p.installHostObjects()
-	return p.runScripts()
+	defer p.bind(ctx)()
+	return p.runScripts(ctx)
 }
 
 // LoadStatic fetches and parses the document without creating a script
 // environment — the "traditional crawling" mode where JavaScript is
 // disabled (thesis §7.1.2).
-func (p *Page) LoadStatic(rawurl string) error {
-	resp, err := p.Fetcher.Fetch(rawurl)
+func (p *Page) LoadStatic(ctx context.Context, rawurl string) error {
+	resp, err := p.Fetcher.Fetch(ctx, rawurl)
 	if err != nil {
 		return fmt.Errorf("browser: load %s: %w", rawurl, err)
 	}
@@ -118,11 +152,11 @@ func (p *Page) LoadStatic(rawurl string) error {
 }
 
 // runScripts executes every <script> element in document order.
-func (p *Page) runScripts() error {
+func (p *Page) runScripts(ctx context.Context) error {
 	for _, s := range p.Doc.ElementsByTag("script") {
 		var code string
 		if src, ok := s.GetAttr("src"); ok && src != "" {
-			resp, err := p.Fetcher.Fetch(p.resolve(src))
+			resp, err := p.Fetcher.Fetch(ctx, p.resolve(src))
 			if err != nil {
 				return fmt.Errorf("browser: external script %s: %w", src, err)
 			}
@@ -141,7 +175,7 @@ func (p *Page) runScripts() error {
 }
 
 // RunOnLoad fires the body element's onload handler, if any.
-func (p *Page) RunOnLoad() error {
+func (p *Page) RunOnLoad(ctx context.Context) error {
 	body := p.Doc.Body()
 	if body == nil {
 		return nil
@@ -150,7 +184,7 @@ func (p *Page) RunOnLoad() error {
 	if !ok || strings.TrimSpace(code) == "" {
 		return nil
 	}
-	return p.runHandler("onload", code, body)
+	return p.runHandler(ctx, "onload", code, body)
 }
 
 // Events returns the invocable events in the current DOM, in document
@@ -185,7 +219,7 @@ func (p *Page) Events(types []string) []Event {
 
 // Trigger dispatches an event: it executes the handler code with `this`
 // bound to the source element. It reports whether the DOM changed.
-func (p *Page) Trigger(ev Event) (changed bool, err error) {
+func (p *Page) Trigger(ctx context.Context, ev Event) (changed bool, err error) {
 	node := p.Doc.ByPath(ev.Path)
 	if node == nil {
 		// The element vanished (the state changed under us); by-id
@@ -198,14 +232,15 @@ func (p *Page) Trigger(ev Event) (changed bool, err error) {
 		}
 	}
 	before := dom.QuickHash(p.Doc)
-	if err := p.runHandler(ev.Type, ev.Code, node); err != nil {
+	if err := p.runHandler(ctx, ev.Type, ev.Code, node); err != nil {
 		return false, err
 	}
 	return dom.QuickHash(p.Doc) != before, nil
 }
 
 // runHandler compiles and invokes handler code with this = element.
-func (p *Page) runHandler(name, code string, node *dom.Node) error {
+func (p *Page) runHandler(ctx context.Context, name, code string, node *dom.Node) error {
+	defer p.bind(ctx)()
 	p.Interp.ResetBudget()
 	fn, err := p.Interp.CompileFunction(name, code)
 	if err != nil {
@@ -308,7 +343,7 @@ func (p *Page) FormEvents() []FormEvent {
 
 // TriggerWithValue fills the event's source input with value and then
 // dispatches the handler — one probe of the form-crawling extension.
-func (p *Page) TriggerWithValue(ev FormEvent, value string) (changed bool, err error) {
+func (p *Page) TriggerWithValue(ctx context.Context, ev FormEvent, value string) (changed bool, err error) {
 	node := p.Doc.ByPath(ev.Path)
 	if node == nil && ev.ID != "" {
 		node = p.Doc.ElementByID(ev.ID)
@@ -317,5 +352,5 @@ func (p *Page) TriggerWithValue(ev FormEvent, value string) (changed bool, err e
 		return false, fmt.Errorf("browser: form event source %s not found", ev.Path)
 	}
 	node.SetAttr("value", value)
-	return p.Trigger(ev.Event)
+	return p.Trigger(ctx, ev.Event)
 }

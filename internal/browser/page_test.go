@@ -1,6 +1,7 @@
 package browser
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -63,7 +64,7 @@ function init() { initialized = true; }
 func loadTestPage(t *testing.T) *Page {
 	t.Helper()
 	p := NewPage(&fetch.HandlerFetcher{Handler: testSite()})
-	if err := p.Load("/watch?v=x"); err != nil {
+	if err := p.Load(context.Background(), "/watch?v=x"); err != nil {
 		t.Fatal(err)
 	}
 	return p
@@ -86,7 +87,7 @@ func TestLoadParsesAndRunsScripts(t *testing.T) {
 
 func TestRunOnLoad(t *testing.T) {
 	p := loadTestPage(t)
-	if err := p.RunOnLoad(); err != nil {
+	if err := p.RunOnLoad(context.Background(), ); err != nil {
 		t.Fatal(err)
 	}
 	if v, _ := p.Interp.LookupGlobal("initialized"); !v.ToBool() {
@@ -112,7 +113,7 @@ func TestEventsEnumeration(t *testing.T) {
 func TestTriggerChangesDOMViaXHR(t *testing.T) {
 	p := loadTestPage(t)
 	evs := p.Events(nil)
-	changed, err := p.Trigger(evs[0])
+	changed, err := p.Trigger(context.Background(), evs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestTriggerChangesDOMViaXHR(t *testing.T) {
 func TestTriggerNoChange(t *testing.T) {
 	p := loadTestPage(t)
 	// An event whose handler only touches JS state must report no change.
-	changed, err := p.Trigger(Event{Type: "onclick", Code: "var tmp = 1;", Path: p.Doc.Body().Path()})
+	changed, err := p.Trigger(context.Background(), Event{Type: "onclick", Code: "var tmp = 1;", Path: p.Doc.Body().Path()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestSnapshotRestore(t *testing.T) {
 	p := loadTestPage(t)
 	snap := p.Snapshot()
 	h0 := p.Hash()
-	if _, err := p.Trigger(p.Events(nil)[0]); err != nil {
+	if _, err := p.Trigger(context.Background(), p.Events(nil)[0]); err != nil {
 		t.Fatal(err)
 	}
 	if p.Hash() == h0 {
@@ -160,7 +161,7 @@ func TestSnapshotRestore(t *testing.T) {
 		t.Fatalf("restore did not roll back the DOM")
 	}
 	// The snapshot stays usable for repeated restores.
-	if _, err := p.Trigger(p.Events(nil)[0]); err != nil {
+	if _, err := p.Trigger(context.Background(), p.Events(nil)[0]); err != nil {
 		t.Fatal(err)
 	}
 	p.Restore(snap)
@@ -175,7 +176,7 @@ func TestXHRInterception(t *testing.T) {
 	p.XHR = hook
 
 	// First trigger: miss -> network -> AfterSend caches.
-	if _, err := p.Trigger(p.Events(nil)[0]); err != nil {
+	if _, err := p.Trigger(context.Background(), p.Events(nil)[0]); err != nil {
 		t.Fatal(err)
 	}
 	if p.NetworkCalls != 1 || len(hook.after) != 1 {
@@ -186,7 +187,7 @@ func TestXHRInterception(t *testing.T) {
 	snapBefore := p.Snapshot()
 	_ = snapBefore
 	p.Restore(&Snapshot{doc: p.Doc.Clone()})
-	if _, err := p.Trigger(Event{Type: "onclick", Code: "loadPage(2)", Path: p.Doc.Body().Path()}); err != nil {
+	if _, err := p.Trigger(context.Background(), Event{Type: "onclick", Code: "loadPage(2)", Path: p.Doc.Body().Path()}); err != nil {
 		t.Fatal(err)
 	}
 	if p.NetworkCalls != 1 {
@@ -222,7 +223,7 @@ func TestLinks(t *testing.T) {
 
 func TestLoadStatic(t *testing.T) {
 	p := NewPage(&fetch.HandlerFetcher{Handler: testSite()})
-	if err := p.LoadStatic("/watch?v=x"); err != nil {
+	if err := p.LoadStatic(context.Background(), "/watch?v=x"); err != nil {
 		t.Fatal(err)
 	}
 	if p.Interp != nil {
@@ -235,7 +236,7 @@ func TestLoadStatic(t *testing.T) {
 
 func TestExternalScript(t *testing.T) {
 	p := NewPage(&fetch.HandlerFetcher{Handler: testSite()})
-	if err := p.Load("/extpage"); err != nil {
+	if err := p.Load(context.Background(), "/extpage"); err != nil {
 		t.Fatal(err)
 	}
 	v, ok := p.Interp.LookupGlobal("fromExternal")
@@ -246,13 +247,13 @@ func TestExternalScript(t *testing.T) {
 
 func TestLoadErrors(t *testing.T) {
 	p := NewPage(&fetch.HandlerFetcher{Handler: testSite()})
-	if err := p.Load("/missing-page"); err == nil {
+	if err := p.Load(context.Background(), "/missing-page"); err == nil {
 		t.Fatalf("404 load should fail")
 	}
-	bad := NewPage(fetch.Func(func(string) (*fetch.Response, error) {
+	bad := NewPage(fetch.Func(func(context.Context, string) (*fetch.Response, error) {
 		return nil, fmt.Errorf("down")
 	}))
-	if err := bad.Load("/x"); err == nil {
+	if err := bad.Load(context.Background(), "/x"); err == nil {
 		t.Fatalf("fetch error should fail")
 	}
 }
@@ -332,15 +333,15 @@ func TestEventStringAndWrapperCache(t *testing.T) {
 func TestHandlerErrorsSurface(t *testing.T) {
 	p := loadTestPage(t)
 	// Syntax error in the handler code.
-	if _, err := p.Trigger(Event{Type: "onclick", Code: "if (", Path: p.Doc.Body().Path()}); err == nil {
+	if _, err := p.Trigger(context.Background(), Event{Type: "onclick", Code: "if (", Path: p.Doc.Body().Path()}); err == nil {
 		t.Fatalf("syntax error should surface")
 	}
 	// Runtime error in the handler code.
-	if _, err := p.Trigger(Event{Type: "onclick", Code: "missingFn()", Path: p.Doc.Body().Path()}); err == nil {
+	if _, err := p.Trigger(context.Background(), Event{Type: "onclick", Code: "missingFn()", Path: p.Doc.Body().Path()}); err == nil {
 		t.Fatalf("runtime error should surface")
 	}
 	// Event source not resolvable at all.
-	if _, err := p.Trigger(Event{Type: "onclick", Code: "1", Path: "html[0]/body[0]/div[99]"}); err == nil {
+	if _, err := p.Trigger(context.Background(), Event{Type: "onclick", Code: "1", Path: "html[0]/body[0]/div[99]"}); err == nil {
 		t.Fatalf("missing source should surface")
 	}
 }
@@ -351,7 +352,7 @@ func TestBrokenInlineScriptFailsLoad(t *testing.T) {
 		fmt.Fprint(w, `<html><head><script>function broken( {</script></head><body></body></html>`)
 	})
 	p := NewPage(&fetch.HandlerFetcher{Handler: mux})
-	if err := p.Load("/bad"); err == nil {
+	if err := p.Load(context.Background(), "/bad"); err == nil {
 		t.Fatalf("broken script should fail the load")
 	}
 }
@@ -361,14 +362,14 @@ func TestMissingExternalScriptFailsLoad(t *testing.T) {
 	mux.HandleFunc("/page", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, `<html><head><script src="/gone.js"></script></head><body></body></html>`)
 	})
-	p := NewPage(fetch.Func(func(url string) (*fetch.Response, error) {
+	p := NewPage(fetch.Func(func(ctx context.Context, url string) (*fetch.Response, error) {
 		if url == "/page" {
 			rec := &fetch.HandlerFetcher{Handler: mux}
-			return rec.Fetch(url)
+			return rec.Fetch(context.Background(), url)
 		}
 		return nil, fmt.Errorf("no such script")
 	}))
-	if err := p.Load("/page"); err == nil {
+	if err := p.Load(context.Background(), "/page"); err == nil {
 		t.Fatalf("missing external script should fail the load")
 	}
 }
@@ -379,10 +380,10 @@ func TestOnLoadAbsentAndEmpty(t *testing.T) {
 		fmt.Fprint(w, `<html><body onload="   "><p>x</p></body></html>`)
 	})
 	p := NewPage(&fetch.HandlerFetcher{Handler: mux})
-	if err := p.Load("/noload"); err != nil {
+	if err := p.Load(context.Background(), "/noload"); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RunOnLoad(); err != nil {
+	if err := p.RunOnLoad(context.Background(), ); err != nil {
 		t.Fatalf("blank onload should be a no-op: %v", err)
 	}
 }
@@ -390,7 +391,7 @@ func TestOnLoadAbsentAndEmpty(t *testing.T) {
 func TestEventStringFallsBackById(t *testing.T) {
 	p := loadTestPage(t)
 	// Trigger by ID fallback: give a stale path but valid id.
-	changed, err := p.Trigger(Event{Type: "onclick", Code: "loadPage(2)", Path: "html[0]/body[0]/p[42]", ID: "next"})
+	changed, err := p.Trigger(context.Background(), Event{Type: "onclick", Code: "loadPage(2)", Path: "html[0]/body[0]/p[42]", ID: "next"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -87,7 +87,10 @@ func (st *xhrState) send(it *js.Interp) error {
 		}
 	}
 	if !served {
-		resp, err := p.Fetcher.Fetch(st.url)
+		// Script-initiated network runs under the context of the
+		// Load/Trigger call that dispatched this handler, so the
+		// per-page budget covers XHR traffic too.
+		resp, err := p.Fetcher.Fetch(p.Context(), st.url)
 		p.NetworkCalls++
 		if err != nil {
 			st.status = 0

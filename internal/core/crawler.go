@@ -14,6 +14,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -23,6 +25,19 @@ import (
 	"ajaxcrawl/internal/fetch"
 	"ajaxcrawl/internal/model"
 	"ajaxcrawl/internal/shingle"
+)
+
+// ErrorPolicy decides what CrawlAll does when one page's crawl fails.
+type ErrorPolicy int
+
+const (
+	// SkipAndCount (the default) skips the failed page, increments
+	// Metrics.PagesFailed, and continues with the next URL — one bad
+	// page cannot sink a partition.
+	SkipAndCount ErrorPolicy = iota
+	// FailFast aborts the multi-page crawl on the first page error,
+	// returning the graphs crawled so far alongside the error.
+	FailFast
 )
 
 // Options configure a crawl. The zero value is usable: AJAX crawling with
@@ -67,6 +82,19 @@ type Options struct {
 	NearDupThreshold float64
 	// Clock measures crawl time (virtual in benchmarks). nil = wall.
 	Clock fetch.Clock
+	// PageTimeout is the per-page crawl budget: CrawlPage derives a
+	// context.WithTimeout from its caller's context, so one slow page
+	// (network or script) is cut off without aborting the crawl.
+	// 0 means no per-page deadline.
+	PageTimeout time.Duration
+	// OnError selects how CrawlAll treats a failed page. The zero
+	// value is SkipAndCount.
+	OnError ErrorPolicy
+	// JSStepBudget caps interpreter steps per event handler (0 = the
+	// interpreter's default of 10M). Runaway scripts — a hostile
+	// while(true) — are preempted at the budget and recorded as
+	// handler errors instead of hanging the process line.
+	JSStepBudget int
 }
 
 func (o Options) withDefaults() Options {
@@ -112,7 +140,10 @@ type PageMetrics struct {
 
 // Metrics aggregates a multi-page crawl.
 type Metrics struct {
-	Pages           int
+	Pages int
+	// PagesFailed counts pages skipped under the SkipAndCount error
+	// policy (their graphs are not in the result).
+	PagesFailed     int
 	States          int
 	EventsTriggered int
 	NetworkEvents   int
@@ -149,6 +180,7 @@ func (m *Metrics) Add(pm PageMetrics) {
 // Merge folds another aggregate into m (used by the parallel crawler).
 func (m *Metrics) Merge(o *Metrics) {
 	m.Pages += o.Pages
+	m.PagesFailed += o.PagesFailed
 	m.States += o.States
 	m.EventsTriggered += o.EventsTriggered
 	m.NetworkEvents += o.NetworkEvents
@@ -176,30 +208,39 @@ func New(fetcher fetch.Fetcher, opts Options) *Crawler {
 }
 
 // CrawlPage builds the AJAX page model for one URL (Alg. 3.1.1 /
-// Alg. 4.2.1 depending on Opts.UseHotNode).
-func (c *Crawler) CrawlPage(url string) (*model.Graph, PageMetrics, error) {
+// Alg. 4.2.1 depending on Opts.UseHotNode). When Opts.PageTimeout is
+// set, the whole page crawl — fetches, script execution, event
+// dispatch — runs under a derived deadline; on expiry the partial graph
+// built so far is returned alongside the context error.
+func (c *Crawler) CrawlPage(ctx context.Context, url string) (*model.Graph, PageMetrics, error) {
 	opts := c.Opts.withDefaults()
+	if opts.PageTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.PageTimeout)
+		defer cancel()
+	}
 	pm := PageMetrics{URL: url}
 	start := opts.Clock.Now()
 	wallStart := time.Now()
 	var netStart time.Duration
-	if inst, ok := c.Fetcher.(*fetch.Instrumented); ok {
-		netStart = inst.Stats().NetworkTime
+	stats := fetch.FindStats(c.Fetcher)
+	if stats != nil {
+		netStart = stats.Stats().NetworkTime
 	}
 
 	graph := model.NewGraph(url)
 	page := browser.NewPage(c.Fetcher)
+	page.MaxJSSteps = opts.JSStepBudget
 
+	var crawlErr error
 	if opts.Traditional {
 		// Traditional crawling: read the document, JavaScript disabled.
-		if err := page.LoadStatic(url); err != nil {
-			return nil, pm, err
+		crawlErr = page.LoadStatic(ctx, url)
+		if crawlErr == nil {
+			graph.AddState(page.Hash(), page.Doc.VisibleText(), 0)
 		}
-		graph.AddState(page.Hash(), page.Doc.VisibleText(), 0)
 	} else {
-		if err := c.crawlDynamic(page, graph, url, opts, &pm); err != nil {
-			return nil, pm, err
-		}
+		crawlErr = c.crawlDynamic(ctx, page, graph, url, opts, &pm)
 	}
 
 	pm.States = graph.NumStates()
@@ -212,14 +253,22 @@ func (c *Crawler) CrawlPage(url string) (*model.Graph, PageMetrics, error) {
 		// CrawlTime models a real run with the simulated latencies.
 		pm.CrawlTime += time.Since(wallStart)
 	}
-	if inst, ok := c.Fetcher.(*fetch.Instrumented); ok {
-		pm.NetworkTime = inst.Stats().NetworkTime - netStart
+	if stats != nil {
+		pm.NetworkTime = stats.Stats().NetworkTime - netStart
+	}
+	if crawlErr != nil {
+		if graph.NumStates() == 0 {
+			graph = nil
+		}
+		return graph, pm, crawlErr
 	}
 	return graph, pm, nil
 }
 
-// crawlDynamic is the breadth-first event-driven crawl.
-func (c *Crawler) crawlDynamic(page *browser.Page, graph *model.Graph, url string, opts Options, pm *PageMetrics) error {
+// crawlDynamic is the breadth-first event-driven crawl. Cancellation is
+// checked between events, so a canceled context stops the crawl within
+// one event dispatch (itself bounded by the JS step budget).
+func (c *Crawler) crawlDynamic(ctx context.Context, page *browser.Page, graph *model.Graph, url string, opts Options, pm *PageMetrics) error {
 	var hot *HotNodeCache
 	if opts.UseHotNode {
 		hot = NewHotNodeCache()
@@ -227,10 +276,13 @@ func (c *Crawler) crawlDynamic(page *browser.Page, graph *model.Graph, url strin
 	}
 
 	// init(url): read document, run onload, record the initial state.
-	if err := page.Load(url); err != nil {
+	if err := page.Load(ctx, url); err != nil {
 		return err
 	}
-	if err := page.RunOnLoad(); err != nil {
+	if err := page.RunOnLoad(ctx); err != nil {
+		if ctxAbort(ctx, err) {
+			return err
+		}
 		// Broken onload is logged as a handler error, not fatal: the
 		// initial DOM is still crawlable.
 		pm.HandlerErrors++
@@ -243,6 +295,9 @@ func (c *Crawler) crawlDynamic(page *browser.Page, graph *model.Graph, url strin
 	queue := []model.StateID{initial}
 
 	for len(queue) > 0 && graph.NumStates() < opts.MaxStates {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		snap := snapshots[cur]
@@ -255,6 +310,9 @@ func (c *Crawler) crawlDynamic(page *browser.Page, graph *model.Graph, url strin
 		}
 		formEvents := page.FormEvents()
 		for _, ev := range events {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if graph.NumStates() >= opts.MaxStates {
 				break
 			}
@@ -267,7 +325,7 @@ func (c *Crawler) crawlDynamic(page *browser.Page, graph *model.Graph, url strin
 			// Rollback: every event fires from state `cur`.
 			page.Restore(snap)
 			sendsBefore, netBefore := page.XHRSends, page.NetworkCalls
-			changed, err := page.Trigger(ev)
+			changed, err := page.Trigger(ctx, ev)
 			pm.EventsTriggered++
 			pm.XHRSends += page.XHRSends - sendsBefore
 			pm.NetworkCalls += page.NetworkCalls - netBefore
@@ -275,6 +333,11 @@ func (c *Crawler) crawlDynamic(page *browser.Page, graph *model.Graph, url strin
 				pm.NetworkEvents++
 			}
 			if err != nil {
+				if ctxAbort(ctx, err) {
+					return err
+				}
+				// A handler preempted by the JS step budget lands here
+				// too: it is a property of the page, not the crawl.
 				pm.HandlerErrors++
 				if opts.RecordProfile != nil {
 					opts.RecordProfile.record(url, ev, OutcomeError)
@@ -323,18 +386,24 @@ func (c *Crawler) crawlDynamic(page *browser.Page, graph *model.Graph, url strin
 				break
 			}
 			for _, probe := range opts.FormProbes {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				if graph.NumStates() >= opts.MaxStates {
 					break
 				}
 				page.Restore(snap)
 				netBefore := page.NetworkCalls
-				changed, err := page.TriggerWithValue(fev, probe)
+				changed, err := page.TriggerWithValue(ctx, fev, probe)
 				pm.EventsTriggered++
 				if page.NetworkCalls > netBefore {
 					pm.NetworkEvents++
 					pm.NetworkCalls += page.NetworkCalls - netBefore
 				}
 				if err != nil {
+					if ctxAbort(ctx, err) {
+						return err
+					}
 					pm.HandlerErrors++
 					continue
 				}
@@ -365,6 +434,14 @@ func (c *Crawler) crawlDynamic(page *browser.Page, graph *model.Graph, url strin
 		pm.HotNodeHits += hot.Hits
 	}
 	return nil
+}
+
+// ctxAbort reports whether err means the crawl's own context ended —
+// those errors abort the page instead of being counted as handler
+// errors (the page did nothing wrong; the budget ran out).
+func ctxAbort(ctx context.Context, err error) bool {
+	return ctx.Err() != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 func sourceName(ev browser.Event) string {
@@ -408,14 +485,31 @@ func diffTargets(snap *browser.Snapshot, page *browser.Page) []string {
 }
 
 // CrawlAll crawls a list of URLs sequentially, returning the graphs and
-// aggregate metrics. Pages whose crawl fails are skipped and counted.
-func (c *Crawler) CrawlAll(urls []string) ([]*model.Graph, *Metrics, error) {
+// aggregate metrics. Under the default SkipAndCount policy, pages whose
+// crawl fails are skipped and counted in Metrics.PagesFailed; with
+// FailFast the first page error aborts the run. Either way the graphs
+// crawled so far are returned. Cancellation of ctx always stops the run
+// promptly — within one page budget — with the partial graphs intact.
+func (c *Crawler) CrawlAll(ctx context.Context, urls []string) ([]*model.Graph, *Metrics, error) {
 	var graphs []*model.Graph
 	metrics := &Metrics{}
 	for _, u := range urls {
-		g, pm, err := c.CrawlPage(u)
+		if err := ctx.Err(); err != nil {
+			return graphs, metrics, err
+		}
+		g, pm, err := c.CrawlPage(ctx, u)
 		if err != nil {
-			return graphs, metrics, fmt.Errorf("core: crawl %s: %w", u, err)
+			// The caller's context ending is never a page failure: stop
+			// and hand back what is already crawled. A page that blew
+			// only its own PageTimeout falls through to the policy.
+			if ctx.Err() != nil {
+				return graphs, metrics, ctx.Err()
+			}
+			if c.Opts.OnError == FailFast {
+				return graphs, metrics, fmt.Errorf("core: crawl %s: %w", u, err)
+			}
+			metrics.PagesFailed++
+			continue
 		}
 		graphs = append(graphs, g)
 		metrics.Add(pm)

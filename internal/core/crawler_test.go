@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -9,6 +11,7 @@ import (
 	"ajaxcrawl/internal/browser"
 	"ajaxcrawl/internal/dom"
 	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/model"
 	"ajaxcrawl/internal/webapp"
 )
 
@@ -34,7 +37,7 @@ func TestTraditionalCrawlSingleState(t *testing.T) {
 	site, f := newSiteFetcher(20, 1)
 	v := multiPageVideo(t, site, 3)
 	c := New(f, Options{Traditional: true})
-	g, pm, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	g, pm, err := c.CrawlPage(context.Background(), webapp.WatchURL(v.ID))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +57,7 @@ func TestAJAXCrawlFindsAllCommentPages(t *testing.T) {
 	site, f := newSiteFetcher(30, 2)
 	v := multiPageVideo(t, site, 4)
 	c := New(f, Options{UseHotNode: true})
-	g, pm, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	g, pm, err := c.CrawlPage(context.Background(), webapp.WatchURL(v.ID))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +98,7 @@ func TestDuplicateStatesCollapse(t *testing.T) {
 	site, f := newSiteFetcher(30, 2)
 	v := multiPageVideo(t, site, 3)
 	c := New(f, Options{UseHotNode: true})
-	g, _, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	g, _, err := c.CrawlPage(context.Background(), webapp.WatchURL(v.ID))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +129,7 @@ func TestMaxStatesLimit(t *testing.T) {
 	site, f := newSiteFetcher(30, 2)
 	v := multiPageVideo(t, site, 5)
 	c := New(f, Options{UseHotNode: true, MaxStates: 3})
-	g, _, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	g, _, err := c.CrawlPage(context.Background(), webapp.WatchURL(v.ID))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +142,7 @@ func TestMaxEventsPerState(t *testing.T) {
 	site, f := newSiteFetcher(30, 2)
 	v := multiPageVideo(t, site, 5)
 	c := New(f, Options{UseHotNode: true, MaxStates: 2, MaxEventsPerState: 1})
-	_, pm, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	_, pm, err := c.CrawlPage(context.Background(), webapp.WatchURL(v.ID))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,12 +161,12 @@ func TestHotNodeReducesNetworkCalls(t *testing.T) {
 	url := webapp.WatchURL(v.ID)
 
 	noCache := New(f, Options{UseHotNode: false})
-	_, pmOff, err := noCache.CrawlPage(url)
+	_, pmOff, err := noCache.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
 	withCache := New(f, Options{UseHotNode: true})
-	_, pmOn, err := withCache.CrawlPage(url)
+	_, pmOn, err := withCache.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,10 +207,10 @@ func TestHotNodeDetectsFunction(t *testing.T) {
 	cache := NewHotNodeCache()
 	page := browser.NewPage(f)
 	page.XHR = cache.Hook()
-	if err := page.Load(webapp.WatchURL(v.ID)); err != nil {
+	if err := page.Load(context.Background(), webapp.WatchURL(v.ID)); err != nil {
 		t.Fatal(err)
 	}
-	if err := page.RunOnLoad(); err != nil {
+	if err := page.RunOnLoad(context.Background(), ); err != nil {
 		t.Fatal(err)
 	}
 	// Click "next": one miss, then repeat the identical call: one hit.
@@ -222,14 +225,14 @@ func TestHotNodeDetectsFunction(t *testing.T) {
 		t.Fatalf("no next event")
 	}
 	snap := page.Snapshot()
-	if _, err := page.Trigger(next); err != nil {
+	if _, err := page.Trigger(context.Background(), next); err != nil {
 		t.Fatal(err)
 	}
 	if cache.Misses != 1 || cache.Hits != 0 || cache.Len() != 1 {
 		t.Fatalf("after first send: misses=%d hits=%d len=%d", cache.Misses, cache.Hits, cache.Len())
 	}
 	page.Restore(snap)
-	if _, err := page.Trigger(next); err != nil {
+	if _, err := page.Trigger(context.Background(), next); err != nil {
 		t.Fatal(err)
 	}
 	if cache.Hits != 1 {
@@ -245,7 +248,7 @@ func TestTransitionAnnotations(t *testing.T) {
 	site, f := newSiteFetcher(30, 2)
 	v := multiPageVideo(t, site, 3)
 	c := New(f, Options{UseHotNode: true})
-	g, _, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	g, _, err := c.CrawlPage(context.Background(), webapp.WatchURL(v.ID))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +279,7 @@ func TestReplayPathReconstructsState(t *testing.T) {
 	site, f := newSiteFetcher(30, 2)
 	v := multiPageVideo(t, site, 4)
 	c := New(f, Options{UseHotNode: true})
-	g, _, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	g, _, err := c.CrawlPage(context.Background(), webapp.WatchURL(v.ID))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +289,7 @@ func TestReplayPathReconstructsState(t *testing.T) {
 	if path == nil {
 		t.Fatalf("no path to state %d", target.ID)
 	}
-	doc, err := ReplayPath(f, g.URL, path)
+	doc, err := ReplayPath(context.Background(), f, g.URL, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +309,7 @@ func TestCrawlAllAggregates(t *testing.T) {
 		webapp.WatchURL(site.Video(2).ID),
 	}
 	c := New(f, Options{UseHotNode: true})
-	graphs, m, err := c.CrawlAll(urls)
+	graphs, m, err := c.CrawlAll(context.Background(), urls)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,11 +331,54 @@ func TestCrawlAllAggregates(t *testing.T) {
 func TestCrawlErrorPropagates(t *testing.T) {
 	_, f := newSiteFetcher(5, 4)
 	c := New(f, Options{})
-	if _, _, err := c.CrawlPage("/watch?v=unknown"); err == nil {
+	if _, _, err := c.CrawlPage(context.Background(), "/watch?v=unknown"); err == nil {
 		t.Fatalf("crawl of missing page should fail")
 	}
-	if _, _, err := c.CrawlAll([]string{"/watch?v=unknown"}); err == nil {
-		t.Fatalf("CrawlAll should propagate failures")
+	// Default policy: the failed page is skipped and counted, not fatal.
+	graphs, m, err := c.CrawlAll(context.Background(), []string{"/watch?v=unknown"})
+	if err != nil {
+		t.Fatalf("SkipAndCount CrawlAll returned error: %v", err)
+	}
+	if len(graphs) != 0 || m.PagesFailed != 1 {
+		t.Fatalf("want 0 graphs and PagesFailed=1, got %d graphs, PagesFailed=%d", len(graphs), m.PagesFailed)
+	}
+	// FailFast: the first page error aborts the run.
+	ff := New(f, Options{OnError: FailFast})
+	if _, _, err := ff.CrawlAll(context.Background(), []string{"/watch?v=unknown"}); err == nil {
+		t.Fatalf("FailFast CrawlAll should propagate failures")
+	}
+}
+
+// TestCrawlAllSkipAndCount is the doc/behavior regression test: one URL
+// out of three fails, the other two come back, and the failure is
+// counted.
+func TestCrawlAllSkipAndCount(t *testing.T) {
+	site, f := newSiteFetcher(5, 4)
+	boom := errors.New("connection reset")
+	flaky := fetch.Func(func(ctx context.Context, rawurl string) (*fetch.Response, error) {
+		if rawurl == "/watch?v=dead" {
+			return nil, boom
+		}
+		return f.Fetch(ctx, rawurl)
+	})
+	urls := []string{
+		webapp.WatchURL(site.VideoID(0)),
+		"/watch?v=dead",
+		webapp.WatchURL(site.VideoID(1)),
+	}
+	c := New(flaky, Options{})
+	graphs, m, err := c.CrawlAll(context.Background(), urls)
+	if err != nil {
+		t.Fatalf("CrawlAll: %v", err)
+	}
+	if len(graphs) != 2 {
+		t.Fatalf("want 2 graphs, got %d", len(graphs))
+	}
+	if m.Pages != 2 || m.PagesFailed != 1 {
+		t.Fatalf("want Pages=2 PagesFailed=1, got Pages=%d PagesFailed=%d", m.Pages, m.PagesFailed)
+	}
+	if graphs[0].URL != urls[0] || graphs[1].URL != urls[2] {
+		t.Fatalf("surviving graphs out of order: %s, %s", graphs[0].URL, graphs[1].URL)
 	}
 }
 
@@ -342,7 +388,7 @@ func TestCrawlTimeMeasuredOnVirtualClock(t *testing.T) {
 	clock := &fetch.VirtualClock{}
 	inst := fetch.NewInstrumented(&fetch.HandlerFetcher{Handler: site.Handler()}, clock, 20*time.Millisecond, 0)
 	c := New(inst, Options{UseHotNode: true, Clock: clock})
-	_, pm, err := c.CrawlPage(webapp.WatchURL(v.ID))
+	_, pm, err := c.CrawlPage(context.Background(), webapp.WatchURL(v.ID))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,11 +410,84 @@ func TestEventCountsScaleWithStates(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		urls = append(urls, webapp.WatchURL(site.Video(i).ID))
 	}
-	_, m, err := c.CrawlAll(urls)
+	_, m, err := c.CrawlAll(context.Background(), urls)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.EventsTriggered <= m.States {
 		t.Fatalf("events (%d) should exceed states (%d)", m.EventsTriggered, m.States)
+	}
+}
+
+func TestCrawlAllCancelMidway(t *testing.T) {
+	// Canceling the context mid-batch must stop the run promptly with
+	// the already-crawled graphs intact.
+	site, f := newSiteFetcher(30, 7)
+	var urls []string
+	for i := 0; i < 25; i++ {
+		urls = append(urls, webapp.WatchURL(site.Video(i).ID))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var watchFetches int
+	counting := fetch.Func(func(c context.Context, rawurl string) (*fetch.Response, error) {
+		if strings.HasPrefix(rawurl, "/watch?v=") {
+			watchFetches++
+			if watchFetches == 6 {
+				cancel()
+			}
+		}
+		return f.Fetch(c, rawurl)
+	})
+	c := New(counting, Options{MaxStates: 3})
+	graphs, _, err := c.CrawlAll(ctx, urls)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(graphs) == 0 || len(graphs) >= len(urls) {
+		t.Fatalf("want partial graphs, got %d of %d", len(graphs), len(urls))
+	}
+	for i, g := range graphs {
+		if g == nil || g.NumStates() == 0 {
+			t.Fatalf("graph %d not intact", i)
+		}
+		if g.URL != urls[i] {
+			t.Fatalf("graph %d url = %s, want %s", i, g.URL, urls[i])
+		}
+	}
+}
+
+func TestJSStepBudgetPreemptsInfiniteLoop(t *testing.T) {
+	// A handler that never terminates is cut off by the per-dispatch JS
+	// step budget, counted as a handler error, and the crawl still
+	// completes — the page is at fault, not the crawl.
+	page := `<html><body><div id="spin" onclick="while (true) { var i = 1; }">spin</div></body></html>`
+	looping := fetch.Func(func(ctx context.Context, rawurl string) (*fetch.Response, error) {
+		return &fetch.Response{Status: 200, Body: []byte(page), ContentType: "text/html"}, nil
+	})
+	c := New(looping, Options{JSStepBudget: 5000, MaxStates: 3})
+	done := make(chan struct{})
+	var (
+		g   *model.Graph
+		m   PageMetrics
+		err error
+	)
+	go func() {
+		defer close(done)
+		g, m, err = c.CrawlPage(context.Background(), "/loop")
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("step budget did not preempt the infinite loop")
+	}
+	if err != nil {
+		t.Fatalf("preempted handler should not fail the page: %v", err)
+	}
+	if g == nil || g.NumStates() == 0 {
+		t.Fatalf("page model missing")
+	}
+	if m.HandlerErrors == 0 {
+		t.Fatalf("preempted handler should count as a handler error")
 	}
 }

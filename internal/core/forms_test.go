@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func formSite(videos int) (*webapp.Site, fetch.Fetcher) {
 func TestBrowserFormEvents(t *testing.T) {
 	site, f := formSite(10)
 	p := browser.NewPage(f)
-	if err := p.Load(webapp.WatchURL(site.VideoID(0))); err != nil {
+	if err := p.Load(context.Background(), webapp.WatchURL(site.VideoID(0))); err != nil {
 		t.Fatal(err)
 	}
 	fevs := p.FormEvents()
@@ -35,7 +36,7 @@ func TestBrowserFormEvents(t *testing.T) {
 		t.Fatalf("form event = %+v", fe)
 	}
 	// Probing with a prefix fills the suggestions div.
-	changed, err := p.TriggerWithValue(fe, "wo")
+	changed, err := p.TriggerWithValue(context.Background(), fe, "wo")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,10 +49,10 @@ func TestBrowserFormEvents(t *testing.T) {
 	}
 	// An empty probe does nothing (the handler guards on it).
 	p2 := browser.NewPage(f)
-	if err := p2.Load(webapp.WatchURL(site.VideoID(0))); err != nil {
+	if err := p2.Load(context.Background(), webapp.WatchURL(site.VideoID(0))); err != nil {
 		t.Fatal(err)
 	}
-	changed, err = p2.TriggerWithValue(p2.FormEvents()[0], "")
+	changed, err = p2.TriggerWithValue(context.Background(), p2.FormEvents()[0], "")
 	if err != nil || changed {
 		t.Fatalf("empty probe should not change DOM: %v %v", changed, err)
 	}
@@ -63,7 +64,7 @@ func TestFormCrawlingDiscoversSuggestStates(t *testing.T) {
 
 	// Without probes, the search box contributes no states.
 	plain := New(f, Options{UseHotNode: true, MaxStates: 30})
-	gPlain, _, err := plain.CrawlPage(url)
+	gPlain, _, err := plain.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestFormCrawlingDiscoversSuggestStates(t *testing.T) {
 		MaxStates:  30,
 		FormProbes: []string{"wo", "da", "zz"},
 	})
-	gForm, pm, err := probing.CrawlPage(url)
+	gForm, pm, err := probing.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestFormStateReplay(t *testing.T) {
 	site, f := formSite(10)
 	url := webapp.WatchURL(site.VideoID(0))
 	c := New(f, Options{UseHotNode: true, MaxStates: 30, FormProbes: []string{"wo"}})
-	g, _, err := c.CrawlPage(url)
+	g, _, err := c.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestFormStateReplay(t *testing.T) {
 	if path == nil {
 		t.Fatalf("form state unreachable")
 	}
-	doc, err := ReplayPath(f, url, path)
+	doc, err := ReplayPath(context.Background(), f, url, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestFormProbesRespectMaxStates(t *testing.T) {
 		MaxStates:  2,
 		FormProbes: []string{"wo", "da", "fu", "ki", "lo"},
 	})
-	g, _, err := c.CrawlPage(url)
+	g, _, err := c.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}

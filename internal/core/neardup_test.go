@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestGranularEventsExplodeWithoutNearDup(t *testing.T) {
 	url := webapp.WatchURL(v.ID)
 
 	plain := New(f, Options{UseHotNode: true, MaxStates: 11})
-	gPlain, _, err := plain.CrawlPage(url)
+	gPlain, _, err := plain.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestGranularEventsExplodeWithoutNearDup(t *testing.T) {
 	// With near-duplicate merging, like states collapse and the budget
 	// goes to real comment pages.
 	merged := New(f, Options{UseHotNode: true, MaxStates: 11, NearDupThreshold: 0.9})
-	gMerged, pm, err := merged.CrawlPage(url)
+	gMerged, pm, err := merged.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,12 +100,12 @@ func TestNearDupKeepsDistinctCommentPages(t *testing.T) {
 	url := webapp.WatchURL(v.ID)
 
 	plain := New(f, Options{UseHotNode: true})
-	gPlain, _, err := plain.CrawlPage(url)
+	gPlain, _, err := plain.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
 	merged := New(f, Options{UseHotNode: true, NearDupThreshold: 0.9})
-	gMerged, pm, err := merged.CrawlPage(url)
+	gMerged, pm, err := merged.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -20,7 +21,7 @@ func TestCrawlNewsApplication(t *testing.T) {
 	f := &fetch.HandlerFetcher{Handler: news.Handler()}
 
 	c := New(f, Options{UseHotNode: true, MaxStates: 16})
-	g, _, err := c.CrawlPage(news.ArticleURL(0))
+	g, _, err := c.CrawlPage(context.Background(), news.ArticleURL(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestNewsTwoHotNodes(t *testing.T) {
 	cache := NewHotNodeCache()
 	p := browser.NewPage(f)
 	p.XHR = cache.Hook()
-	if err := p.Load(news.ArticleURL(0)); err != nil {
+	if err := p.Load(context.Background(), news.ArticleURL(0)); err != nil {
 		t.Fatal(err)
 	}
 	snap := p.Snapshot()
@@ -73,7 +74,7 @@ func TestNewsTwoHotNodes(t *testing.T) {
 		fired := false
 		for _, ev := range p.Events(nil) {
 			if strings.Contains(ev.Code, which) {
-				if _, err := p.Trigger(ev); err != nil {
+				if _, err := p.Trigger(context.Background(), ev); err != nil {
 					t.Fatal(err)
 				}
 				fired = true
@@ -92,7 +93,7 @@ func TestNewsTwoHotNodes(t *testing.T) {
 	p.Restore(snap)
 	for _, ev := range p.Events(nil) {
 		if strings.Contains(ev.Code, "expandSection(0, 0)") {
-			if _, err := p.Trigger(ev); err != nil {
+			if _, err := p.Trigger(context.Background(), ev); err != nil {
 				t.Fatal(err)
 			}
 			break
@@ -115,7 +116,7 @@ func TestNewsSearchFindsExpandedContent(t *testing.T) {
 	for i := 0; i < news.NumArticles(); i++ {
 		urls = append(urls, news.ArticleURL(i))
 	}
-	graphs, _, err := c.CrawlAll(urls)
+	graphs, _, err := c.CrawlAll(context.Background(), urls)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestReplayNewsState(t *testing.T) {
 	news := webapp.NewNews(webapp.NewsConfig{Articles: 2, Seed: 5, Sections: 2})
 	f := &fetch.HandlerFetcher{Handler: news.Handler()}
 	c := New(f, Options{UseHotNode: true, MaxStates: 8})
-	g, _, err := c.CrawlPage(news.ArticleURL(1))
+	g, _, err := c.CrawlPage(context.Background(), news.ArticleURL(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestReplayNewsState(t *testing.T) {
 	if path == nil {
 		t.Fatalf("deepest state unreachable")
 	}
-	doc, err := ReplayPath(f, g.URL, path)
+	doc, err := ReplayPath(context.Background(), f, g.URL, path)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -28,15 +29,35 @@ type MPCrawler struct {
 	SaveModels bool
 }
 
+// PartitionResult is one completed partition, as emitted by Stream while
+// later partitions are still crawling.
+type PartitionResult struct {
+	// Index is the partition's position in Partitions.
+	Index int
+	// Dir is the partition directory.
+	Dir string
+	// Graphs are the partition's application models (possibly partial
+	// when Err is a cancellation).
+	Graphs []*model.Graph
+	// Metrics are this partition's crawl metrics (never nil).
+	Metrics *Metrics
+	// Err is the partition's failure, if any.
+	Err error
+}
+
 // MPResult is the outcome of a parallel crawl.
 type MPResult struct {
 	// GraphsByPartition holds each partition's application models, index-
 	// aligned with Partitions.
 	GraphsByPartition [][]*model.Graph
-	// Metrics aggregates all process lines.
+	// Metrics aggregates all process lines. PerPage is ordered by
+	// partition (then by URL order within the partition), not by
+	// goroutine completion order, so experiment output is reproducible
+	// run to run.
 	Metrics *Metrics
 	// Errors holds the first error of each failed partition (nil entries
-	// for successful ones).
+	// for successful ones). A canceled run leaves ctx.Err() in the
+	// partitions that were cut short and nil in untouched ones.
 	Errors []error
 }
 
@@ -59,21 +80,21 @@ func (r *MPResult) Err() error {
 	return nil
 }
 
-// Run executes the parallel crawl and blocks until every partition is
-// processed.
-func (m *MPCrawler) Run() *MPResult {
+// Stream starts the process lines and returns a channel that yields each
+// partition as soon as it completes, so downstream phases (indexing) can
+// overlap with crawling. The channel is closed once every process line
+// has drained. Canceling ctx stops the hand-out of new partitions and
+// cuts short in-flight ones; their partial graphs are still emitted,
+// with Err set to the context error.
+func (m *MPCrawler) Stream(ctx context.Context) <-chan PartitionResult {
 	n := m.ProcLines
 	if n <= 0 {
 		n = 1
 	}
-	res := &MPResult{
-		GraphsByPartition: make([][]*model.Graph, len(m.Partitions)),
-		Metrics:           &Metrics{},
-		Errors:            make([]error, len(m.Partitions)),
-	}
+	out := make(chan PartitionResult)
 	var (
 		next int
-		mu   sync.Mutex // guards next and res.Metrics
+		mu   sync.Mutex // guards next
 		wg   sync.WaitGroup
 	)
 	for line := 0; line < n; line++ {
@@ -88,39 +109,71 @@ func (m *MPCrawler) Run() *MPResult {
 				idx := next
 				next++
 				mu.Unlock()
-				if idx >= len(m.Partitions) {
+				if idx >= len(m.Partitions) || ctx.Err() != nil {
 					return
 				}
-				graphs, metrics, err := m.runPartition(crawler, m.Partitions[idx])
-				mu.Lock()
-				res.GraphsByPartition[idx] = graphs
-				res.Errors[idx] = err
-				if metrics != nil {
-					res.Metrics.Merge(metrics)
+				graphs, metrics, err := m.runPartition(ctx, crawler, m.Partitions[idx])
+				if metrics == nil {
+					metrics = &Metrics{}
 				}
-				mu.Unlock()
+				out <- PartitionResult{
+					Index:   idx,
+					Dir:     m.Partitions[idx],
+					Graphs:  graphs,
+					Metrics: metrics,
+					Err:     err,
+				}
 			}
 		}()
 	}
-	wg.Wait()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Run executes the parallel crawl and blocks until every process line
+// has finished. On cancellation it returns early-but-cleanly: partitions
+// completed before the cancel keep their graphs, in-flight partitions
+// contribute their partial graphs with ctx.Err() recorded, and untouched
+// partitions stay empty.
+func (m *MPCrawler) Run(ctx context.Context) *MPResult {
+	res := &MPResult{
+		GraphsByPartition: make([][]*model.Graph, len(m.Partitions)),
+		Metrics:           &Metrics{},
+		Errors:            make([]error, len(m.Partitions)),
+	}
+	perPart := make([]*Metrics, len(m.Partitions))
+	for pr := range m.Stream(ctx) {
+		res.GraphsByPartition[pr.Index] = pr.Graphs
+		res.Errors[pr.Index] = pr.Err
+		perPart[pr.Index] = pr.Metrics
+	}
+	// Merge in partition order — not completion order — so
+	// Metrics.PerPage is deterministic across runs.
+	for _, metrics := range perPart {
+		if metrics != nil {
+			res.Metrics.Merge(metrics)
+		}
+	}
 	return res
 }
 
 // runPartition crawls one partition directory like a SimpleAjaxCrawler
 // process: read URLsToCrawl.txt, crawl each page, serialize the models.
-func (m *MPCrawler) runPartition(c *Crawler, dir string) ([]*model.Graph, *Metrics, error) {
+// Models crawled before an error are still flushed to disk (the partial-
+// model flush a graceful shutdown relies on).
+func (m *MPCrawler) runPartition(ctx context.Context, c *Crawler, dir string) ([]*model.Graph, *Metrics, error) {
 	urls, err := ReadPartition(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	graphs, metrics, err := c.CrawlAll(urls)
-	if err != nil {
-		return graphs, metrics, err
-	}
-	if m.SaveModels {
-		if err := model.SaveAll(dir, graphs); err != nil {
-			return graphs, metrics, err
+	graphs, metrics, err := c.CrawlAll(ctx, urls)
+	if m.SaveModels && len(graphs) > 0 {
+		if saveErr := model.SaveAll(dir, graphs); saveErr != nil && err == nil {
+			err = saveErr
 		}
 	}
-	return graphs, metrics, nil
+	return graphs, metrics, err
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"os"
@@ -41,19 +42,29 @@ type PrecrawlResult struct {
 	PageRank map[string]float64
 }
 
-// Run performs the precrawl.
-func (p *Precrawler) Run() (*PrecrawlResult, error) {
+// Run performs the precrawl. Canceling ctx aborts the breadth-first
+// expansion and returns the pages discovered so far with ctx.Err().
+func (p *Precrawler) Run(ctx context.Context) (*PrecrawlResult, error) {
 	if p.MaxPages <= 0 {
 		return nil, fmt.Errorf("core: precrawl: MaxPages must be positive")
 	}
 	res := &PrecrawlResult{Links: make(map[string][]string)}
 	visited := map[string]bool{p.StartURL: true}
 	queue := []string{p.StartURL}
+	var ctxErr error
 	for len(queue) > 0 && len(res.URLs) < p.MaxPages {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
 		u := queue[0]
 		queue = queue[1:]
 		page := browser.NewPage(p.Fetcher)
-		if err := page.LoadStatic(u); err != nil {
+		if err := page.LoadStatic(ctx, u); err != nil {
+			if ctx.Err() != nil {
+				ctxErr = ctx.Err()
+				break
+			}
 			// Unreachable pages are skipped, like a robust crawler.
 			continue
 		}
@@ -86,7 +97,7 @@ func (p *Precrawler) Run() (*PrecrawlResult, error) {
 		}
 	}
 	res.PageRank = pagerank.Compute(inGraph, pagerank.Options{})
-	return res, nil
+	return res, ctxErr
 }
 
 // precrawlFileName stores the serialized PrecrawlResult.

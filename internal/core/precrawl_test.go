@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -18,7 +19,7 @@ func TestPrecrawlerBuildsLinkGraph(t *testing.T) {
 		MaxPages: 20,
 		KeepURL:  func(u string) bool { return strings.Contains(u, "/watch?v=") },
 	}
-	res, err := p.Run()
+	res, err := p.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,11 +58,11 @@ func TestPrecrawlerBuildsLinkGraph(t *testing.T) {
 func TestPrecrawlerMaxPagesOne(t *testing.T) {
 	site, f := newSiteFetcher(5, 7)
 	p := &Precrawler{Fetcher: f, StartURL: webapp.WatchURL(site.Video(0).ID), MaxPages: 1}
-	res, err := p.Run()
+	res, err := p.Run(context.Background())
 	if err != nil || len(res.URLs) != 1 {
 		t.Fatalf("res=%v err=%v", res, err)
 	}
-	if _, err := (&Precrawler{Fetcher: f, StartURL: "/", MaxPages: 0}).Run(); err == nil {
+	if _, err := (&Precrawler{Fetcher: f, StartURL: "/", MaxPages: 0}).Run(context.Background()); err == nil {
 		t.Fatalf("MaxPages 0 should error")
 	}
 }
@@ -69,7 +70,7 @@ func TestPrecrawlerMaxPagesOne(t *testing.T) {
 func TestPrecrawlSkipsBrokenPages(t *testing.T) {
 	_, f := newSiteFetcher(5, 7)
 	p := &Precrawler{Fetcher: f, StartURL: "/watch?v=missing", MaxPages: 5}
-	res, err := p.Run()
+	res, err := p.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestPrecrawlSkipsBrokenPages(t *testing.T) {
 func TestPrecrawlSaveLoad(t *testing.T) {
 	site, f := newSiteFetcher(20, 7)
 	p := &Precrawler{Fetcher: f, StartURL: webapp.WatchURL(site.Video(0).ID), MaxPages: 10}
-	res, err := p.Run()
+	res, err := p.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestMPCrawlerProcessesAllPartitions(t *testing.T) {
 		Partitions: dirs,
 		SaveModels: true,
 	}
-	res := mp.Run()
+	res := mp.Run(context.Background())
 	if err := res.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestMPCrawlerSerialEqualsParallelModels(t *testing.T) {
 			ProcLines:  lines,
 			Partitions: dirs,
 		}
-		res := mp.Run()
+		res := mp.Run(context.Background())
 		if err := res.Err(); err != nil {
 			t.Fatal(err)
 		}
@@ -219,6 +220,55 @@ func TestMPCrawlerSerialEqualsParallelModels(t *testing.T) {
 	}
 }
 
+func TestMPCrawlerPerPageOrderDeterministic(t *testing.T) {
+	// Metrics.PerPage must follow partition order (then URL order within
+	// each partition), not goroutine completion order.
+	site, _ := newSiteFetcher(12, 13)
+	var urls []string
+	for i := 0; i < 12; i++ {
+		urls = append(urls, webapp.WatchURL(site.Video(i).ID))
+	}
+	run := func() []string {
+		dirs, err := (&URLPartitioner{PartitionSize: 3, RootDir: t.TempDir()}).Partition(urls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp := &MPCrawler{
+			NewCrawler: func() *Crawler {
+				return New(&fetch.HandlerFetcher{Handler: site.Handler()}, Options{MaxStates: 3})
+			},
+			ProcLines:  4,
+			Partitions: dirs,
+		}
+		res := mp.Run(context.Background())
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		order := make([]string, 0, len(res.Metrics.PerPage))
+		for _, pm := range res.Metrics.PerPage {
+			order = append(order, pm.URL)
+		}
+		return order
+	}
+	first := run()
+	if len(first) != len(urls) {
+		t.Fatalf("PerPage has %d rows, want %d", len(first), len(urls))
+	}
+	for i, u := range first {
+		if u != urls[i] {
+			t.Fatalf("PerPage[%d] = %s, want %s (partition order)", i, u, urls[i])
+		}
+	}
+	for trial := 0; trial < 3; trial++ {
+		got := run()
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d diverged at %d: %s vs %s", trial, i, got[i], first[i])
+			}
+		}
+	}
+}
+
 func TestMPCrawlerPartitionErrorReported(t *testing.T) {
 	root := t.TempDir()
 	dirs, err := (&URLPartitioner{PartitionSize: 1, RootDir: root}).Partition([]string{"/watch?v=broken"})
@@ -226,13 +276,23 @@ func TestMPCrawlerPartitionErrorReported(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, f := newSiteFetcher(3, 11)
+	// Under the default SkipAndCount policy the partition completes with
+	// the bad page counted, not failed.
 	mp := &MPCrawler{
 		NewCrawler: func() *Crawler { return New(f, Options{}) },
 		ProcLines:  2,
 		Partitions: dirs,
 	}
-	res := mp.Run()
-	if res.Err() == nil {
-		t.Fatalf("broken partition should surface an error")
+	res := mp.Run(context.Background())
+	if err := res.Err(); err != nil {
+		t.Fatalf("SkipAndCount partition errored: %v", err)
+	}
+	if res.Metrics.PagesFailed != 1 {
+		t.Fatalf("want PagesFailed=1, got %d", res.Metrics.PagesFailed)
+	}
+	// FailFast surfaces it as a partition error.
+	mp.NewCrawler = func() *Crawler { return New(f, Options{OnError: FailFast}) }
+	if res := mp.Run(context.Background()); res.Err() == nil {
+		t.Fatalf("broken partition should surface an error under FailFast")
 	}
 }

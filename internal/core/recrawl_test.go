@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestRecrawlProfileRecordsOutcomes(t *testing.T) {
 
 	profile := NewCrawlProfile()
 	c := New(f, Options{UseHotNode: true, RecordProfile: profile})
-	_, pm, err := c.CrawlPage(url)
+	_, pm, err := c.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,14 +50,14 @@ func TestRecrawlSkipsUnproductiveEvents(t *testing.T) {
 	// events).
 	profile := NewCrawlProfile()
 	c1 := New(f, Options{UseHotNode: true, RecordProfile: profile})
-	g1, pm1, err := c1.CrawlPage(url)
+	g1, pm1, err := c1.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Session 2 with the profile: nothing should be skipped (all events
 	// were productive), and the model must be identical.
 	c2 := New(f, Options{UseHotNode: true, PriorProfile: profile})
-	g2, pm2, err := c2.CrawlPage(url)
+	g2, pm2, err := c2.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestRecrawlSkipsUnproductiveEvents(t *testing.T) {
 	}
 	profile.Pages[url].Events[anyKey] = OutcomeNoChange
 	c3 := New(f, Options{UseHotNode: true, PriorProfile: profile})
-	_, pm3, err := c3.CrawlPage(url)
+	_, pm3, err := c3.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestBuildProfileFromGraph(t *testing.T) {
 	v := multiPageVideo(t, site, 3)
 	url := webapp.WatchURL(v.ID)
 	c := New(f, Options{UseHotNode: true})
-	g, _, err := c.CrawlPage(url)
+	g, _, err := c.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,14 +167,14 @@ func TestFocusedCrawlPrunesIrrelevantStates(t *testing.T) {
 	url := webapp.WatchURL(v.ID)
 
 	full := New(f, Options{UseHotNode: true})
-	gFull, _, err := full.CrawlPage(url)
+	gFull, _, err := full.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Focus on nothing: every non-initial state is irrelevant, so only
 	// states reachable from the initial state are found.
 	focused := New(f, Options{UseHotNode: true, StateFilter: func(string) bool { return false }})
-	gFoc, pmFoc, err := focused.CrawlPage(url)
+	gFoc, pmFoc, err := focused.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestFocusedCrawlPrunesIrrelevantStates(t *testing.T) {
 	}
 	// Accept-all filter behaves like no filter.
 	all := New(f, Options{UseHotNode: true, StateFilter: func(string) bool { return true }})
-	gAll, pmAll, err := all.CrawlPage(url)
+	gAll, pmAll, err := all.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestAjaxRobotsEndToEnd(t *testing.T) {
 	site := webapp.New(cfg)
 	f := &fetch.HandlerFetcher{Handler: site.Handler()}
 
-	robots, err := FetchAjaxRobots(f)
+	robots, err := FetchAjaxRobots(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestAjaxRobotsEndToEnd(t *testing.T) {
 	}
 	url := webapp.WatchURL(v.ID)
 	c := New(f, robots.ApplyTo(Options{UseHotNode: true}, url))
-	g, _, err := c.CrawlPage(url)
+	g, _, err := c.CrawlPage(context.Background(), url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestAjaxRobotsEndToEnd(t *testing.T) {
 	}
 	// A site without the file yields nil robots.
 	plain := webapp.New(webapp.DefaultConfig(5, 1))
-	robots, err = FetchAjaxRobots(&fetch.HandlerFetcher{Handler: plain.Handler()})
+	robots, err = FetchAjaxRobots(context.Background(), &fetch.HandlerFetcher{Handler: plain.Handler()})
 	if err != nil || robots != nil {
 		t.Fatalf("absent robots file should yield nil: %v %v", robots, err)
 	}

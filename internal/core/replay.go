@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ajaxcrawl/internal/browser"
@@ -16,12 +17,12 @@ import (
 //  1. construct the DOM of the initial state,
 //  2. invoke all annotated events to the desired state,
 //  3. return the generated DOM (to be presented in a browser).
-func ReplayPath(fetcher fetch.Fetcher, url string, path []*model.Transition) (*dom.Node, error) {
+func ReplayPath(ctx context.Context, fetcher fetch.Fetcher, url string, path []*model.Transition) (*dom.Node, error) {
 	page := browser.NewPage(fetcher)
-	if err := page.Load(url); err != nil {
+	if err := page.Load(ctx, url); err != nil {
 		return nil, err
 	}
-	if err := page.RunOnLoad(); err != nil {
+	if err := page.RunOnLoad(ctx); err != nil {
 		return nil, fmt.Errorf("core: replay onload: %w", err)
 	}
 	for i, tr := range path {
@@ -31,9 +32,9 @@ func ReplayPath(fetcher fetch.Fetcher, url string, path []*model.Transition) (*d
 		}
 		var err error
 		if tr.Probe != "" {
-			_, err = page.TriggerWithValue(browser.FormEvent{Event: ev}, tr.Probe)
+			_, err = page.TriggerWithValue(ctx, browser.FormEvent{Event: ev}, tr.Probe)
 		} else {
-			_, err = page.Trigger(ev)
+			_, err = page.Trigger(ctx, ev)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: replay step %d (%s): %w", i, ev, err)

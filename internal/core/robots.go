@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"strings"
@@ -62,8 +63,8 @@ func ParseAjaxRobots(content string) *AjaxRobots {
 
 // FetchAjaxRobots retrieves and parses /robots-ajax.txt. A missing file
 // yields a nil AjaxRobots (no limits), not an error.
-func FetchAjaxRobots(f fetch.Fetcher) (*AjaxRobots, error) {
-	resp, err := f.Fetch("/robots-ajax.txt")
+func FetchAjaxRobots(ctx context.Context, f fetch.Fetcher) (*AjaxRobots, error) {
+	resp, err := f.Fetch(ctx, "/robots-ajax.txt")
 	if err != nil || resp.Status != 200 {
 		return nil, nil //nolint:nilerr // absent file means no policy
 	}

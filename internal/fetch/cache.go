@@ -1,6 +1,10 @@
 package fetch
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
 
 // Cache is a memoizing Fetcher wrapper: every URL is fetched from the
 // inner Fetcher once and served from memory afterwards — the
@@ -33,10 +37,16 @@ func NewCache(inner Fetcher) *Cache {
 	return &Cache{Inner: inner, entries: make(map[string]cacheEntry)}
 }
 
+// Unwrap implements Wrapper, so FindStats can reach instrumentation
+// wrapped inside the cache.
+func (c *Cache) Unwrap() Fetcher { return c.Inner }
+
 // Fetch implements Fetcher. Errors are cached too (negative caching), so
 // a broken URL is not retried within one crawl session — matching the
-// snapshot-isolation assumption (§4.3).
-func (c *Cache) Fetch(rawurl string) (*Response, error) {
+// snapshot-isolation assumption (§4.3). Context errors are the
+// exception: a fetch that failed only because its caller's deadline
+// passed must not poison the cache for later callers.
+func (c *Cache) Fetch(ctx context.Context, rawurl string) (*Response, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[rawurl]; ok {
 		c.hits++
@@ -46,7 +56,10 @@ func (c *Cache) Fetch(rawurl string) (*Response, error) {
 	c.misses++
 	c.mu.Unlock()
 
-	resp, err := c.Inner.Fetch(rawurl)
+	resp, err := c.Inner.Fetch(ctx, rawurl)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return resp, err
+	}
 	c.mu.Lock()
 	c.entries[rawurl] = cacheEntry{resp: resp, err: err}
 	c.mu.Unlock()

@@ -3,9 +3,14 @@
 // against an in-process synthetic site. Both are Fetchers, and an
 // instrumented wrapper injects the simulated network latency and records
 // the call/byte/time counters the evaluation chapter reports.
+//
+// Every Fetch carries a context.Context: deadlines and cancellation
+// propagate from the crawler's per-page budget down to the simulated (or
+// real) network, so a hung fetch can never stall a process line.
 package fetch
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -23,16 +28,20 @@ type Response struct {
 	ContentType string
 }
 
-// Fetcher retrieves the resource at a URL.
+// Fetcher retrieves the resource at a URL. Implementations must honor
+// ctx: return promptly with ctx.Err() once the context is canceled or
+// its deadline passes.
 type Fetcher interface {
-	Fetch(rawurl string) (*Response, error)
+	Fetch(ctx context.Context, rawurl string) (*Response, error)
 }
 
 // Clock abstracts time so benchmarks can run with a virtual clock: the
 // "network time" the paper measures is then deterministic and free.
+// Sleep is interruptible: it returns ctx.Err() if the context ends
+// before the duration elapses, so simulated latency respects deadlines.
 type Clock interface {
 	Now() time.Time
-	Sleep(d time.Duration)
+	Sleep(ctx context.Context, d time.Duration) error
 }
 
 // RealClock uses the wall clock.
@@ -41,8 +50,20 @@ type RealClock struct{}
 // Now returns the current wall time.
 func (RealClock) Now() time.Time { return time.Now() }
 
-// Sleep sleeps for d.
-func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+// Sleep sleeps for d or until ctx ends, whichever comes first.
+func (RealClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // VirtualClock advances instantly on Sleep. It is safe for concurrent
 // use; concurrent sleeps accumulate, modeling serialized network I/O per
@@ -54,8 +75,15 @@ type VirtualClock struct {
 // Now returns the virtual time.
 func (c *VirtualClock) Now() time.Time { return time.Unix(0, c.ns.Load()) }
 
-// Sleep advances the virtual time by d.
-func (c *VirtualClock) Sleep(d time.Duration) { c.ns.Add(int64(d)) }
+// Sleep advances the virtual time by d. Virtual sleeps are free, so a
+// canceled context is only reported, never waited on.
+func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.ns.Add(int64(d))
+	return nil
+}
 
 // HTTPFetcher fetches over a real HTTP client.
 type HTTPFetcher struct {
@@ -63,12 +91,16 @@ type HTTPFetcher struct {
 }
 
 // Fetch implements Fetcher.
-func (f *HTTPFetcher) Fetch(rawurl string) (*Response, error) {
+func (f *HTTPFetcher) Fetch(ctx context.Context, rawurl string) (*Response, error) {
 	client := f.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
-	resp, err := client.Get(rawurl)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawurl, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fetch %s: %w", rawurl, err)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("fetch %s: %w", rawurl, err)
 	}
@@ -94,7 +126,10 @@ type HandlerFetcher struct {
 }
 
 // Fetch implements Fetcher.
-func (f *HandlerFetcher) Fetch(rawurl string) (*Response, error) {
+func (f *HandlerFetcher) Fetch(ctx context.Context, rawurl string) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("fetch %s: %w", rawurl, err)
+	}
 	u, err := url.Parse(rawurl)
 	if err != nil {
 		return nil, fmt.Errorf("fetch %s: %w", rawurl, err)
@@ -102,7 +137,7 @@ func (f *HandlerFetcher) Fetch(rawurl string) (*Response, error) {
 	if u.Host != "" && f.Host != "" && u.Host != f.Host {
 		return nil, fmt.Errorf("fetch %s: host %q not served by this fetcher", rawurl, u.Host)
 	}
-	req, err := http.NewRequest(http.MethodGet, u.RequestURI(), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.RequestURI(), nil)
 	if err != nil {
 		return nil, fmt.Errorf("fetch %s: %w", rawurl, err)
 	}
@@ -124,6 +159,36 @@ type Stats struct {
 	Bytes       int64
 	NetworkTime time.Duration
 	Errors      int64
+}
+
+// StatsProvider is implemented by fetchers that record Stats. The
+// crawler attributes per-page network time through this interface
+// instead of asserting on a concrete type, so instrumentation survives
+// wrapping (e.g. a Cache around an Instrumented).
+type StatsProvider interface {
+	Stats() Stats
+}
+
+// Wrapper is implemented by fetchers that delegate to an inner Fetcher.
+// FindStats walks Unwrap chains to locate a StatsProvider.
+type Wrapper interface {
+	Unwrap() Fetcher
+}
+
+// FindStats returns the first StatsProvider in f's unwrap chain, or nil
+// when the chain has none.
+func FindStats(f Fetcher) StatsProvider {
+	for f != nil {
+		if sp, ok := f.(StatsProvider); ok {
+			return sp
+		}
+		w, ok := f.(Wrapper)
+		if !ok {
+			return nil
+		}
+		f = w.Unwrap()
+	}
+	return nil
 }
 
 // Instrumented wraps a Fetcher with simulated latency and counters. The
@@ -150,10 +215,15 @@ func NewInstrumented(inner Fetcher, clock Clock, base, perKB time.Duration) *Ins
 	return &Instrumented{Inner: inner, Clock: clock, Base: base, PerKB: perKB}
 }
 
+// Unwrap implements Wrapper.
+func (f *Instrumented) Unwrap() Fetcher { return f.Inner }
+
 // Fetch implements Fetcher, charging simulated latency and recording it.
-func (f *Instrumented) Fetch(rawurl string) (*Response, error) {
+// The simulated delay is deadline-aware: a canceled or expired context
+// interrupts the sleep and the fetch fails with ctx.Err().
+func (f *Instrumented) Fetch(ctx context.Context, rawurl string) (*Response, error) {
 	start := f.Clock.Now()
-	resp, err := f.Inner.Fetch(rawurl)
+	resp, err := f.Inner.Fetch(ctx, rawurl)
 	if err != nil {
 		f.mu.Lock()
 		f.stats.Calls++
@@ -164,7 +234,14 @@ func (f *Instrumented) Fetch(rawurl string) (*Response, error) {
 	}
 	delay := f.Base + f.PerKB*time.Duration(len(resp.Body))/1024
 	if delay > 0 {
-		f.Clock.Sleep(delay)
+		if serr := f.Clock.Sleep(ctx, delay); serr != nil {
+			f.mu.Lock()
+			f.stats.Calls++
+			f.stats.Errors++
+			f.stats.NetworkTime += f.Clock.Now().Sub(start)
+			f.mu.Unlock()
+			return nil, fmt.Errorf("fetch %s: %w", rawurl, serr)
+		}
 	}
 	elapsed := f.Clock.Now().Sub(start)
 	if elapsed < delay {
@@ -195,7 +272,9 @@ func (f *Instrumented) Reset() {
 }
 
 // Func adapts a function to the Fetcher interface (handy in tests).
-type Func func(rawurl string) (*Response, error)
+type Func func(ctx context.Context, rawurl string) (*Response, error)
 
 // Fetch implements Fetcher.
-func (f Func) Fetch(rawurl string) (*Response, error) { return f(rawurl) }
+func (f Func) Fetch(ctx context.Context, rawurl string) (*Response, error) {
+	return f(ctx, rawurl)
+}

@@ -1,6 +1,7 @@
 package fetch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -25,7 +26,7 @@ func echoHandler() http.Handler {
 
 func TestHandlerFetcher(t *testing.T) {
 	f := &HandlerFetcher{Handler: echoHandler(), Host: "sim.local"}
-	resp, err := f.Fetch("http://sim.local/page?q=hello")
+	resp, err := f.Fetch(context.Background(), "http://sim.local/page?q=hello")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,15 +37,15 @@ func TestHandlerFetcher(t *testing.T) {
 		t.Fatalf("content type = %q", resp.ContentType)
 	}
 	// Relative URLs work too.
-	if _, err := f.Fetch("/page?q=x"); err != nil {
+	if _, err := f.Fetch(context.Background(), "/page?q=x"); err != nil {
 		t.Fatalf("relative fetch: %v", err)
 	}
 	// Wrong host is rejected.
-	if _, err := f.Fetch("http://other.host/page"); err == nil {
+	if _, err := f.Fetch(context.Background(), "http://other.host/page"); err == nil {
 		t.Fatalf("foreign host should fail")
 	}
 	// 404 is returned as a status, not an error.
-	resp, err = f.Fetch("/missing")
+	resp, err = f.Fetch(context.Background(), "/missing")
 	if err != nil || resp.Status != 404 {
 		t.Fatalf("missing = %v %v", resp, err)
 	}
@@ -55,10 +56,10 @@ func TestInstrumentedCountsAndLatency(t *testing.T) {
 	inner := &HandlerFetcher{Handler: echoHandler()}
 	f := NewInstrumented(inner, clock, 10*time.Millisecond, 1*time.Millisecond)
 
-	if _, err := f.Fetch("/page?q=a"); err != nil {
+	if _, err := f.Fetch(context.Background(), "/page?q=a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Fetch("/big"); err != nil {
+	if _, err := f.Fetch(context.Background(), "/big"); err != nil {
 		t.Fatal(err)
 	}
 	st := f.Stats()
@@ -80,8 +81,8 @@ func TestInstrumentedCountsAndLatency(t *testing.T) {
 
 func TestInstrumentedErrorCounting(t *testing.T) {
 	boom := errors.New("boom")
-	f := NewInstrumented(Func(func(string) (*Response, error) { return nil, boom }), &VirtualClock{}, 0, 0)
-	if _, err := f.Fetch("/x"); !errors.Is(err, boom) {
+	f := NewInstrumented(Func(func(context.Context, string) (*Response, error) { return nil, boom }), &VirtualClock{}, 0, 0)
+	if _, err := f.Fetch(context.Background(), "/x"); !errors.Is(err, boom) {
 		t.Fatalf("error not propagated: %v", err)
 	}
 	st := f.Stats()
@@ -99,7 +100,7 @@ func TestInstrumentedConcurrentSafety(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 10; j++ {
-				f.Fetch("/page?q=a") //nolint:errcheck
+				f.Fetch(context.Background(), "/page?q=a") //nolint:errcheck
 			}
 		}()
 	}
@@ -112,7 +113,7 @@ func TestInstrumentedConcurrentSafety(t *testing.T) {
 func TestVirtualClockAdvances(t *testing.T) {
 	c := &VirtualClock{}
 	t0 := c.Now()
-	c.Sleep(5 * time.Second)
+	c.Sleep(context.Background(), 5*time.Second) //nolint:errcheck
 	if got := c.Now().Sub(t0); got != 5*time.Second {
 		t.Fatalf("virtual clock advanced %v", got)
 	}
@@ -129,7 +130,7 @@ func TestHTTPFetcherAgainstLocalServer(t *testing.T) {
 	defer srv.Close()
 
 	f := &HTTPFetcher{}
-	resp, err := f.Fetch("http://" + ln.Addr().String() + "/page?q=live")
+	resp, err := f.Fetch(context.Background(), "http://" + ln.Addr().String() + "/page?q=live")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,13 +145,13 @@ func newLocalListener() (net.Listener, error) {
 
 func TestCacheMemoizes(t *testing.T) {
 	calls := 0
-	inner := Func(func(url string) (*Response, error) {
+	inner := Func(func(ctx context.Context, url string) (*Response, error) {
 		calls++
 		return &Response{Status: 200, Body: []byte(url)}, nil
 	})
 	c := NewCache(inner)
 	for i := 0; i < 3; i++ {
-		resp, err := c.Fetch("/a")
+		resp, err := c.Fetch(context.Background(), "/a")
 		if err != nil || string(resp.Body) != "/a" {
 			t.Fatalf("fetch: %v %v", resp, err)
 		}
@@ -158,7 +159,7 @@ func TestCacheMemoizes(t *testing.T) {
 	if calls != 1 {
 		t.Fatalf("inner called %d times, want 1", calls)
 	}
-	if _, err := c.Fetch("/b"); err != nil {
+	if _, err := c.Fetch(context.Background(), "/b"); err != nil {
 		t.Fatal(err)
 	}
 	if calls != 2 || c.Len() != 2 {
@@ -169,7 +170,7 @@ func TestCacheMemoizes(t *testing.T) {
 		t.Fatalf("hits=%d misses=%d", hits, misses)
 	}
 	c.Invalidate("/a")
-	c.Fetch("/a") //nolint:errcheck
+	c.Fetch(context.Background(), "/a") //nolint:errcheck
 	if calls != 3 {
 		t.Fatalf("invalidate did not evict")
 	}
@@ -182,12 +183,12 @@ func TestCacheMemoizes(t *testing.T) {
 func TestCacheNegativeCaching(t *testing.T) {
 	calls := 0
 	boom := errors.New("down")
-	c := NewCache(Func(func(string) (*Response, error) {
+	c := NewCache(Func(func(context.Context, string) (*Response, error) {
 		calls++
 		return nil, boom
 	}))
 	for i := 0; i < 2; i++ {
-		if _, err := c.Fetch("/broken"); !errors.Is(err, boom) {
+		if _, err := c.Fetch(context.Background(), "/broken"); !errors.Is(err, boom) {
 			t.Fatalf("error not cached/propagated: %v", err)
 		}
 	}
@@ -204,7 +205,7 @@ func TestCacheConcurrent(t *testing.T) {
 		go func(n int) {
 			defer wg.Done()
 			for j := 0; j < 20; j++ {
-				c.Fetch("/page?q=x") //nolint:errcheck
+				c.Fetch(context.Background(), "/page?q=x") //nolint:errcheck
 			}
 		}(i)
 	}
@@ -212,5 +213,81 @@ func TestCacheConcurrent(t *testing.T) {
 	hits, misses := c.Stats()
 	if hits+misses != 200 {
 		t.Fatalf("hits+misses = %d", hits+misses)
+	}
+}
+
+func TestFindStatsWalksWrapperChain(t *testing.T) {
+	inner := &HandlerFetcher{Handler: echoHandler()}
+	inst := NewInstrumented(inner, &VirtualClock{}, 0, 0)
+	// Cache's Stats() (int64, int64) does not satisfy StatsProvider, so
+	// the walk passes through it to the Instrumented underneath.
+	c := NewCache(inst)
+	sp := FindStats(c)
+	if sp == nil {
+		t.Fatalf("FindStats found nothing through the cache")
+	}
+	if _, err := c.Fetch(context.Background(), "/page?q=a"); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Stats().Calls != 1 {
+		t.Fatalf("stats not attributed through wrapper chain: %+v", sp.Stats())
+	}
+	// A bare fetcher with no stats anywhere yields nil.
+	if FindStats(inner) != nil {
+		t.Fatalf("bare fetcher should have no stats provider")
+	}
+	if FindStats(nil) != nil {
+		t.Fatalf("nil fetcher should yield nil")
+	}
+}
+
+func TestRealClockSleepInterruptible(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := RealClock{}.Sleep(ctx, 10*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("canceled sleep blocked")
+	}
+}
+
+func TestVirtualClockSleepHonorsContext(t *testing.T) {
+	c := &VirtualClock{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := c.Now()
+	if err := c.Sleep(ctx, 5*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if c.Now() != t0 {
+		t.Fatalf("canceled virtual sleep still advanced the clock")
+	}
+}
+
+func TestCacheDoesNotCacheContextErrors(t *testing.T) {
+	calls := 0
+	c := NewCache(Func(func(ctx context.Context, url string) (*Response, error) {
+		calls++
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return &Response{Status: 200, Body: []byte(url)}, nil
+	}))
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Fetch(canceled, "/a"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The cancellation must not poison the cache: a healthy retry hits
+	// the network and succeeds.
+	resp, err := c.Fetch(context.Background(), "/a")
+	if err != nil || string(resp.Body) != "/a" {
+		t.Fatalf("retry after cancellation failed: %v %v", resp, err)
+	}
+	if calls != 2 {
+		t.Fatalf("inner called %d times, want 2", calls)
 	}
 }

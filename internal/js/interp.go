@@ -95,6 +95,16 @@ func (e *RuntimeError) Error() string {
 // limit the thesis applies against infinite loops (§3.2).
 var ErrBudget = fmt.Errorf("js: execution step budget exhausted")
 
+// Interrupted wraps the cause delivered by an Interrupt hook (typically
+// a context error). Like ErrBudget it is not catchable by try/catch, so
+// hostile scripts cannot swallow a cancellation.
+type Interrupted struct{ Cause error }
+
+func (e *Interrupted) Error() string { return "js: interrupted: " + e.Cause.Error() }
+
+// Unwrap exposes the cause so errors.Is(err, context.Canceled) works.
+func (e *Interrupted) Unwrap() error { return e.Cause }
+
 // control-flow signals (internal sentinel errors).
 type breakSignal struct{ label string }
 type continueSignal struct{ label string }
@@ -116,6 +126,13 @@ type Interp struct {
 	MaxSteps int
 	steps    int
 
+	// Interrupt, when set, is polled every interruptCheckMask+1 steps.
+	// A non-nil return preempts execution with an *Interrupted error
+	// that try/catch cannot swallow — this is how a context cancel
+	// reaches into a running (possibly hostile) script. The crawler
+	// sets it to ctx.Err before each handler dispatch.
+	Interrupt func() error
+
 	// MaxDepth bounds recursion. Zero means the default.
 	MaxDepth int
 	stack    []*Frame
@@ -130,6 +147,9 @@ type Interp struct {
 const (
 	defaultMaxSteps = 10_000_000
 	defaultMaxDepth = 250
+	// interruptCheckMask throttles Interrupt polling to every 256 steps
+	// so the hot interpreter loop stays cheap.
+	interruptCheckMask = 0xFF
 )
 
 // New returns an interpreter with the standard builtins installed.
@@ -175,6 +195,11 @@ func (it *Interp) step(line int) error {
 	}
 	if it.steps > max {
 		return ErrBudget
+	}
+	if it.Interrupt != nil && it.steps&interruptCheckMask == 0 {
+		if err := it.Interrupt(); err != nil {
+			return &Interrupted{Cause: err}
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package js
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -792,4 +793,43 @@ func TestLabelLooksLikeTernaryIsNotConfused(t *testing.T) {
 	// object literals and ternaries still parse.
 	expectNum(t, `var o = {lbl: 7}; o.lbl`, 7)
 	expectNum(t, `var x = true ? 1 : 2; x`, 1)
+}
+
+func TestInterruptPreemptsRun(t *testing.T) {
+	it := New()
+	cause := errors.New("crawl deadline passed")
+	var polls int
+	it.Interrupt = func() error {
+		polls++
+		if polls > 3 {
+			return cause
+		}
+		return nil
+	}
+	_, err := it.Run("var i = 0; while (true) { i = i + 1; }")
+	var interrupted *Interrupted
+	if !errors.As(err, &interrupted) {
+		t.Fatalf("want *Interrupted, got %v", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("Interrupted should unwrap to its cause: %v", err)
+	}
+}
+
+func TestInterruptNotCatchable(t *testing.T) {
+	it := New()
+	it.Interrupt = func() error { return errors.New("stop") }
+	_, err := it.Run("try { while (true) {} } catch (e) { }")
+	var interrupted *Interrupted
+	if !errors.As(err, &interrupted) {
+		t.Fatalf("try/catch must not swallow an interrupt: %v", err)
+	}
+}
+
+func TestNilInterruptRunsNormally(t *testing.T) {
+	it := New()
+	v, err := it.Run("1 + 2")
+	if err != nil || v.NumVal() != 3 {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
 }

@@ -1,6 +1,7 @@
 package webapp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func newsFetcher(articles int) (*NewsSite, fetch.Fetcher) {
 
 func TestNewsSiteServes(t *testing.T) {
 	n, f := newsFetcher(5)
-	resp, err := f.Fetch(n.ArticleURL(0))
+	resp, err := f.Fetch(context.Background(), n.ArticleURL(0))
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("article fetch: %v %v", resp, err)
 	}
@@ -24,19 +25,19 @@ func TestNewsSiteServes(t *testing.T) {
 		t.Fatalf("article missing scripts")
 	}
 	// Endpoints.
-	if resp, _ := f.Fetch("/section?id=0&s=1"); resp.Status != 200 {
+	if resp, _ := f.Fetch(context.Background(), "/section?id=0&s=1"); resp.Status != 200 {
 		t.Fatalf("section endpoint broken")
 	}
-	if resp, _ := f.Fetch("/section?id=0&s=99"); resp.Status != 400 {
+	if resp, _ := f.Fetch(context.Background(), "/section?id=0&s=99"); resp.Status != 400 {
 		t.Fatalf("bad section should 400")
 	}
-	if resp, _ := f.Fetch("/reactions?id=0"); resp.Status != 200 {
+	if resp, _ := f.Fetch(context.Background(), "/reactions?id=0"); resp.Status != 200 {
 		t.Fatalf("reactions endpoint broken")
 	}
-	if resp, _ := f.Fetch("/article?id=99"); resp.Status != 404 {
+	if resp, _ := f.Fetch(context.Background(), "/article?id=99"); resp.Status != 404 {
 		t.Fatalf("unknown article should 404")
 	}
-	if resp, _ := f.Fetch("/"); resp.Status != 200 {
+	if resp, _ := f.Fetch(context.Background(), "/"); resp.Status != 200 {
 		t.Fatalf("index broken")
 	}
 }
@@ -60,7 +61,7 @@ func TestNewsLatticeStates(t *testing.T) {
 	n, f := newsFetcher(3)
 	load := func() *browser.Page {
 		p := browser.NewPage(f)
-		if err := p.Load(n.ArticleURL(0)); err != nil {
+		if err := p.Load(context.Background(), n.ArticleURL(0)); err != nil {
 			t.Fatal(err)
 		}
 		return p
@@ -68,7 +69,7 @@ func TestNewsLatticeStates(t *testing.T) {
 	expand := func(p *browser.Page, which string) {
 		for _, ev := range p.Events(nil) {
 			if strings.Contains(ev.Code, which) {
-				if _, err := p.Trigger(ev); err != nil {
+				if _, err := p.Trigger(context.Background(), ev); err != nil {
 					t.Fatal(err)
 				}
 				return

@@ -1,6 +1,7 @@
 package webapp
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -144,7 +145,7 @@ func TestHandlerWatchAndComments(t *testing.T) {
 	f := &fetch.HandlerFetcher{Handler: s.Handler()}
 	v := s.Video(0)
 
-	resp, err := f.Fetch(WatchURL(v.ID))
+	resp, err := f.Fetch(context.Background(), WatchURL(v.ID))
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("watch fetch: %v %v", resp, err)
 	}
@@ -154,7 +155,7 @@ func TestHandlerWatchAndComments(t *testing.T) {
 	}
 	// Fragment endpoint.
 	if len(v.Pages) > 1 {
-		resp, err = f.Fetch(CommentsURL(v.ID, 2))
+		resp, err = f.Fetch(context.Background(), CommentsURL(v.ID, 2))
 		if err != nil || resp.Status != 200 {
 			t.Fatalf("comments fetch: %v %v", resp, err)
 		}
@@ -163,17 +164,17 @@ func TestHandlerWatchAndComments(t *testing.T) {
 		}
 	}
 	// Errors.
-	if resp, _ := f.Fetch("/watch?v=doesnotexist"); resp.Status != 404 {
+	if resp, _ := f.Fetch(context.Background(), "/watch?v=doesnotexist"); resp.Status != 404 {
 		t.Fatalf("unknown video should 404")
 	}
-	if resp, _ := f.Fetch(CommentsURL(v.ID, 999)); resp.Status != 400 {
+	if resp, _ := f.Fetch(context.Background(), CommentsURL(v.ID, 999)); resp.Status != 400 {
 		t.Fatalf("out-of-range page should 400")
 	}
-	if resp, _ := f.Fetch("/nope"); resp.Status != 404 {
+	if resp, _ := f.Fetch(context.Background(), "/nope"); resp.Status != 404 {
 		t.Fatalf("unknown path should 404")
 	}
 	// Index page.
-	resp, err = f.Fetch("/")
+	resp, err = f.Fetch(context.Background(), "/")
 	if err != nil || resp.Status != 200 || !strings.Contains(string(resp.Body), "/watch?v=") {
 		t.Fatalf("index page broken: %v %v", resp, err)
 	}
@@ -197,10 +198,10 @@ func TestBrowserDrivesPagination(t *testing.T) {
 		t.Skip("no multi-page video in sample")
 	}
 	p := browser.NewPage(&fetch.HandlerFetcher{Handler: s.Handler()})
-	if err := p.Load(WatchURL(v.ID)); err != nil {
+	if err := p.Load(context.Background(), WatchURL(v.ID)); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RunOnLoad(); err != nil {
+	if err := p.RunOnLoad(context.Background(), ); err != nil {
 		t.Fatal(err)
 	}
 	h1 := p.Hash()
@@ -220,7 +221,7 @@ func TestBrowserDrivesPagination(t *testing.T) {
 	if !found {
 		t.Fatalf("no next event: %v", evs)
 	}
-	changed, err := p.Trigger(next)
+	changed, err := p.Trigger(context.Background(), next)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestBrowserDrivesPagination(t *testing.T) {
 	if !found {
 		t.Fatalf("page 2 has no prev event")
 	}
-	if _, err := p.Trigger(prev); err != nil {
+	if _, err := p.Trigger(context.Background(), prev); err != nil {
 		t.Fatal(err)
 	}
 	if p.Hash() != h1 {
@@ -306,25 +307,25 @@ func TestSuggestEndpoint(t *testing.T) {
 	s := New(cfg)
 	f := &fetch.HandlerFetcher{Handler: s.Handler()}
 
-	resp, err := f.Fetch("/suggest?q=wo")
+	resp, err := f.Fetch(context.Background(), "/suggest?q=wo")
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("suggest fetch: %v %v", resp, err)
 	}
 	if !strings.Contains(string(resp.Body), "wow") {
 		t.Fatalf("suggestions for 'wo' missing wow: %s", resp.Body)
 	}
-	resp, _ = f.Fetch("/suggest?q=zzz")
+	resp, _ = f.Fetch(context.Background(), "/suggest?q=zzz")
 	if !strings.Contains(string(resp.Body), "no suggestions") {
 		t.Fatalf("unmatched prefix should say so: %s", resp.Body)
 	}
-	resp, _ = f.Fetch("/suggest?q=")
+	resp, _ = f.Fetch(context.Background(), "/suggest?q=")
 	if !strings.Contains(string(resp.Body), "no suggestions") {
 		t.Fatalf("empty prefix should yield none: %s", resp.Body)
 	}
 	// Without the search box the endpoint does not exist.
 	plain := New(DefaultConfig(5, 3))
 	pf := &fetch.HandlerFetcher{Handler: plain.Handler()}
-	if resp, _ := pf.Fetch("/suggest?q=wo"); resp.Status != 404 {
+	if resp, _ := pf.Fetch(context.Background(), "/suggest?q=wo"); resp.Status != 404 {
 		t.Fatalf("suggest should 404 without search box, got %d", resp.Status)
 	}
 	// Watch pages carry the box only when configured.
@@ -343,7 +344,7 @@ func TestRobotsAjaxEndpoint(t *testing.T) {
 	cfg.AdvertiseStates = 4
 	s := New(cfg)
 	f := &fetch.HandlerFetcher{Handler: s.Handler()}
-	resp, err := f.Fetch("/robots-ajax.txt")
+	resp, err := f.Fetch(context.Background(), "/robots-ajax.txt")
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("robots fetch: %v %v", resp, err)
 	}
@@ -352,7 +353,7 @@ func TestRobotsAjaxEndpoint(t *testing.T) {
 	}
 	plain := New(DefaultConfig(5, 3))
 	pf := &fetch.HandlerFetcher{Handler: plain.Handler()}
-	if resp, _ := pf.Fetch("/robots-ajax.txt"); resp.Status != 404 {
+	if resp, _ := pf.Fetch(context.Background(), "/robots-ajax.txt"); resp.Status != 404 {
 		t.Fatalf("robots should 404 when not advertised, got %d", resp.Status)
 	}
 }
