@@ -223,9 +223,8 @@ func BuildEngine(ctx context.Context, cfg Config) (*Engine, error) {
 		if len(pr.Graphs) == 0 {
 			continue
 		}
-		shard := index.New()
+		shard := index.BuildCtx(ctx, pr.Graphs, preRes.PageRank, 0)
 		for _, g := range pr.Graphs {
-			shard.AddGraph(g, preRes.PageRank[g.URL], 0)
 			graphs[g.URL] = g
 		}
 		shardByPart[pr.Index] = shard
@@ -291,10 +290,22 @@ func NewEngineFromGraphs(f Fetcher, graphs []*model.Graph, pageRank map[string]f
 // returns ranked (URL, state) results.
 func (e *Engine) Search(q string) []Result { return e.broker.Search(q) }
 
+// SearchCtx is Search under a context: when the context carries
+// telemetry (obs.With), the evaluation is traced as a query.exec span
+// and its latency lands in the metrics registry.
+func (e *Engine) SearchCtx(ctx context.Context, q string) []Result {
+	return e.broker.SearchCtx(ctx, q)
+}
+
 // SearchTopK returns at most k results, evaluated with the bounded-heap
 // top-k path (same results and order as TopKResults(Search(q), k)).
 func (e *Engine) SearchTopK(q string, k int) []Result {
 	return e.broker.SearchTopK(q, k)
+}
+
+// SearchTopKCtx is SearchTopK under a context (see SearchCtx).
+func (e *Engine) SearchTopKCtx(ctx context.Context, q string, k int) []Result {
+	return e.broker.SearchTopKCtx(ctx, q, k)
 }
 
 // Graph returns the application model of a crawled URL, or nil.

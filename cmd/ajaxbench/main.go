@@ -32,8 +32,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -43,6 +45,7 @@ import (
 	"ajaxcrawl/internal/core"
 	"ajaxcrawl/internal/fetch"
 	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/obs"
 	"ajaxcrawl/internal/webapp"
 )
 
@@ -70,11 +73,15 @@ func register(id, desc string, run func(*env) error) {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (or 'all'); empty lists experiments")
-		videos = flag.Int("videos", 200, "dataset size in videos (paper: 10000)")
-		seed   = flag.Int64("seed", 2008, "site generation seed")
-		base   = flag.Duration("latency", 60*time.Millisecond, "simulated per-request base latency")
-		perKB  = flag.Duration("latency-per-kb", 4*time.Millisecond, "simulated latency per KiB of body")
+		exp         = flag.String("exp", "", "experiment id (or 'all'); empty lists experiments")
+		videos      = flag.Int("videos", 200, "dataset size in videos (paper: 10000)")
+		seed        = flag.Int64("seed", 2008, "site generation seed")
+		base        = flag.Duration("latency", 60*time.Millisecond, "simulated per-request base latency")
+		perKB       = flag.Duration("latency-per-kb", 4*time.Millisecond, "simulated latency per KiB of body")
+		verbose     = flag.Bool("v", false, "live span lines on stderr")
+		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics, /debug/trace/recent and pprof on this address")
+		tracePath   = flag.String("trace", "", "write every span to this JSONL file")
+		jsonOut     = flag.Bool("json", false, "print the final registry snapshot as one JSON document on stdout (tables move to stderr)")
 	)
 	flag.Parse()
 
@@ -87,9 +94,42 @@ func main() {
 		return
 	}
 
+	tel, reg, closeTrace, err := obs.CLITelemetry(obs.CLIConfig{
+		MetricsAddr:   *metricsAddr,
+		TracePath:     *tracePath,
+		Verbose:       *verbose,
+		ProgressSpans: obs.CrawlProgressSpans,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	// With -json the experiment tables (fmt.Printf throughout the
+	// experiment files) move to stderr, so stdout carries exactly one
+	// JSON document.
+	jsonDest := os.Stdout
+	tablesDone := make(chan struct{})
+	if *jsonOut {
+		pr, pw, perr := os.Pipe()
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "pipe: %v\n", perr)
+			os.Exit(1)
+		}
+		os.Stdout = pw
+		go func() {
+			io.Copy(os.Stderr, pr) //nolint:errcheck — best-effort relay
+			close(tablesDone)
+		}()
+		defer func() {
+			pw.Close()
+			<-tablesDone
+		}()
+	}
+
 	// Ctrl-C aborts the experiment batch between (and within) runs.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx = obs.With(ctx, tel)
 
 	e := &env{
 		ctx:     ctx,
@@ -115,6 +155,23 @@ func main() {
 			failed = true
 		}
 		fmt.Printf("-- %s done in %v --\n\n", x.id, time.Since(start).Round(time.Millisecond))
+	}
+	if err := closeTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "close trace: %v\n", err)
+		failed = true
+	}
+	if *jsonOut {
+		// Drain the table relay before emitting the document, so stderr
+		// output cannot interleave into a half-written stdout line.
+		os.Stdout.Close()
+		<-tablesDone
+		os.Stdout = jsonDest
+		enc := json.NewEncoder(jsonDest)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reg.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)

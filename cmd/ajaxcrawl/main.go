@@ -20,9 +20,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -31,6 +33,7 @@ import (
 
 	"ajaxcrawl/internal/core"
 	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/obs"
 	"ajaxcrawl/internal/webapp"
 )
 
@@ -49,9 +52,31 @@ func main() {
 		saveProfile = flag.Bool("save-profile", false, "record an event profile for faster re-crawls")
 		useProfile  = flag.String("use-profile", "", "skip events a stored profile marked unproductive")
 		robots      = flag.Bool("respect-ajax-robots", false, "honor the site's /robots-ajax.txt state granularity")
-		verbose     = flag.Bool("v", false, "per-page progress output")
+		verbose     = flag.Bool("v", false, "per-page progress output (live span lines on stderr)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics, /debug/trace/recent and pprof on this address")
+		tracePath   = flag.String("trace", "", "write every span to this JSONL file")
+		jsonOut     = flag.Bool("json", false, "print the final metrics snapshot as one JSON document on stdout")
 	)
 	flag.Parse()
+
+	tel, reg, closeTrace, err := obs.CLITelemetry(obs.CLIConfig{
+		MetricsAddr:   *metricsAddr,
+		TracePath:     *tracePath,
+		Verbose:       *verbose,
+		ProgressSpans: obs.CrawlProgressSpans,
+	})
+	if err != nil {
+		fatal("telemetry: %v", err)
+	}
+	// With -json, stdout carries exactly one JSON document; the human
+	// narration moves to stderr.
+	var outw io.Writer = os.Stdout
+	if *jsonOut {
+		outw = os.Stderr
+	}
+	infof := func(format string, args ...interface{}) {
+		fmt.Fprintf(outw, format+"\n", args...)
+	}
 
 	var fetcher fetch.Fetcher
 	startURL := *start
@@ -70,13 +95,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Always crawl through an instrumented fetcher (zero added latency)
+	// so per-request counters and the fetch.latency histogram flow into
+	// the registry and per-page NetworkTime attribution works.
+	fetcher = fetch.NewInstrumented(fetcher, nil, 0, 0)
+
 	// Ctrl-C cancels the pipeline gracefully: in-flight partitions stop
 	// within one page budget and their partial models are flushed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx = obs.With(ctx, tel)
 
 	begin := time.Now()
-	fmt.Printf("precrawling %d pages from %s ...\n", *pages, startURL)
+	infof("precrawling %d pages from %s ...", *pages, startURL)
 	pre := &core.Precrawler{Fetcher: fetcher, StartURL: startURL, MaxPages: *pages}
 	preRes, err := pre.Run(ctx)
 	if err != nil {
@@ -85,13 +116,13 @@ func main() {
 	if err := preRes.Save(*out); err != nil {
 		fatal("save precrawl: %v", err)
 	}
-	fmt.Printf("precrawl done: %d pages, %d link sources\n", len(preRes.URLs), len(preRes.Links))
+	infof("precrawl done: %d pages, %d link sources", len(preRes.URLs), len(preRes.Links))
 
 	parts, err := (&core.URLPartitioner{PartitionSize: *partSize, RootDir: *out}).Partition(preRes.URLs)
 	if err != nil {
 		fatal("partition: %v", err)
 	}
-	fmt.Printf("partitioned into %d directories of <= %d pages\n", len(parts), *partSize)
+	infof("partitioned into %d directories of <= %d pages", len(parts), *partSize)
 
 	opts := core.Options{
 		Traditional: *traditional,
@@ -109,14 +140,14 @@ func main() {
 			fatal("load profile: %v", err)
 		}
 		opts.PriorProfile = prior
-		fmt.Printf("re-crawl with profile: %d known events\n", prior.NumEvents())
+		infof("re-crawl with profile: %d known events", prior.NumEvents())
 	}
 	if *robots {
 		if rb, _ := core.FetchAjaxRobots(ctx, fetcher); rb != nil {
 			// Apply the advertised granularity of the start URL's path
 			// class; per-URL application would need per-page options.
 			opts = rb.ApplyTo(opts, startURL)
-			fmt.Printf("robots-ajax.txt caps states at %d\n", opts.MaxStates)
+			infof("robots-ajax.txt caps states at %d", opts.MaxStates)
 		}
 	}
 	mp := &core.MPCrawler{
@@ -131,7 +162,7 @@ func main() {
 			// Partial models of completed (and cut-short) partitions
 			// are already on disk; report and keep going so the run's
 			// outcome is usable.
-			fmt.Printf("interrupted: flushed partial models for %d crawled pages\n", res.Metrics.Pages)
+			infof("interrupted: flushed partial models for %d crawled pages", res.Metrics.Pages)
 		} else {
 			fatal("crawl: %v", err)
 		}
@@ -139,27 +170,41 @@ func main() {
 	m := res.Metrics
 	if *verbose {
 		for _, pm := range m.PerPage {
-			fmt.Printf("  %-50s states=%-3d events=%-4d net=%-4d time=%v\n",
+			infof("  %-50s states=%-3d events=%-4d net=%-4d time=%v",
 				pm.URL, pm.States, pm.EventsTriggered, pm.NetworkCalls, pm.CrawlTime.Round(time.Millisecond))
 		}
 	}
-	fmt.Printf("crawled %d pages: %d states, %d events (%d hit the network), %d hot-node hits\n",
+	infof("crawled %d pages: %d states, %d events (%d hit the network), %d hot-node hits",
 		m.Pages, m.States, m.EventsTriggered, m.NetworkEvents, m.HotNodeHits)
 	if m.PagesFailed > 0 {
-		fmt.Printf("skipped %d failed pages\n", m.PagesFailed)
+		infof("skipped %d failed pages", m.PagesFailed)
 	}
-	fmt.Printf("models stored under %s (one ajaxmodels.gob per partition)\n", *out)
+	infof("models stored under %s (one ajaxmodels.gob per partition)", *out)
 	if m.EventsSkipped > 0 {
-		fmt.Printf("profile skipped %d events\n", m.EventsSkipped)
+		infof("profile skipped %d events", m.EventsSkipped)
 	}
 	if recordProfile != nil {
 		path := filepath.Join(*out, "eventprofile.gob")
 		if err := recordProfile.Save(path); err != nil {
 			fatal("save profile: %v", err)
 		}
-		fmt.Printf("event profile saved to %s (%d events)\n", path, recordProfile.NumEvents())
+		infof("event profile saved to %s (%d events)", path, recordProfile.NumEvents())
 	}
-	fmt.Printf("total wall time: %v\n", time.Since(begin).Round(time.Millisecond))
+	infof("total wall time: %v", time.Since(begin).Round(time.Millisecond))
+	if err := closeTrace(); err != nil {
+		fatal("close trace: %v", err)
+	}
+	if *jsonOut {
+		doc := struct {
+			Crawl    *core.Metrics `json:"crawl"`
+			Registry obs.Snapshot  `json:"registry"`
+		}{Crawl: m, Registry: reg.Snapshot()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal("json: %v", err)
+		}
+	}
 }
 
 func fatal(format string, args ...interface{}) {

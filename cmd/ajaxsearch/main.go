@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,20 +31,35 @@ import (
 	"ajaxcrawl/internal/core"
 	"ajaxcrawl/internal/index"
 	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/obs"
 	"ajaxcrawl/internal/query"
 )
 
 func main() {
 	var (
-		models    = flag.String("models", "", "crawl root directory with partition subdirectories")
-		load      = flag.String("load", "", "load a stored index instead of building one")
-		save      = flag.String("save", "", "store the built index at this path")
-		maxStates = flag.Int("max-states", 0, "index only the first N states per page (0 = all)")
-		q         = flag.String("q", "", "query to process")
-		k         = flag.Int("k", 10, "number of results to print")
-		stats     = flag.Bool("stats", false, "print index statistics")
+		models      = flag.String("models", "", "crawl root directory with partition subdirectories")
+		load        = flag.String("load", "", "load a stored index instead of building one")
+		save        = flag.String("save", "", "store the built index at this path")
+		maxStates   = flag.Int("max-states", 0, "index only the first N states per page (0 = all)")
+		q           = flag.String("q", "", "query to process")
+		k           = flag.Int("k", 10, "number of results to print")
+		stats       = flag.Bool("stats", false, "print index statistics")
+		verbose     = flag.Bool("v", false, "live span lines on stderr")
+		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics, /debug/trace/recent and pprof on this address")
+		tracePath   = flag.String("trace", "", "write every span to this JSONL file")
 	)
 	flag.Parse()
+
+	tel, _, closeTrace, err := obs.CLITelemetry(obs.CLIConfig{
+		MetricsAddr:   *metricsAddr,
+		TracePath:     *tracePath,
+		Verbose:       *verbose,
+		ProgressSpans: obs.CrawlProgressSpans,
+	})
+	if err != nil {
+		fatal("telemetry: %v", err)
+	}
+	ctx := obs.With(context.Background(), tel)
 
 	var ix *index.Index
 	switch {
@@ -60,7 +76,7 @@ func main() {
 		fmt.Printf("loaded index: %d docs, %d states, %d terms\n",
 			ix.NumDocs(), ix.TotalStates, ix.NumTerms())
 	case *models != "":
-		ix = buildFromModels(*models, *maxStates)
+		ix = buildFromModels(ctx, *models, *maxStates)
 	default:
 		fmt.Fprintln(os.Stderr, "either -models or -load is required")
 		flag.Usage()
@@ -85,22 +101,26 @@ func main() {
 	}
 	if *q != "" {
 		eng := query.NewEngine(ix)
-		results := query.TopK(eng.Search(*q), *k)
+		results := eng.SearchTopKCtx(ctx, *q, *k)
 		if len(results) == 0 {
 			fmt.Printf("no results for %q\n", *q)
-			return
+		} else {
+			fmt.Printf("%d results for %q:\n", len(results), *q)
+			for i, r := range results {
+				fmt.Printf("%2d. %-55s state=%-3d score=%.4f\n", i+1, r.URL, r.State, r.Score)
+			}
 		}
-		fmt.Printf("%d results for %q:\n", len(results), *q)
-		for i, r := range results {
-			fmt.Printf("%2d. %-55s state=%-3d score=%.4f\n", i+1, r.URL, r.State, r.Score)
-		}
+	}
+	if err := closeTrace(); err != nil {
+		fatal("close trace: %v", err)
 	}
 }
 
 // buildFromModels loads every partition's application models under root
 // and builds one index, attaching PageRank values when a precrawl result
 // is present — the "Build New Index" tab of the thesis GUI.
-func buildFromModels(root string, maxStates int) *index.Index {
+func buildFromModels(ctx context.Context, root string, maxStates int) *index.Index {
+	_, sp := obs.StartSpan(ctx, obs.SpanIndexBuild, obs.A("root", root))
 	entries, err := os.ReadDir(root)
 	if err != nil {
 		fatal("read models dir: %v", err)
@@ -152,6 +172,8 @@ func buildFromModels(root string, maxStates int) *index.Index {
 	}
 	fmt.Printf("built index over %d pages: %d states, %d terms\n",
 		pages, ix.TotalStates, ix.NumTerms())
+	sp.SetAttr("postings", strconv.Itoa(ix.NumPostings()))
+	sp.End(nil)
 	return ix
 }
 

@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"ajaxcrawl/internal/obs"
 	"ajaxcrawl/internal/webapp"
 )
 
@@ -37,7 +38,17 @@ func main() {
 	site := webapp.New(webapp.DefaultConfig(*videos, *seed))
 	fmt.Printf("serving %d synthetic videos on http://%s/\n", *videos, *addr)
 	fmt.Printf("first watch page: http://%s%s\n", *addr, webapp.WatchURL(site.VideoID(0)))
-	srv := &http.Server{Addr: *addr, Handler: site.Handler()}
+	fmt.Printf("metrics: http://%s/debug/metrics (Prometheus: ?format=prom), profiles: http://%s/debug/pprof/\n", *addr, *addr)
+
+	// The site rides behind the request-counting middleware; the same
+	// mux serves /debug/metrics (JSON + Prometheus), the recent-span
+	// ring, and net/http/pprof.
+	reg := obs.NewRegistry()
+	ring := obs.NewRingSink(0)
+	mux := http.NewServeMux()
+	obs.RegisterDebug(mux, reg, ring)
+	mux.Handle("/", obs.InstrumentHandler(reg, site.Handler()))
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {

@@ -11,14 +11,17 @@ package browser
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/url"
 	"strings"
+	"time"
 
 	"ajaxcrawl/internal/dom"
 	"ajaxcrawl/internal/fetch"
 	"ajaxcrawl/internal/html"
 	"ajaxcrawl/internal/js"
+	"ajaxcrawl/internal/obs"
 )
 
 // EventTypes are the event-handler attributes the crawler invokes, in
@@ -238,8 +241,25 @@ func (p *Page) Trigger(ctx context.Context, ev Event) (changed bool, err error) 
 	return dom.QuickHash(p.Doc) != before, nil
 }
 
-// runHandler compiles and invokes handler code with this = element.
-func (p *Page) runHandler(ctx context.Context, name, code string, node *dom.Node) error {
+// runHandler compiles and invokes handler code with this = element. Each
+// dispatch is one event.dispatch span; its latency, interpreter steps
+// and step-budget preemptions feed the live registry.
+func (p *Page) runHandler(ctx context.Context, name, code string, node *dom.Node) (err error) {
+	tel := obs.From(ctx)
+	if tel != nil {
+		start := time.Now()
+		var sp *obs.Span
+		ctx, sp = obs.StartSpan(ctx, obs.SpanEventDispatch, obs.A("handler", name), obs.A("source", node.Path()))
+		defer func() {
+			sp.End(err)
+			tel.Counter("browser.dispatches").Inc()
+			tel.Counter("js.steps").Add(int64(p.Interp.Steps()))
+			tel.Histogram("browser.dispatch.latency").ObserveDuration(time.Since(start))
+			if errors.Is(err, js.ErrBudget) {
+				tel.Counter("js.preemptions").Inc()
+			}
+		}()
+	}
 	defer p.bind(ctx)()
 	p.Interp.ResetBudget()
 	fn, err := p.Interp.CompileFunction(name, code)

@@ -87,7 +87,7 @@ func TestLoadParsesAndRunsScripts(t *testing.T) {
 
 func TestRunOnLoad(t *testing.T) {
 	p := loadTestPage(t)
-	if err := p.RunOnLoad(context.Background(), ); err != nil {
+	if err := p.RunOnLoad(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if v, _ := p.Interp.LookupGlobal("initialized"); !v.ToBool() {
@@ -383,7 +383,7 @@ func TestOnLoadAbsentAndEmpty(t *testing.T) {
 	if err := p.Load(context.Background(), "/noload"); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RunOnLoad(context.Background(), ); err != nil {
+	if err := p.RunOnLoad(context.Background()); err != nil {
 		t.Fatalf("blank onload should be a no-op: %v", err)
 	}
 }

@@ -4,7 +4,16 @@ import (
 	"strings"
 
 	"ajaxcrawl/internal/js"
+	"ajaxcrawl/internal/obs"
 )
+
+// boolAttr renders a bool as a span attribute value.
+func boolAttr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
 
 // xhrState is the mutable state behind one XMLHttpRequest instance.
 type xhrState struct {
@@ -78,6 +87,11 @@ func (st *xhrState) send(it *js.Interp) error {
 	p.XHRSends++
 	req := &XHRRequest{Method: st.method, URL: st.url, Async: st.async}
 
+	ctx := p.Context()
+	tel := obs.From(ctx)
+	tel.Counter("xhr.sends").Inc()
+	ctx, sp := obs.StartSpan(ctx, obs.SpanXHRSend, obs.A("url", st.url), obs.A("method", st.method))
+
 	served := false
 	if p.XHR != nil {
 		if body, ok := p.XHR.BeforeSend(p, req); ok {
@@ -90,11 +104,14 @@ func (st *xhrState) send(it *js.Interp) error {
 		// Script-initiated network runs under the context of the
 		// Load/Trigger call that dispatched this handler, so the
 		// per-page budget covers XHR traffic too.
-		resp, err := p.Fetcher.Fetch(p.Context(), st.url)
+		resp, err := p.Fetcher.Fetch(ctx, st.url)
 		p.NetworkCalls++
+		tel.Counter("xhr.network_calls").Inc()
 		if err != nil {
 			st.status = 0
 			st.readyState = 4
+			sp.SetAttr("intercepted", "false")
+			sp.End(err)
 			return &js.Thrown{Value: js.Str("NetworkError: " + err.Error())}
 		}
 		st.responseText = string(resp.Body)
@@ -103,6 +120,8 @@ func (st *xhrState) send(it *js.Interp) error {
 			p.XHR.AfterSend(p, req, st.responseText)
 		}
 	}
+	sp.SetAttr("intercepted", boolAttr(served))
+	sp.End(nil)
 	st.readyState = 4
 	if st.onChange.Object().IsCallable() {
 		if _, err := it.Call(st.onChange, js.Undefined, nil); err != nil {

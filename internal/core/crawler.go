@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"ajaxcrawl/internal/dom"
 	"ajaxcrawl/internal/fetch"
 	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/obs"
 	"ajaxcrawl/internal/shingle"
 )
 
@@ -139,12 +141,18 @@ type PageMetrics struct {
 }
 
 // Metrics aggregates a multi-page crawl.
+//
+// Invariant (pinned by a reflection test): every numeric field of
+// PageMetrics has a same-named field here, Add folds each of them, and
+// Merge folds every numeric field of Metrics — so a newly added counter
+// cannot be silently dropped by the aggregation.
 type Metrics struct {
 	Pages int
 	// PagesFailed counts pages skipped under the SkipAndCount error
 	// policy (their graphs are not in the result).
 	PagesFailed     int
 	States          int
+	Transitions     int
 	EventsTriggered int
 	NetworkEvents   int
 	XHRSends        int
@@ -163,6 +171,7 @@ type Metrics struct {
 func (m *Metrics) Add(pm PageMetrics) {
 	m.Pages++
 	m.States += pm.States
+	m.Transitions += pm.Transitions
 	m.EventsTriggered += pm.EventsTriggered
 	m.NetworkEvents += pm.NetworkEvents
 	m.XHRSends += pm.XHRSends
@@ -182,6 +191,7 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.Pages += o.Pages
 	m.PagesFailed += o.PagesFailed
 	m.States += o.States
+	m.Transitions += o.Transitions
 	m.EventsTriggered += o.EventsTriggered
 	m.NetworkEvents += o.NetworkEvents
 	m.XHRSends += o.XHRSends
@@ -219,6 +229,10 @@ func (c *Crawler) CrawlPage(ctx context.Context, url string) (*model.Graph, Page
 		ctx, cancel = context.WithTimeout(ctx, opts.PageTimeout)
 		defer cancel()
 	}
+	tel := obs.From(ctx)
+	ctx, sp := obs.StartSpan(ctx, obs.SpanPageCrawl, obs.A("url", url))
+	tel.Gauge("crawl.pages.inflight").Add(1)
+	defer tel.Gauge("crawl.pages.inflight").Add(-1)
 	pm := PageMetrics{URL: url}
 	start := opts.Clock.Now()
 	wallStart := time.Now()
@@ -256,6 +270,14 @@ func (c *Crawler) CrawlPage(ctx context.Context, url string) (*model.Graph, Page
 	if stats != nil {
 		pm.NetworkTime = stats.Stats().NetworkTime - netStart
 	}
+	// Close the span whatever happened — a PageTimeout abort still emits
+	// the page.crawl record, carrying the context error and the partial
+	// state count. The per-page counters fold into the registry here too,
+	// so the registry and the Metrics summary cannot drift.
+	sp.SetAttr("states", strconv.Itoa(pm.States))
+	sp.End(crawlErr)
+	tel.Histogram("crawl.page.latency").Observe(pm.CrawlTime.Seconds())
+	publishPageMetrics(tel, pm)
 	if crawlErr != nil {
 		if graph.NumStates() == 0 {
 			graph = nil
@@ -287,7 +309,8 @@ func (c *Crawler) crawlDynamic(ctx context.Context, page *browser.Page, graph *m
 		// initial DOM is still crawlable.
 		pm.HandlerErrors++
 	}
-	admit := newStateAdmitter(graph, opts.NearDupThreshold, pm)
+	tel := obs.From(ctx)
+	admit := newStateAdmitter(graph, opts.NearDupThreshold, pm, tel)
 	initial, _ := admit.state(page.Hash(), page.Doc.VisibleText(), 0)
 	graph.Initial = initial
 
@@ -327,6 +350,7 @@ func (c *Crawler) crawlDynamic(ctx context.Context, page *browser.Page, graph *m
 			sendsBefore, netBefore := page.XHRSends, page.NetworkCalls
 			changed, err := page.Trigger(ctx, ev)
 			pm.EventsTriggered++
+			tel.Counter("crawl.events.triggered").Inc()
 			pm.XHRSends += page.XHRSends - sendsBefore
 			pm.NetworkCalls += page.NetworkCalls - netBefore
 			if page.NetworkCalls > netBefore {
@@ -396,6 +420,7 @@ func (c *Crawler) crawlDynamic(ctx context.Context, page *browser.Page, graph *m
 				netBefore := page.NetworkCalls
 				changed, err := page.TriggerWithValue(ctx, fev, probe)
 				pm.EventsTriggered++
+				tel.Counter("crawl.events.triggered").Inc()
 				if page.NetworkCalls > netBefore {
 					pm.NetworkEvents++
 					pm.NetworkCalls += page.NetworkCalls - netBefore
@@ -493,11 +518,13 @@ func diffTargets(snap *browser.Snapshot, page *browser.Page) []string {
 func (c *Crawler) CrawlAll(ctx context.Context, urls []string) ([]*model.Graph, *Metrics, error) {
 	var graphs []*model.Graph
 	metrics := &Metrics{}
+	tel := obs.From(ctx)
 	for _, u := range urls {
 		if err := ctx.Err(); err != nil {
 			return graphs, metrics, err
 		}
 		g, pm, err := c.CrawlPage(ctx, u)
+		tel.Counter("crawl.pages").Inc()
 		if err != nil {
 			// The caller's context ending is never a page failure: stop
 			// and hand back what is already crawled. A page that blew
@@ -509,6 +536,7 @@ func (c *Crawler) CrawlAll(ctx context.Context, urls []string) ([]*model.Graph, 
 				return graphs, metrics, fmt.Errorf("core: crawl %s: %w", u, err)
 			}
 			metrics.PagesFailed++
+			tel.Counter("crawl.pages.failed").Inc()
 			continue
 		}
 		graphs = append(graphs, g)
@@ -525,33 +553,45 @@ type stateAdmitter struct {
 	graph     *model.Graph
 	threshold float64
 	pm        *PageMetrics
+	tel       *obs.Telemetry
 	sigs      map[model.StateID]shingle.Signature
 }
 
-func newStateAdmitter(graph *model.Graph, threshold float64, pm *PageMetrics) *stateAdmitter {
-	a := &stateAdmitter{graph: graph, threshold: threshold, pm: pm}
+func newStateAdmitter(graph *model.Graph, threshold float64, pm *PageMetrics, tel *obs.Telemetry) *stateAdmitter {
+	a := &stateAdmitter{graph: graph, threshold: threshold, pm: pm, tel: tel}
 	if threshold > 0 {
 		a.sigs = make(map[model.StateID]shingle.Signature)
 	}
 	return a
 }
 
-// state admits (or merges) a candidate state and returns its ID.
+// state admits (or merges) a candidate state and returns its ID. The
+// live registry counters here track discovery as it happens (the
+// per-page totals fold in only at page end).
 func (a *stateAdmitter) state(h dom.Hash, text string, depth int) (model.StateID, bool) {
 	if id, ok := a.graph.FindByHash(h); ok {
+		a.tel.Counter("crawl.states.deduped").Inc()
 		return id, false
 	}
 	if a.threshold <= 0 {
-		return a.graph.AddState(h, text, depth)
+		id, isNew := a.graph.AddState(h, text, depth)
+		if isNew {
+			a.tel.Counter("crawl.states.discovered").Inc()
+		}
+		return id, isNew
 	}
 	sig := shingle.Sketch(strings.Fields(strings.ToLower(text)))
 	for id, existing := range a.sigs {
 		if sig.Similarity(existing) >= a.threshold {
 			a.pm.NearDupMerges++
+			a.tel.Counter("crawl.states.neardup_merged").Inc()
 			return id, false
 		}
 	}
 	id, isNew := a.graph.AddState(h, text, depth)
+	if isNew {
+		a.tel.Counter("crawl.states.discovered").Inc()
+	}
 	a.sigs[id] = sig
 	return id, isNew
 }

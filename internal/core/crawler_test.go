@@ -210,7 +210,7 @@ func TestHotNodeDetectsFunction(t *testing.T) {
 	if err := page.Load(context.Background(), webapp.WatchURL(v.ID)); err != nil {
 		t.Fatal(err)
 	}
-	if err := page.RunOnLoad(context.Background(), ); err != nil {
+	if err := page.RunOnLoad(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Click "next": one miss, then repeat the identical call: one hit.

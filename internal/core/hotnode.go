@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"ajaxcrawl/internal/browser"
+	"ajaxcrawl/internal/obs"
 )
 
 // HotNodeCache implements the heuristic crawling policy of chapter 4.
@@ -74,12 +75,18 @@ type hotNodeHook struct {
 // BeforeSend implements Alg. 4.2.1 lines 34-42: look the hot call up; on
 // a match, reuse the existing content instead of invoking the AJAX call.
 func (h *hotNodeHook) BeforeSend(p *browser.Page, req *browser.XHRRequest) (string, bool) {
+	ctx := p.Context()
+	tel := obs.From(ctx)
 	key, _ := h.cache.key(p, req)
 	if body, ok := h.cache.entries[key]; ok {
 		h.cache.Hits++
+		tel.Counter("crawl.hotnode.hits").Inc()
+		obs.Event(ctx, obs.SpanHotNodeHit, obs.A("key", key))
 		return body, true
 	}
 	h.cache.Misses++
+	tel.Counter("crawl.hotnode.misses").Inc()
+	obs.Event(ctx, obs.SpanHotNodeMiss, obs.A("key", key))
 	return "", false
 }
 

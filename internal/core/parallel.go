@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/obs"
 )
 
 // MPCrawler is the parallel crawler of chapter 6: N "process lines" each
@@ -164,12 +166,23 @@ func (m *MPCrawler) Run(ctx context.Context) *MPResult {
 // process: read URLsToCrawl.txt, crawl each page, serialize the models.
 // Models crawled before an error are still flushed to disk (the partial-
 // model flush a graceful shutdown relies on).
-func (m *MPCrawler) runPartition(ctx context.Context, c *Crawler, dir string) ([]*model.Graph, *Metrics, error) {
+func (m *MPCrawler) runPartition(ctx context.Context, c *Crawler, dir string) (graphs []*model.Graph, metrics *Metrics, err error) {
+	tel := obs.From(ctx)
+	ctx, sp := obs.StartSpan(ctx, obs.SpanPartitionCrawl, obs.A("dir", dir))
+	tel.Gauge("crawl.partitions.inflight").Add(1)
+	defer func() {
+		tel.Gauge("crawl.partitions.inflight").Add(-1)
+		tel.Counter("crawl.partitions").Inc()
+		if metrics != nil {
+			sp.SetAttr("pages", strconv.Itoa(metrics.Pages))
+		}
+		sp.End(err)
+	}()
 	urls, err := ReadPartition(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	graphs, metrics, err := c.CrawlAll(ctx, urls)
+	graphs, metrics, err = c.CrawlAll(ctx, urls)
 	if m.SaveModels && len(graphs) > 0 {
 		if saveErr := model.SaveAll(dir, graphs); saveErr != nil && err == nil {
 			err = saveErr

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/obs"
+	"ajaxcrawl/internal/webapp"
+)
+
+// spansByName indexes emitted span records by span name.
+func spansByName(recs []obs.SpanRecord) map[string][]obs.SpanRecord {
+	out := make(map[string][]obs.SpanRecord)
+	for _, r := range recs {
+		out[r.Name] = append(out[r.Name], r)
+	}
+	return out
+}
+
+// TestCrawlEmitsSpansAndCounters crawls one page with telemetry on the
+// context and checks the trace and registry see every layer: the page
+// span, event dispatches nested under it, XHR sends, hot-node cache
+// outcomes, and the registry counters the page's summary metrics fold
+// into (the no-drift guarantee between core.Metrics and the registry).
+func TestCrawlEmitsSpansAndCounters(t *testing.T) {
+	site, f := newSiteFetcher(20, 1)
+	v := multiPageVideo(t, site, 3)
+
+	reg := obs.NewRegistry()
+	ring := obs.NewRingSink(4096)
+	ctx := obs.With(context.Background(), obs.New(reg, ring))
+
+	c := New(f, Options{UseHotNode: true})
+	_, pm, err := c.CrawlPage(ctx, webapp.WatchURL(v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	by := spansByName(ring.Recent(0))
+	pages := by[obs.SpanPageCrawl]
+	if len(pages) != 1 {
+		t.Fatalf("page.crawl spans = %d, want 1", len(pages))
+	}
+	page := pages[0]
+	if page.Err != "" {
+		t.Fatalf("page.crawl span has error %q", page.Err)
+	}
+	if got := page.Attrs["url"]; got != webapp.WatchURL(v.ID) {
+		t.Fatalf("page.crawl url attr = %q", got)
+	}
+	if len(by[obs.SpanEventDispatch]) == 0 {
+		t.Fatal("no event.dispatch spans emitted")
+	}
+	for _, d := range by[obs.SpanEventDispatch] {
+		if d.Parent != page.ID {
+			t.Fatalf("event.dispatch parent = %d, want page span %d", d.Parent, page.ID)
+		}
+	}
+	if len(by[obs.SpanXHRSend]) == 0 {
+		t.Fatal("no xhr.send spans emitted")
+	}
+	if pm.HotNodeHits > 0 && len(by[obs.SpanHotNodeHit]) != pm.HotNodeHits {
+		t.Fatalf("hotnode.hit events = %d, want %d", len(by[obs.SpanHotNodeHit]), pm.HotNodeHits)
+	}
+
+	snap := reg.Snapshot()
+	// The reflection fold must make the registry agree exactly with the
+	// summary API.
+	checks := map[string]int{
+		"crawl.page.events_triggered": pm.EventsTriggered,
+		"crawl.page.xhr_sends":        pm.XHRSends,
+		"crawl.page.states":           pm.States,
+		"crawl.page.hot_node_hits":    pm.HotNodeHits,
+	}
+	for name, want := range checks {
+		if got := snap.Counters[name]; got != int64(want) {
+			t.Errorf("counter %s = %d, want %d (registry drifted from PageMetrics)", name, got, want)
+		}
+	}
+	if snap.Counters["crawl.events.triggered"] != int64(pm.EventsTriggered) {
+		t.Errorf("live counter crawl.events.triggered = %d, want %d",
+			snap.Counters["crawl.events.triggered"], pm.EventsTriggered)
+	}
+	if g := snap.Gauges["crawl.pages.inflight"]; g != 0 {
+		t.Errorf("crawl.pages.inflight = %d after crawl, want 0", g)
+	}
+}
+
+// TestPageTimeoutStillEmitsPageSpan is the cancellation half of the
+// trace-layer contract: when the per-page budget expires mid-crawl, the
+// open page.crawl span must still be closed and emitted, carrying the
+// context error — an aborted page may not vanish from the trace.
+func TestPageTimeoutStillEmitsPageSpan(t *testing.T) {
+	site, f := newSiteFetcher(20, 1)
+	v := multiPageVideo(t, site, 3)
+
+	// AJAX calls hang until the context dies, so the page blows its
+	// budget mid-crawl with the span still open.
+	hanging := fetch.Func(func(ctx context.Context, rawurl string) (*fetch.Response, error) {
+		if strings.Contains(rawurl, "comments") {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return f.Fetch(ctx, rawurl)
+	})
+
+	ring := obs.NewRingSink(256)
+	ctx := obs.With(context.Background(), obs.New(obs.NewRegistry(), ring))
+
+	c := New(hanging, Options{PageTimeout: 50 * time.Millisecond})
+	_, _, err := c.CrawlPage(ctx, webapp.WatchURL(v.ID))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+
+	pages := spansByName(ring.Recent(0))[obs.SpanPageCrawl]
+	if len(pages) != 1 {
+		t.Fatalf("page.crawl spans after abort = %d, want 1", len(pages))
+	}
+	if pages[0].Err == "" {
+		t.Fatal("aborted page.crawl span should carry the context error")
+	}
+	if pages[0].Dur() <= 0 {
+		t.Fatal("aborted span has no duration")
+	}
+}

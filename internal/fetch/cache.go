@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"ajaxcrawl/internal/obs"
 )
 
 // Cache is a memoizing Fetcher wrapper: every URL is fetched from the
@@ -47,14 +49,17 @@ func (c *Cache) Unwrap() Fetcher { return c.Inner }
 // exception: a fetch that failed only because its caller's deadline
 // passed must not poison the cache for later callers.
 func (c *Cache) Fetch(ctx context.Context, rawurl string) (*Response, error) {
+	tel := obs.From(ctx)
 	c.mu.Lock()
 	if e, ok := c.entries[rawurl]; ok {
 		c.hits++
 		c.mu.Unlock()
+		tel.Counter("fetch.cache.hits").Inc()
 		return e.resp, e.err
 	}
 	c.misses++
 	c.mu.Unlock()
+	tel.Counter("fetch.cache.misses").Inc()
 
 	resp, err := c.Inner.Fetch(ctx, rawurl)
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {

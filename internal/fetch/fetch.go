@@ -16,9 +16,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"ajaxcrawl/internal/obs"
 )
 
 // Response is a fetched resource.
@@ -195,6 +196,13 @@ func FindStats(f Fetcher) StatsProvider {
 // latency model is latency = Base + PerKB * body_size/1024, roughly a
 // fixed round trip plus bandwidth-limited transfer — the cost model under
 // which the paper's "hot nodes save network calls" result is measured.
+//
+// Counter updates and Stats() snapshots are lock-free atomics, so
+// concurrent process lines sharing one Instrumented never contend on a
+// stats mutex and never race. When a telemetry context (internal/obs)
+// reaches Fetch, each request is additionally recorded in the live
+// registry: a fetch.latency histogram and fetch.requests / fetch.errors
+// / fetch.bytes counters.
 type Instrumented struct {
 	Inner Fetcher
 	Clock Clock
@@ -203,8 +211,10 @@ type Instrumented struct {
 	// PerKB is the additional latency per KiB of response body.
 	PerKB time.Duration
 
-	mu    sync.Mutex
-	stats Stats
+	calls atomic.Int64
+	bytes atomic.Int64
+	netNS atomic.Int64
+	errs  atomic.Int64
 }
 
 // NewInstrumented wraps inner with the given latency model on clock.
@@ -222,53 +232,61 @@ func (f *Instrumented) Unwrap() Fetcher { return f.Inner }
 // The simulated delay is deadline-aware: a canceled or expired context
 // interrupts the sleep and the fetch fails with ctx.Err().
 func (f *Instrumented) Fetch(ctx context.Context, rawurl string) (*Response, error) {
+	tel := obs.From(ctx)
 	start := f.Clock.Now()
 	resp, err := f.Inner.Fetch(ctx, rawurl)
-	if err != nil {
-		f.mu.Lock()
-		f.stats.Calls++
-		f.stats.Errors++
-		f.stats.NetworkTime += f.Clock.Now().Sub(start)
-		f.mu.Unlock()
-		return nil, err
-	}
-	delay := f.Base + f.PerKB*time.Duration(len(resp.Body))/1024
-	if delay > 0 {
-		if serr := f.Clock.Sleep(ctx, delay); serr != nil {
-			f.mu.Lock()
-			f.stats.Calls++
-			f.stats.Errors++
-			f.stats.NetworkTime += f.Clock.Now().Sub(start)
-			f.mu.Unlock()
-			return nil, fmt.Errorf("fetch %s: %w", rawurl, serr)
+	if err == nil {
+		delay := f.Base + f.PerKB*time.Duration(len(resp.Body))/1024
+		if delay > 0 {
+			if serr := f.Clock.Sleep(ctx, delay); serr != nil {
+				err = fmt.Errorf("fetch %s: %w", rawurl, serr)
+			}
+		}
+		if err == nil {
+			elapsed := f.Clock.Now().Sub(start)
+			if elapsed < delay {
+				// Virtual clocks may report zero elapsed wall time;
+				// charge at least the simulated delay.
+				elapsed = delay
+			}
+			f.calls.Add(1)
+			f.bytes.Add(int64(len(resp.Body)))
+			f.netNS.Add(int64(elapsed))
+			tel.Counter("fetch.requests").Inc()
+			tel.Counter("fetch.bytes").Add(int64(len(resp.Body)))
+			tel.Histogram("fetch.latency").ObserveDuration(elapsed)
+			return resp, nil
 		}
 	}
 	elapsed := f.Clock.Now().Sub(start)
-	if elapsed < delay {
-		// Virtual clocks may report zero elapsed wall time; charge at
-		// least the simulated delay.
-		elapsed = delay
-	}
-	f.mu.Lock()
-	f.stats.Calls++
-	f.stats.Bytes += int64(len(resp.Body))
-	f.stats.NetworkTime += elapsed
-	f.mu.Unlock()
-	return resp, nil
+	f.calls.Add(1)
+	f.errs.Add(1)
+	f.netNS.Add(int64(elapsed))
+	tel.Counter("fetch.requests").Inc()
+	tel.Counter("fetch.errors").Inc()
+	tel.Histogram("fetch.latency").ObserveDuration(elapsed)
+	return nil, err
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Errors is loaded before
+// Calls: writers increment calls first, so with this load order a
+// snapshot can never show more errors than calls, even mid-update.
 func (f *Instrumented) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	errs := f.errs.Load()
+	return Stats{
+		Calls:       f.calls.Load(),
+		Bytes:       f.bytes.Load(),
+		NetworkTime: time.Duration(f.netNS.Load()),
+		Errors:      errs,
+	}
 }
 
 // Reset clears the counters.
 func (f *Instrumented) Reset() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.stats = Stats{}
+	f.calls.Store(0)
+	f.bytes.Store(0)
+	f.netNS.Store(0)
+	f.errs.Store(0)
 }
 
 // Func adapts a function to the Fetcher interface (handy in tests).

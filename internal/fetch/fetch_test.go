@@ -130,7 +130,7 @@ func TestHTTPFetcherAgainstLocalServer(t *testing.T) {
 	defer srv.Close()
 
 	f := &HTTPFetcher{}
-	resp, err := f.Fetch(context.Background(), "http://" + ln.Addr().String() + "/page?q=live")
+	resp, err := f.Fetch(context.Background(), "http://"+ln.Addr().String()+"/page?q=live")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,86 @@
+package fetch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestInstrumentedConcurrentStats hammers one shared Instrumented from
+// many goroutines — the shape of concurrent process lines sharing a
+// fetcher — while other goroutines snapshot and reset it. Run under
+// `go test -race` (as CI does) this pins the lock-free stats design:
+// no data race, and no update lost.
+func TestInstrumentedConcurrentStats(t *testing.T) {
+	inner := Func(func(ctx context.Context, rawurl string) (*Response, error) {
+		if rawurl == "err://boom" {
+			return nil, fmt.Errorf("boom")
+		}
+		return &Response{Status: 200, Body: make([]byte, 100)}, nil
+	})
+	clock := &VirtualClock{}
+	f := NewInstrumented(inner, clock, time.Millisecond, 0)
+
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				url := "http://ok"
+				if i%10 == 0 {
+					url = "err://boom"
+				}
+				f.Fetch(ctx, url) //nolint:errcheck — errors are part of the workload
+			}
+		}(w)
+	}
+	// Concurrent readers: Stats must be safe to call mid-crawl (this is
+	// exactly what /debug/metrics does to a live run).
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := f.Stats()
+				if s.Errors > s.Calls {
+					t.Error("snapshot impossible: errors > calls")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	s := f.Stats()
+	wantCalls := int64(workers * perWorker)
+	wantErrs := int64(workers * perWorker / 10)
+	if s.Calls != wantCalls {
+		t.Fatalf("Calls = %d, want %d", s.Calls, wantCalls)
+	}
+	if s.Errors != wantErrs {
+		t.Fatalf("Errors = %d, want %d", s.Errors, wantErrs)
+	}
+	if s.Bytes != (wantCalls-wantErrs)*100 {
+		t.Fatalf("Bytes = %d, want %d", s.Bytes, (wantCalls-wantErrs)*100)
+	}
+	if s.NetworkTime < time.Duration(wantCalls-wantErrs)*time.Millisecond {
+		t.Fatalf("NetworkTime = %v, want >= %v", s.NetworkTime, time.Duration(wantCalls-wantErrs)*time.Millisecond)
+	}
+	f.Reset()
+	if s := f.Stats(); s != (Stats{}) {
+		t.Fatalf("Reset left %+v", s)
+	}
+}

@@ -11,14 +11,18 @@
 package index
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"math"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 	"unicode"
 
 	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/obs"
 )
 
 // DocID identifies a document (URL) within one index.
@@ -165,13 +169,41 @@ func (ix *Index) NumDocs() int { return len(ix.Docs) }
 // NumTerms returns the vocabulary size.
 func (ix *Index) NumTerms() int { return len(ix.Terms) }
 
+// NumPostings returns the total posting count across all terms — the
+// size figure of the evaluation's index tables.
+func (ix *Index) NumPostings() int {
+	total := 0
+	for _, ps := range ix.Terms {
+		total += len(ps)
+	}
+	return total
+}
+
 // Build constructs an index over a set of graphs. pageRank may be nil
 // (all zeros). maxStates limits states per page as in AddGraph.
 func Build(graphs []*model.Graph, pageRank map[string]float64, maxStates int) *Index {
+	return BuildCtx(context.Background(), graphs, pageRank, maxStates)
+}
+
+// BuildCtx is Build under a context: when the context carries telemetry,
+// the build is wrapped in an index.build span and its size and duration
+// land in the registry.
+func BuildCtx(ctx context.Context, graphs []*model.Graph, pageRank map[string]float64, maxStates int) *Index {
+	tel := obs.From(ctx)
+	_, sp := obs.StartSpan(ctx, obs.SpanIndexBuild, obs.A("graphs", strconv.Itoa(len(graphs))))
+	start := time.Now()
 	ix := New()
 	for _, g := range graphs {
 		ix.AddGraph(g, pageRank[g.URL], maxStates)
 	}
+	postings := ix.NumPostings()
+	tel.Counter("index.builds").Inc()
+	tel.Counter("index.docs").Add(int64(ix.NumDocs()))
+	tel.Counter("index.states").Add(int64(ix.TotalStates))
+	tel.Counter("index.postings").Add(int64(postings))
+	tel.Histogram("index.build.latency").Observe(time.Since(start).Seconds())
+	sp.SetAttr("postings", strconv.Itoa(postings))
+	sp.End(nil)
 	return ix
 }
 

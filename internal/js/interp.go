@@ -187,6 +187,10 @@ func (it *Interp) TopUserFrame() *Frame {
 // handler invocation gets a fresh budget).
 func (it *Interp) ResetBudget() { it.steps = 0 }
 
+// Steps returns the AST evaluations consumed since the last ResetBudget
+// — the per-dispatch interpreter cost the telemetry layer exports.
+func (it *Interp) Steps() int { return it.steps }
+
 func (it *Interp) step(line int) error {
 	it.steps++
 	max := it.MaxSteps

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLIConfig is the telemetry surface the commands share: the
+// -metrics-addr, -trace, and -v flags map onto it.
+type CLIConfig struct {
+	// MetricsAddr, when non-empty, starts the background debug server
+	// (ServeDebug): /debug/metrics, /debug/trace/recent, pprof.
+	MetricsAddr string
+	// TracePath, when non-empty, streams every span to a JSONL file.
+	TracePath string
+	// Verbose prints one line per finished span in ProgressSpans.
+	Verbose bool
+	// ProgressW receives the -v lines (default os.Stderr).
+	ProgressW io.Writer
+	// ProgressSpans filters which spans -v prints (empty = all).
+	ProgressSpans []string
+}
+
+// CLITelemetry wires a command's telemetry from its flags: a fresh
+// registry, a ring buffer (for /debug/trace/recent), plus the optional
+// trace file, progress printer, and debug server. The returned close
+// function flushes the trace file and must run before exit.
+func CLITelemetry(cfg CLIConfig) (*Telemetry, *Registry, func() error, error) {
+	reg := NewRegistry()
+	ring := NewRingSink(0)
+	sinks := MultiSink{ring}
+	var fs *FileSink
+	if cfg.TracePath != "" {
+		var err error
+		fs, err = NewFileSink(cfg.TracePath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sinks = append(sinks, fs)
+	}
+	if cfg.Verbose {
+		w := cfg.ProgressW
+		if w == nil {
+			w = os.Stderr
+		}
+		sinks = append(sinks, NewProgressSink(w, cfg.ProgressSpans...))
+	}
+	if cfg.MetricsAddr != "" {
+		ServeDebug(cfg.MetricsAddr, reg, ring, func(err error) {
+			fmt.Fprintf(os.Stderr, "obs: debug server: %v\n", err)
+		})
+	}
+	closeFn := func() error {
+		if fs != nil {
+			return fs.Close()
+		}
+		return nil
+	}
+	return New(reg, sinks), reg, closeFn, nil
+}
+
+// CrawlProgressSpans are the span names the crawling commands print
+// under -v: coarse units, not per-event noise.
+var CrawlProgressSpans = []string{SpanPageCrawl, SpanPartitionCrawl, SpanIndexBuild, SpanQueryExec}

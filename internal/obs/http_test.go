@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func debugServer(t *testing.T) (*httptest.Server, *Registry, *RingSink) {
+	t.Helper()
+	reg := NewRegistry()
+	ring := NewRingSink(64)
+	mux := http.NewServeMux()
+	RegisterDebug(mux, reg, ring)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, reg, ring
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, sb.String()
+}
+
+func TestDebugMetricsJSONAndProm(t *testing.T) {
+	srv, reg, _ := debugServer(t)
+	reg.Counter("crawl.pages").Add(3)
+	reg.Histogram("fetch.latency").Observe(0.002)
+
+	code, body := get(t, srv.URL+"/debug/metrics")
+	if code != 200 {
+		t.Fatalf("/debug/metrics status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if snap.Counters["crawl.pages"] != 3 {
+		t.Fatalf("counter missing from snapshot: %s", body)
+	}
+
+	for _, url := range []string{srv.URL + "/debug/metrics?format=prom", srv.URL + "/debug/metrics/prom"} {
+		code, body = get(t, url)
+		if code != 200 {
+			t.Fatalf("%s status %d", url, code)
+		}
+		if !strings.Contains(body, "# TYPE ajaxcrawl_crawl_pages counter") ||
+			!strings.Contains(body, "ajaxcrawl_fetch_latency_bucket{le=\"+Inf\"} 1") {
+			t.Fatalf("prometheus body missing series:\n%s", body)
+		}
+	}
+}
+
+func TestDebugTraceRecent(t *testing.T) {
+	srv, _, ring := debugServer(t)
+	ctx := With(context.Background(), New(nil, ring))
+	Event(ctx, SpanPageCrawl, A("url", "/watch?v=x"))
+	Event(ctx, SpanQueryExec)
+
+	code, body := get(t, srv.URL+"/debug/trace/recent?n=1")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var spans []SpanRecord
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if len(spans) != 1 || spans[0].Name != SpanQueryExec {
+		t.Fatalf("recent spans: %+v", spans)
+	}
+}
+
+func TestDebugPprofMounted(t *testing.T) {
+	srv, _, _ := debugServer(t)
+	code, body := get(t, srv.URL+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d body %.120q", code, body)
+	}
+}
+
+func TestInstrumentHandler(t *testing.T) {
+	reg := NewRegistry()
+	h := InstrumentHandler(reg, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			http.Error(w, "nope", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	get(t, srv.URL+"/")
+	get(t, srv.URL+"/boom")
+	snap := reg.Snapshot()
+	if snap.Counters["http.requests"] != 2 || snap.Counters["http.errors"] != 1 {
+		t.Fatalf("http counters: %+v", snap.Counters)
+	}
+	if snap.Histograms["http.latency"].Count != 2 {
+		t.Fatalf("latency histogram count = %d", snap.Histograms["http.latency"].Count)
+	}
+	if snap.Gauges["http.inflight"] != 0 {
+		t.Fatalf("inflight gauge = %d, want 0", snap.Gauges["http.inflight"])
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Telemetry bundles a metrics registry with a trace sink. It travels on
+// context.Context (With/From), so every layer of the pipeline — fetch,
+// browser, core, parallel, index, query — picks it up without new
+// parameters. A nil *Telemetry is fully usable: all methods no-op.
+type Telemetry struct {
+	reg    *Registry
+	sink   Sink
+	nextID atomic.Uint64
+}
+
+// New returns a Telemetry over the given registry and sink. A nil reg
+// creates a fresh registry; a nil sink disables tracing (metrics only).
+func New(reg *Registry, sink Sink) *Telemetry {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Telemetry{reg: reg, sink: sink}
+}
+
+// Registry returns the metrics registry (nil on nil Telemetry).
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Counter returns the named counter (nil when telemetry is disabled).
+func (t *Telemetry) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	return t.reg.Counter(name)
+}
+
+// Gauge returns the named gauge (nil when telemetry is disabled).
+func (t *Telemetry) Gauge(name string) *Gauge {
+	if t == nil {
+		return nil
+	}
+	return t.reg.Gauge(name)
+}
+
+// Histogram returns the named histogram (nil when telemetry is
+// disabled).
+func (t *Telemetry) Histogram(name string, bounds ...float64) *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.reg.Histogram(name, bounds...)
+}
+
+type telKey struct{}
+type spanKey struct{}
+
+// With installs t on the context; everything downstream that calls
+// From/StartSpan participates. With(ctx, nil) returns ctx unchanged.
+func With(ctx context.Context, t *Telemetry) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, telKey{}, t)
+}
+
+// From returns the Telemetry installed on ctx, or nil.
+func From(ctx context.Context) *Telemetry {
+	t, _ := ctx.Value(telKey{}).(*Telemetry)
+	return t
+}
+
+// StartSpan opens a span named name as a child of the span currently on
+// ctx (if any) and returns a derived context carrying the new span as
+// parent. When no telemetry — or no sink — is installed, it returns ctx
+// unchanged and a nil span whose End is a no-op, so instrumentation
+// points pay only this lookup.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	tel := From(ctx)
+	if tel == nil || tel.sink == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(uint64)
+	s := &Span{
+		tel:    tel,
+		id:     tel.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+	return context.WithValue(ctx, spanKey{}, s.id), s
+}
+
+// Event emits an instantaneous (zero-duration) span — used for
+// point-in-time occurrences like hot-node cache hits.
+func Event(ctx context.Context, name string, attrs ...Attr) {
+	_, s := StartSpan(ctx, name, attrs...)
+	s.End(nil)
+}

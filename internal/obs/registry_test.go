@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Gauge("g").Add(-1)
+				r.Histogram("h").Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := r.Snapshot().Histograms["h"].Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestNilRegistryAndMetricsAreNoops(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(5)
+	r.Gauge("x").Set(5)
+	r.Histogram("x").Observe(1)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+	var tel *Telemetry
+	tel.Counter("x").Inc()
+	tel.Histogram("x").ObserveDuration(time.Second)
+	if tel.Registry() != nil {
+		t.Fatal("nil telemetry must have nil registry")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 0.010, 0.020, 0.040, 0.080)
+	// 100 samples uniformly in the 0–10ms bucket, 10 in 10–20ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.015)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 110 {
+		t.Fatalf("count = %d, want 110", s.Count)
+	}
+	// p50 falls in the first bucket (0..0.010); p99 in the second.
+	if s.P50 <= 0 || s.P50 > 0.010 {
+		t.Fatalf("p50 = %v, want in (0, 0.010]", s.P50)
+	}
+	if s.P99 <= 0.010 || s.P99 > 0.020 {
+		t.Fatalf("p99 = %v, want in (0.010, 0.020]", s.P99)
+	}
+	// The overflow bucket is cumulative and closes at Count.
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.Le, 1) || last.Count != 110 {
+		t.Fatalf("+Inf bucket = %+v", last)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("crawl.events").Add(42)
+	r.Gauge("partition.inflight").Set(3)
+	r.Histogram("fetch.latency", 0.1, 1).Observe(0.05)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]interface{}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("snapshot JSON not parseable: %v", err)
+	}
+	if back["counters"].(map[string]interface{})["crawl.events"].(float64) != 42 {
+		t.Fatalf("counter lost in JSON: %s", b)
+	}
+}
+
+// TestPrometheusGolden pins the text exposition rendering byte for byte.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("crawl.events").Add(7)
+	r.Counter("crawl.pages").Add(2)
+	r.Gauge("partition.inflight").Set(1)
+	// Power-of-two samples keep the float sum exact, so the golden text
+	// cannot drift with accumulation order.
+	h := r.Histogram("fetch.latency", 0.5, 2)
+	h.Observe(0.25)
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(4)
+
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE ajaxcrawl_crawl_events counter
+ajaxcrawl_crawl_events 7
+# TYPE ajaxcrawl_crawl_pages counter
+ajaxcrawl_crawl_pages 2
+# TYPE ajaxcrawl_partition_inflight gauge
+ajaxcrawl_partition_inflight 1
+# TYPE ajaxcrawl_fetch_latency histogram
+ajaxcrawl_fetch_latency_bucket{le="0.5"} 2
+ajaxcrawl_fetch_latency_bucket{le="2"} 3
+ajaxcrawl_fetch_latency_bucket{le="+Inf"} 4
+ajaxcrawl_fetch_latency_sum 5.5
+ajaxcrawl_fetch_latency_count 4
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("prometheus rendering drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

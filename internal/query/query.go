@@ -7,12 +7,16 @@
 package query
 
 import (
+	"context"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"ajaxcrawl/internal/index"
 	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/obs"
 )
 
 // Weights are the w1..w4 coefficients of formula 5.3.
@@ -172,8 +176,15 @@ func NewEngine(ix *index.Index) *Engine {
 // Search evaluates a (conjunctive) keyword query and returns results
 // sorted by descending score.
 func (e *Engine) Search(q string) []Result {
+	return e.SearchCtx(context.Background(), q)
+}
+
+// SearchCtx is Search under a context: when the context carries
+// telemetry, the evaluation is wrapped in a query.exec span and its
+// latency and candidate count land in the registry.
+func (e *Engine) SearchCtx(ctx context.Context, q string) []Result {
 	b := &Broker{Shards: []*index.Index{e.Idx}, W: e.W}
-	return b.Search(q)
+	return b.SearchCtx(ctx, q)
 }
 
 // partial is a shard-local result before the global tf·idf component is
@@ -235,9 +246,39 @@ func NewBroker(shards []*index.Index) *Broker {
 
 // Search evaluates the query across all shards.
 func (b *Broker) Search(q string) []Result {
+	return b.SearchCtx(context.Background(), q)
+}
+
+// SearchCtx is Search under a context (see Engine.SearchCtx).
+func (b *Broker) SearchCtx(ctx context.Context, q string) []Result {
+	out, _ := instrumentQuery(ctx, q, func() ([]Result, int) {
+		return b.search(q)
+	})
+	return out
+}
+
+// instrumentQuery wraps one query evaluation in the query.exec span and
+// registry metrics. It is shared by Search and SearchTopK; with no
+// telemetry on the context it costs one Value lookup.
+func instrumentQuery(ctx context.Context, q string, eval func() ([]Result, int)) ([]Result, int) {
+	tel := obs.From(ctx)
+	_, sp := obs.StartSpan(ctx, obs.SpanQueryExec, obs.A("q", q))
+	start := time.Now()
+	out, candidates := eval()
+	tel.Counter("query.count").Inc()
+	tel.Counter("query.candidates").Add(int64(candidates))
+	tel.Histogram("query.latency").Observe(time.Since(start).Seconds())
+	sp.SetAttr("results", strconv.Itoa(len(out)))
+	sp.End(nil)
+	return out, candidates
+}
+
+// search is the uninstrumented evaluation; the int is the number of
+// candidate (URL, state) matches examined before ranking.
+func (b *Broker) search(q string) ([]Result, int) {
 	terms := Parse(q)
 	if len(terms) == 0 {
-		return nil
+		return nil, 0
 	}
 	// Query shipping: evaluate on each shard, collect local counts.
 	var partials []partial
@@ -274,7 +315,7 @@ func (b *Broker) Search(q string) []Result {
 		idf[i] = math.Log(float64(totalStates) / float64(df))
 	}
 	if len(partials) == 0 {
-		return nil
+		return nil, 0
 	}
 	// Step 1: add the tf·idf component. Step 2: sort by rank.
 	out := make([]Result, len(partials))
@@ -296,7 +337,7 @@ func (b *Broker) Search(q string) []Result {
 		}
 		return out[i].State < out[j].State
 	})
-	return out
+	return out, len(partials)
 }
 
 // TopK truncates a result list to its k best entries.

@@ -2,6 +2,7 @@ package query
 
 import (
 	"container/heap"
+	"context"
 	"math"
 
 	"ajaxcrawl/internal/index"
@@ -21,12 +22,25 @@ import (
 // SearchTopK evaluates the query and returns its k best results in rank
 // order without materializing and sorting the full result list.
 func (b *Broker) SearchTopK(q string, k int) []Result {
+	return b.SearchTopKCtx(context.Background(), q, k)
+}
+
+// SearchTopKCtx is SearchTopK under a context (see Engine.SearchCtx).
+func (b *Broker) SearchTopKCtx(ctx context.Context, q string, k int) []Result {
 	if k <= 0 {
-		return b.Search(q)
+		return b.SearchCtx(ctx, q)
 	}
+	out, _ := instrumentQuery(ctx, q, func() ([]Result, int) {
+		return b.searchTopK(q, k)
+	})
+	return out
+}
+
+// searchTopK is the uninstrumented top-k evaluation.
+func (b *Broker) searchTopK(q string, k int) ([]Result, int) {
 	terms := Parse(q)
 	if len(terms) == 0 {
-		return nil
+		return nil, 0
 	}
 	// Query shipping, as in Search.
 	var partials []partial
@@ -52,7 +66,7 @@ func (b *Broker) SearchTopK(q string, k int) []Result {
 		totalStates += shard.TotalStates
 	}
 	if len(partials) == 0 {
-		return nil
+		return nil, 0
 	}
 	idf := make([]float64, len(terms))
 	for i, df := range globalDF {
@@ -84,7 +98,7 @@ func (b *Broker) SearchTopK(q string, k int) []Result {
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(h).(Result)
 	}
-	return out
+	return out, len(partials)
 }
 
 // resultLess orders results by ascending rank quality: a < b means a is a
@@ -118,6 +132,11 @@ func (h *resultHeap) Pop() interface{} {
 
 // EngineSearchTopK is the single-index convenience.
 func (e *Engine) SearchTopK(q string, k int) []Result {
+	return e.SearchTopKCtx(context.Background(), q, k)
+}
+
+// SearchTopKCtx is SearchTopK under a context (see Engine.SearchCtx).
+func (e *Engine) SearchTopKCtx(ctx context.Context, q string, k int) []Result {
 	b := &Broker{Shards: []*index.Index{e.Idx}, W: e.W}
-	return b.SearchTopK(q, k)
+	return b.SearchTopKCtx(ctx, q, k)
 }

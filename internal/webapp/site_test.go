@@ -201,7 +201,7 @@ func TestBrowserDrivesPagination(t *testing.T) {
 	if err := p.Load(context.Background(), WatchURL(v.ID)); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RunOnLoad(context.Background(), ); err != nil {
+	if err := p.RunOnLoad(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	h1 := p.Hash()
