@@ -56,6 +56,13 @@ type env struct {
 	seed    int64
 	latBase time.Duration
 	latPerK time.Duration
+	// Resilience knobs (zero-valued unless the -retries /
+	// -breaker-threshold / -fault-rate flags are set): every experiment
+	// crawl then runs the whole fault-tolerant stack, so tables can be
+	// regenerated under chaos to measure the overhead of recovery.
+	retry     *fetch.RetryPolicy
+	breaker   *fetch.BreakerConfig
+	faultRate float64
 }
 
 // experiment is one runnable table/figure reproduction.
@@ -82,6 +89,10 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics, /debug/trace/recent and pprof on this address")
 		tracePath   = flag.String("trace", "", "write every span to this JSONL file")
 		jsonOut     = flag.Bool("json", false, "print the final registry snapshot as one JSON document on stdout (tables move to stderr)")
+		retries     = flag.Int("retries", 0, "retry transient fetch failures up to this many times per request (0 disables retrying)")
+		retryBase   = flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff; doubles per retry with full jitter")
+		breakerThr  = flag.Float64("breaker-threshold", 0, "per-host circuit-breaker failure-rate threshold in (0,1] (0 disables the breaker)")
+		faultRate   = flag.Float64("fault-rate", 0, "inject transient fetch faults with this probability (chaos testing; seeded by -seed)")
 	)
 	flag.Parse()
 
@@ -132,12 +143,19 @@ func main() {
 	ctx = obs.With(ctx, tel)
 
 	e := &env{
-		ctx:     ctx,
-		site:    webapp.New(webapp.DefaultConfig(*videos, *seed)),
-		videos:  *videos,
-		seed:    *seed,
-		latBase: *base,
-		latPerK: *perKB,
+		ctx:       ctx,
+		site:      webapp.New(webapp.DefaultConfig(*videos, *seed)),
+		videos:    *videos,
+		seed:      *seed,
+		latBase:   *base,
+		latPerK:   *perKB,
+		faultRate: *faultRate,
+	}
+	if *retries > 0 {
+		e.retry = &fetch.RetryPolicy{MaxAttempts: *retries + 1, BaseDelay: *retryBase}
+	}
+	if *breakerThr > 0 {
+		e.breaker = &fetch.BreakerConfig{FailureThreshold: *breakerThr}
 	}
 	var failed bool
 	for _, x := range experiments {
@@ -192,12 +210,23 @@ func main() {
 
 // ---- shared helpers ----
 
-// instrumented builds a latency-simulating fetcher on a virtual clock.
+// instrumented builds a latency-simulating fetcher on a virtual clock,
+// with fault injection underneath when -fault-rate is set (so injected
+// outcomes are counted like real ones).
 func (e *env) instrumented(clock fetch.Clock) *fetch.Instrumented {
-	return fetch.NewInstrumented(
-		&fetch.HandlerFetcher{Handler: e.site.Handler()},
-		clock, e.latBase, e.latPerK,
-	)
+	var inner fetch.Fetcher = &fetch.HandlerFetcher{Handler: e.site.Handler()}
+	if e.faultRate > 0 {
+		maxConsec := 0
+		if e.retry != nil {
+			maxConsec = e.retry.MaxAttempts - 1
+		}
+		inner = fetch.NewFaultFetcher(inner, fetch.FaultConfig{
+			ErrorRate:      e.faultRate,
+			MaxConsecutive: maxConsec,
+			Seed:           e.seed,
+		}, clock)
+	}
+	return fetch.NewInstrumented(inner, clock, e.latBase, e.latPerK)
 }
 
 // plain builds an uninstrumented in-process fetcher (no latency).
@@ -223,6 +252,8 @@ func (e *env) crawl(n int, opts core.Options) (*core.Metrics, []*model.Graph, er
 	clock := &fetch.VirtualClock{}
 	inst := e.instrumented(clock)
 	opts.Clock = clock
+	opts.RetryPolicy = e.retry
+	opts.BreakerConfig = e.breaker
 	c := core.New(inst, opts)
 	graphs, m, err := c.CrawlAll(e.ctx, e.urls(n))
 	if err != nil {

@@ -56,6 +56,10 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics, /debug/trace/recent and pprof on this address")
 		tracePath   = flag.String("trace", "", "write every span to this JSONL file")
 		jsonOut     = flag.Bool("json", false, "print the final metrics snapshot as one JSON document on stdout")
+		retries     = flag.Int("retries", 0, "retry transient fetch failures up to this many times per request (0 disables retrying)")
+		retryBase   = flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff; doubles per retry with full jitter")
+		breakerThr  = flag.Float64("breaker-threshold", 0, "per-host circuit-breaker failure-rate threshold in (0,1] (0 disables the breaker)")
+		faultRate   = flag.Float64("fault-rate", 0, "inject transient fetch faults with this probability (chaos testing; seeded by -seed)")
 	)
 	flag.Parse()
 
@@ -95,6 +99,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Chaos testing: fault injection sits under the instrumentation, so
+	// injected outcomes count in fetch.requests/fetch.errors like real
+	// ones would.
+	if *faultRate > 0 {
+		fetcher = fetch.NewFaultFetcher(fetcher, fetch.FaultConfig{
+			ErrorRate:      *faultRate,
+			MaxConsecutive: *retries, // every URL stays recoverable within the retry budget
+			Seed:           *seed,
+		}, nil)
+	}
+
 	// Always crawl through an instrumented fetcher (zero added latency)
 	// so per-request counters and the fetch.latency histogram flow into
 	// the registry and per-page NetworkTime attribution works.
@@ -128,6 +143,15 @@ func main() {
 		Traditional: *traditional,
 		UseHotNode:  !*noHot && !*traditional,
 		MaxStates:   *maxStates,
+	}
+	if *retries > 0 {
+		opts.RetryPolicy = &fetch.RetryPolicy{
+			MaxAttempts: *retries + 1,
+			BaseDelay:   *retryBase,
+		}
+	}
+	if *breakerThr > 0 {
+		opts.BreakerConfig = &fetch.BreakerConfig{FailureThreshold: *breakerThr}
 	}
 	var recordProfile *core.CrawlProfile
 	if *saveProfile {
@@ -178,6 +202,10 @@ func main() {
 		m.Pages, m.States, m.EventsTriggered, m.NetworkEvents, m.HotNodeHits)
 	if m.PagesFailed > 0 {
 		infof("skipped %d failed pages", m.PagesFailed)
+	}
+	if m.Retries > 0 || m.BreakerOpens > 0 {
+		infof("resilience: %d retries recovered %d pages, %d breaker opens",
+			m.Retries, m.PagesRecovered, m.BreakerOpens)
 	}
 	infof("models stored under %s (one ajaxmodels.gob per partition)", *out)
 	if m.EventsSkipped > 0 {

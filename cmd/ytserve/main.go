@@ -14,9 +14,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
@@ -26,9 +29,11 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:8080", "listen address")
-		videos = flag.Int("videos", 500, "number of videos")
-		seed   = flag.Int64("seed", 2008, "generation seed")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		videos     = flag.Int("videos", 500, "number of videos")
+		seed       = flag.Int64("seed", 2008, "generation seed")
+		faultRate  = flag.Float64("fault-rate", 0, "answer this fraction of requests with 503 (chaos testing a live crawl; seeded by -seed)")
+		retryAfter = flag.Duration("fault-retry-after", time.Second, "Retry-After hint advertised on injected 503s")
 	)
 	flag.Parse()
 
@@ -47,7 +52,29 @@ func main() {
 	ring := obs.NewRingSink(0)
 	mux := http.NewServeMux()
 	obs.RegisterDebug(mux, reg, ring)
-	mux.Handle("/", obs.InstrumentHandler(reg, site.Handler()))
+	handler := site.Handler()
+	// Server-side chaos: a fraction of site requests answer 503 with a
+	// Retry-After hint, so a crawl pointed here exercises its retry and
+	// breaker stack against real HTTP. Injected 503s show up in the
+	// instrumented handler's status counters like any other response.
+	if *faultRate > 0 {
+		rnd := rand.New(rand.NewSource(*seed))
+		var mu sync.Mutex
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			inject := rnd.Float64() < *faultRate
+			mu.Unlock()
+			if inject {
+				w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
+				http.Error(w, "injected fault", http.StatusServiceUnavailable)
+				return
+			}
+			inner.ServeHTTP(w, r)
+		})
+		fmt.Printf("chaos: injecting 503s on %.0f%% of requests (Retry-After: %v)\n", *faultRate*100, *retryAfter)
+	}
+	mux.Handle("/", obs.InstrumentHandler(reg, handler))
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"ajaxcrawl/internal/dom"
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/obs"
+	"ajaxcrawl/internal/webapp"
+)
+
+// stateSets maps each crawled URL to its sorted state hashes, the
+// crawl-result fingerprint the chaos test compares.
+func stateSets(graphs []*model.Graph) map[string][]dom.Hash {
+	out := make(map[string][]dom.Hash, len(graphs))
+	for _, g := range graphs {
+		hashes := make([]dom.Hash, 0, len(g.States))
+		for _, s := range g.States {
+			hashes = append(hashes, s.Hash)
+		}
+		sort.Slice(hashes, func(i, j int) bool {
+			return bytes.Compare(hashes[i][:], hashes[j][:]) < 0
+		})
+		out[g.URL] = hashes
+	}
+	return out
+}
+
+// TestChaosCrawlMatchesFaultFreeBaseline is the headline fault-tolerance
+// property: a crawl under 30% injected transient faults (connection
+// resets and truncated bodies), run through the retry layer, discovers
+// exactly the state set of a fault-free crawl — zero pages lost. All
+// backoff sleeps run on the VirtualClock, so the whole chaos schedule
+// costs no wall time.
+func TestChaosCrawlMatchesFaultFreeBaseline(t *testing.T) {
+	site := webapp.New(webapp.DefaultConfig(10, 2008))
+	var urls []string
+	for i := 0; i < 6; i++ {
+		urls = append(urls, webapp.WatchURL(site.VideoID(i)))
+	}
+	ctx := context.Background()
+
+	// Fault-free baseline.
+	baseClock := &fetch.VirtualClock{}
+	baseFetcher := fetch.NewInstrumented(
+		&fetch.HandlerFetcher{Handler: site.Handler()}, baseClock, 10*time.Millisecond, time.Millisecond)
+	baseGraphs, baseMetrics, err := New(baseFetcher, Options{UseHotNode: true, Clock: baseClock}).CrawlAll(ctx, urls)
+	if err != nil {
+		t.Fatalf("baseline crawl: %v", err)
+	}
+
+	// Chaos run: 30% of fetches fault (25% resets + 5% truncations),
+	// capped at 3 consecutive faults per URL so a 5-attempt retry budget
+	// provably recovers every page.
+	clock := &fetch.VirtualClock{}
+	fetcher := fetch.NewInstrumented(
+		fetch.NewFaultFetcher(
+			&fetch.HandlerFetcher{Handler: site.Handler()},
+			fetch.FaultConfig{ErrorRate: 0.25, TruncateRate: 0.05, MaxConsecutive: 3, Seed: 7},
+			clock),
+		clock, 10*time.Millisecond, time.Millisecond)
+	opts := Options{
+		UseHotNode:  true,
+		Clock:       clock,
+		RetryPolicy: &fetch.RetryPolicy{MaxAttempts: 5, BaseDelay: 50 * time.Millisecond},
+	}
+	graphs, metrics, err := New(fetcher, opts).CrawlAll(ctx, urls)
+	if err != nil {
+		t.Fatalf("chaos crawl: %v", err)
+	}
+
+	if metrics.PagesFailed != 0 {
+		t.Errorf("PagesFailed = %d, want 0 (retries must recover every page)", metrics.PagesFailed)
+	}
+	if metrics.Retries == 0 {
+		t.Error("Retries = 0: the fault injector never fired — the test is vacuous")
+	}
+	if metrics.PagesRecovered == 0 {
+		t.Error("PagesRecovered = 0, want at least one page that needed a retry")
+	}
+
+	base, chaos := stateSets(baseGraphs), stateSets(graphs)
+	if len(chaos) != len(base) {
+		t.Fatalf("chaos crawl produced %d graphs, baseline %d", len(chaos), len(base))
+	}
+	for url, want := range base {
+		got, ok := chaos[url]
+		if !ok {
+			t.Errorf("chaos crawl lost page %s", url)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: %d states under chaos, %d fault-free", url, len(got), len(want))
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: state hash set diverges from baseline at %d", url, i)
+				break
+			}
+		}
+	}
+	if baseMetrics.States != metrics.States {
+		t.Errorf("total states = %d under chaos, %d fault-free", metrics.States, baseMetrics.States)
+	}
+}
+
+// TestParallelBreakerIsolation pins the chapter-6 requirement that one
+// partition pointed at a dying host cannot sink its siblings: the dying
+// partition's circuit opens and its pages land in PagesFailed, while the
+// other process line's partition crawls to completion.
+func TestParallelBreakerIsolation(t *testing.T) {
+	const page = `<html><body><p id="c">hello</p></body></html>`
+	fetcher := fetch.Func(func(ctx context.Context, rawurl string) (*fetch.Response, error) {
+		if len(rawurl) >= 15 && rawurl[:15] == "http://bad.host" {
+			return nil, fmt.Errorf("fetch %s: connection refused", rawurl)
+		}
+		return &fetch.Response{Status: 200, Body: []byte(page), ContentType: "text/html"}, nil
+	})
+
+	root := t.TempDir()
+	writePartition := func(name string, urls []string) string {
+		dir := filepath.Join(root, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var data []byte
+		for _, u := range urls {
+			data = append(data, []byte(u+"\n")...)
+		}
+		if err := os.WriteFile(filepath.Join(dir, URLFileName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	badPart := writePartition("partition1", []string{
+		"http://bad.host/a", "http://bad.host/b", "http://bad.host/c", "http://bad.host/d",
+	})
+	goodPart := writePartition("partition2", []string{
+		"http://good.host/a", "http://good.host/b", "http://good.host/c",
+	})
+
+	reg := obs.NewRegistry()
+	ctx := obs.With(context.Background(), obs.New(reg, nil))
+	clock := &fetch.VirtualClock{}
+	mp := &MPCrawler{
+		NewCrawler: func() *Crawler {
+			return New(fetcher, Options{
+				Clock: clock,
+				BreakerConfig: &fetch.BreakerConfig{
+					Window: 4, MinSamples: 2, FailureThreshold: 0.5, Cooldown: time.Hour,
+				},
+			})
+		},
+		ProcLines:  2,
+		Partitions: []string{badPart, goodPart},
+	}
+	res := mp.Run(ctx)
+
+	if err := res.Err(); err != nil {
+		t.Fatalf("partition error under skip-and-count: %v", err)
+	}
+	if got := len(res.GraphsByPartition[1]); got != 3 {
+		t.Errorf("good partition crawled %d pages, want 3 — sibling was not isolated", got)
+	}
+	if got := len(res.GraphsByPartition[0]); got != 0 {
+		t.Errorf("bad partition produced %d graphs, want 0", got)
+	}
+	if res.Metrics.PagesFailed != 4 {
+		t.Errorf("PagesFailed = %d, want 4 (the dying host's pages)", res.Metrics.PagesFailed)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["breaker.opens"] < 1 {
+		t.Error("breaker never opened for the dying host")
+	}
+	if snap.Counters["crawl.partitions.breaker_tripped"] != 1 {
+		t.Errorf("crawl.partitions.breaker_tripped = %d, want 1",
+			snap.Counters["crawl.partitions.breaker_tripped"])
+	}
+}

@@ -97,6 +97,17 @@ type Options struct {
 	// while(true) — are preempted at the budget and recorded as
 	// handler errors instead of hanging the process line.
 	JSStepBudget int
+	// RetryPolicy, when non-nil, wraps the crawler's fetcher in a
+	// fetch.RetryFetcher so transient fetch failures (including the
+	// browser's XHR subresource fetches) are retried with exponential
+	// backoff + full jitter instead of failing the page. Backoff sleeps
+	// run on Clock, so virtual-clock crawls retry for free.
+	RetryPolicy *fetch.RetryPolicy
+	// BreakerConfig, when non-nil, wraps the crawler's fetcher in a
+	// per-host fetch.Breaker that sheds load from dying hosts. It sits
+	// under the RetryFetcher, so an open circuit fails a fetch fast
+	// instead of burning retry attempts against it.
+	BreakerConfig *fetch.BreakerConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -134,7 +145,17 @@ type PageMetrics struct {
 	StatesPruned int
 	// NearDupMerges counts states folded into an existing near-duplicate.
 	NearDupMerges int
-	CrawlTime     time.Duration
+	// Retries counts fetch attempts beyond the first made while crawling
+	// this page (attributed through fetch.FindRetryStats, like
+	// NetworkTime through fetch.FindStats).
+	Retries int
+	// BreakerOpens counts circuit-breaker open transitions observed
+	// while crawling this page.
+	BreakerOpens int
+	// PagesRecovered is 1 when the page crawl succeeded but needed at
+	// least one retry — a page that a retry-less crawl would have lost.
+	PagesRecovered int
+	CrawlTime      time.Duration
 	// NetworkTime is the simulated/observed time spent in the fetcher,
 	// when the crawler's fetcher is instrumented (else 0).
 	NetworkTime time.Duration
@@ -162,6 +183,9 @@ type Metrics struct {
 	EventsSkipped   int
 	StatesPruned    int
 	NearDupMerges   int
+	Retries         int
+	BreakerOpens    int
+	PagesRecovered  int
 	CrawlTime       time.Duration
 	NetworkTime     time.Duration
 	PerPage         []PageMetrics
@@ -181,6 +205,9 @@ func (m *Metrics) Add(pm PageMetrics) {
 	m.EventsSkipped += pm.EventsSkipped
 	m.StatesPruned += pm.StatesPruned
 	m.NearDupMerges += pm.NearDupMerges
+	m.Retries += pm.Retries
+	m.BreakerOpens += pm.BreakerOpens
+	m.PagesRecovered += pm.PagesRecovered
 	m.CrawlTime += pm.CrawlTime
 	m.NetworkTime += pm.NetworkTime
 	m.PerPage = append(m.PerPage, pm)
@@ -201,6 +228,9 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.EventsSkipped += o.EventsSkipped
 	m.StatesPruned += o.StatesPruned
 	m.NearDupMerges += o.NearDupMerges
+	m.Retries += o.Retries
+	m.BreakerOpens += o.BreakerOpens
+	m.PagesRecovered += o.PagesRecovered
 	m.CrawlTime += o.CrawlTime
 	m.NetworkTime += o.NetworkTime
 	m.PerPage = append(m.PerPage, o.PerPage...)
@@ -212,9 +242,21 @@ type Crawler struct {
 	Opts    Options
 }
 
-// New returns a crawler over the given fetcher.
+// New returns a crawler over the given fetcher. When Options carries a
+// BreakerConfig and/or RetryPolicy, the fetcher is wrapped accordingly
+// (retry outermost, breaker inside it, both on Options.Clock) — every
+// crawler built by an MPCrawler factory then gets its own breaker state,
+// which is what keeps one process line's tripped circuit from shedding
+// load for its siblings.
 func New(fetcher fetch.Fetcher, opts Options) *Crawler {
-	return &Crawler{Fetcher: fetcher, Opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	if opts.BreakerConfig != nil {
+		fetcher = fetch.NewBreaker(fetcher, *opts.BreakerConfig, opts.Clock)
+	}
+	if opts.RetryPolicy != nil {
+		fetcher = fetch.NewRetryFetcher(fetcher, *opts.RetryPolicy, opts.Clock)
+	}
+	return &Crawler{Fetcher: fetcher, Opts: opts}
 }
 
 // CrawlPage builds the AJAX page model for one URL (Alg. 3.1.1 /
@@ -240,6 +282,16 @@ func (c *Crawler) CrawlPage(ctx context.Context, url string) (*model.Graph, Page
 	stats := fetch.FindStats(c.Fetcher)
 	if stats != nil {
 		netStart = stats.Stats().NetworkTime
+	}
+	var retryStart int64
+	rstats := fetch.FindRetryStats(c.Fetcher)
+	if rstats != nil {
+		retryStart = rstats.RetryStats().Retries
+	}
+	var opensStart int64
+	bstats := fetch.FindBreakerStats(c.Fetcher)
+	if bstats != nil {
+		opensStart = bstats.BreakerStats().Opens
 	}
 
 	graph := model.NewGraph(url)
@@ -269,6 +321,17 @@ func (c *Crawler) CrawlPage(ctx context.Context, url string) (*model.Graph, Page
 	}
 	if stats != nil {
 		pm.NetworkTime = stats.Stats().NetworkTime - netStart
+	}
+	if rstats != nil {
+		pm.Retries = int(rstats.RetryStats().Retries - retryStart)
+	}
+	if bstats != nil {
+		pm.BreakerOpens = int(bstats.BreakerStats().Opens - opensStart)
+	}
+	if crawlErr == nil && pm.Retries > 0 {
+		// The page made it, but only because the retry layer recovered
+		// at least one fetch along the way.
+		pm.PagesRecovered = 1
 	}
 	// Close the span whatever happened — a PageTimeout abort still emits
 	// the page.crawl record, carrying the context error and the partial

@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
 
+	"ajaxcrawl/internal/fetch"
 	"ajaxcrawl/internal/model"
 	"ajaxcrawl/internal/obs"
 )
@@ -166,15 +168,37 @@ func (m *MPCrawler) Run(ctx context.Context) *MPResult {
 // process: read URLsToCrawl.txt, crawl each page, serialize the models.
 // Models crawled before an error are still flushed to disk (the partial-
 // model flush a graceful shutdown relies on).
+//
+// Fault isolation: a partition whose circuit breaker trips — every
+// remaining page of a dying host short-circuiting into PagesFailed, or
+// the whole partition erroring under FailFast — stays contained here.
+// Its result is emitted with the error recorded, the tripped partition
+// is counted in crawl.partitions.breaker_tripped, and sibling process
+// lines (whose crawlers hold their own breaker state when built through
+// Options.BreakerConfig) keep crawling their partitions undisturbed.
 func (m *MPCrawler) runPartition(ctx context.Context, c *Crawler, dir string) (graphs []*model.Graph, metrics *Metrics, err error) {
 	tel := obs.From(ctx)
 	ctx, sp := obs.StartSpan(ctx, obs.SpanPartitionCrawl, obs.A("dir", dir))
 	tel.Gauge("crawl.partitions.inflight").Add(1)
+	// Trips are detected on the breaker's own counters, not the crawl
+	// metrics: a page that failed *because* the circuit opened is dropped
+	// from Metrics by the skip-and-count policy, but its open transition
+	// still shows in the stats delta.
+	var opensStart int64
+	bstats := fetch.FindBreakerStats(c.Fetcher)
+	if bstats != nil {
+		opensStart = bstats.BreakerStats().Opens
+	}
 	defer func() {
 		tel.Gauge("crawl.partitions.inflight").Add(-1)
 		tel.Counter("crawl.partitions").Inc()
 		if metrics != nil {
 			sp.SetAttr("pages", strconv.Itoa(metrics.Pages))
+		}
+		tripped := bstats != nil && bstats.BreakerStats().Opens > opensStart
+		if tripped || errors.Is(err, fetch.ErrBreakerOpen) {
+			tel.Counter("crawl.partitions.breaker_tripped").Inc()
+			sp.SetAttr("breaker", "tripped")
 		}
 		sp.End(err)
 	}()

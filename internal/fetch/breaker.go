@@ -1,0 +1,324 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ajaxcrawl/internal/obs"
+)
+
+// ErrBreakerOpen is returned (wrapped, with the host) when a fetch is
+// short-circuited by an open circuit breaker. DefaultRetryable treats it
+// as final, so a RetryFetcher stacked above a Breaker fails fast instead
+// of burning its attempts against a host the breaker already shed.
+var ErrBreakerOpen = errors.New("fetch: circuit breaker open")
+
+// BreakerState is one of the three classic circuit-breaker states.
+type BreakerState int32
+
+// Breaker states: Closed passes traffic and watches the failure rate,
+// Open sheds all traffic until the cooldown elapses, HalfOpen lets probe
+// requests through to decide between closing and re-opening.
+const (
+	StateClosed BreakerState = iota
+	StateOpen
+	StateHalfOpen
+)
+
+// String returns the state name ("closed", "open", "half-open").
+func (s BreakerState) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes the per-host circuit breaker. The zero value is
+// usable: a 20-outcome sliding window, 50% failure-rate threshold with
+// at least 5 samples, 30s cooldown, one probe success to close.
+type BreakerConfig struct {
+	// Window is the number of most-recent outcomes per host the failure
+	// rate is computed over. 0 means 20.
+	Window int
+	// FailureThreshold opens the circuit when the window's failure rate
+	// reaches it (a fraction in (0, 1]). 0 means 0.5.
+	FailureThreshold float64
+	// MinSamples is the minimum number of outcomes in the window before
+	// the breaker may trip — a single early failure is not a trend.
+	// 0 means 5.
+	MinSamples int
+	// Cooldown is how long an open circuit sheds load before letting a
+	// half-open probe through. 0 means 30s.
+	Cooldown time.Duration
+	// HalfOpenProbes is the number of consecutive probe successes that
+	// close a half-open circuit. 0 means 1.
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// BreakerStats aggregates what a Breaker observed.
+type BreakerStats struct {
+	// Opens counts closed/half-open → open transitions across all hosts.
+	Opens int64
+	// Closes counts half-open → closed transitions.
+	Closes int64
+	// ShortCircuits counts fetches rejected without reaching the inner
+	// fetcher because the host's circuit was open.
+	ShortCircuits int64
+}
+
+// BreakerStatsProvider is implemented by fetchers that record
+// BreakerStats; locate it with FindBreakerStats through Unwrap chains.
+type BreakerStatsProvider interface {
+	BreakerStats() BreakerStats
+}
+
+// FindBreakerStats returns the first BreakerStatsProvider in f's unwrap
+// chain, or nil when the chain has none.
+func FindBreakerStats(f Fetcher) BreakerStatsProvider {
+	for f != nil {
+		if sp, ok := f.(BreakerStatsProvider); ok {
+			return sp
+		}
+		w, ok := f.(Wrapper)
+		if !ok {
+			return nil
+		}
+		f = w.Unwrap()
+	}
+	return nil
+}
+
+// hostBreaker is one host's circuit: a ring of recent outcomes plus the
+// state machine. All fields are guarded by Breaker.mu.
+type hostBreaker struct {
+	state    BreakerState
+	window   []bool // true = failure; ring of the last len(window) outcomes
+	next     int    // ring write position
+	filled   int    // outcomes recorded, up to len(window)
+	failures int    // failures currently in the ring
+	openedAt time.Time
+	probes   int // consecutive half-open probe successes
+}
+
+// Breaker is a per-host circuit breaker Fetcher middleware
+// (closed → open → half-open → closed). Each host gets its own sliding
+// window of recent outcomes; when the window's failure rate reaches the
+// threshold the circuit opens and every fetch to that host is rejected
+// with ErrBreakerOpen — shedding load from a dying host instead of
+// queueing more work behind it — until the cooldown elapses and probe
+// requests decide whether it recovered.
+//
+// State transitions are reported to the telemetry on the fetch's
+// context: breaker.opens / breaker.closes / breaker.half_opens /
+// breaker.short_circuits counters, a breaker.open_hosts gauge, and a
+// breaker.state event span carrying the host and both states.
+type Breaker struct {
+	Inner  Fetcher
+	Config BreakerConfig
+	// Clock times the cooldown. nil means RealClock.
+	Clock Clock
+
+	mu    sync.Mutex
+	hosts map[string]*hostBreaker
+
+	opens         atomic.Int64
+	closes        atomic.Int64
+	shortCircuits atomic.Int64
+}
+
+// NewBreaker wraps inner with a per-host circuit breaker on clock.
+func NewBreaker(inner Fetcher, cfg BreakerConfig, clock Clock) *Breaker {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Breaker{Inner: inner, Config: cfg.withDefaults(), Clock: clock}
+}
+
+// Unwrap implements Wrapper.
+func (b *Breaker) Unwrap() Fetcher { return b.Inner }
+
+// BreakerStats implements BreakerStatsProvider.
+func (b *Breaker) BreakerStats() BreakerStats {
+	return BreakerStats{
+		Opens:         b.opens.Load(),
+		Closes:        b.closes.Load(),
+		ShortCircuits: b.shortCircuits.Load(),
+	}
+}
+
+// State returns the current circuit state for a host ("" is the implicit
+// host of relative URLs). A host with no recorded traffic is closed.
+func (b *Breaker) State(host string) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if hb, ok := b.hosts[host]; ok {
+		return hb.state
+	}
+	return StateClosed
+}
+
+// hostOf extracts the breaker key from a URL. Relative URLs (the
+// HandlerFetcher world) all map to the "" host — one circuit.
+func hostOf(rawurl string) string {
+	if u, err := url.Parse(rawurl); err == nil {
+		return u.Host
+	}
+	return ""
+}
+
+func (b *Breaker) host(host string) *hostBreaker {
+	if b.hosts == nil {
+		b.hosts = make(map[string]*hostBreaker)
+	}
+	hb, ok := b.hosts[host]
+	if !ok {
+		hb = &hostBreaker{window: make([]bool, b.Config.withDefaults().Window)}
+		b.hosts[host] = hb
+	}
+	return hb
+}
+
+// transition moves hb to state, updating counters/gauges/events.
+func (b *Breaker) transition(ctx context.Context, host string, hb *hostBreaker, to BreakerState) {
+	from := hb.state
+	if from == to {
+		return
+	}
+	hb.state = to
+	tel := obs.From(ctx)
+	switch to {
+	case StateOpen:
+		hb.openedAt = b.Clock.Now()
+		hb.probes = 0
+		b.opens.Add(1)
+		tel.Counter("breaker.opens").Inc()
+		tel.Gauge("breaker.open_hosts").Add(1)
+	case StateHalfOpen:
+		hb.probes = 0
+		tel.Counter("breaker.half_opens").Inc()
+	case StateClosed:
+		hb.reset()
+		b.closes.Add(1)
+		tel.Counter("breaker.closes").Inc()
+	}
+	if from == StateOpen && to != StateOpen {
+		tel.Gauge("breaker.open_hosts").Add(-1)
+	}
+	obs.Event(ctx, obs.SpanBreakerState,
+		obs.A("host", host), obs.A("from", from.String()), obs.A("to", to.String()))
+}
+
+// reset clears the outcome window (after a circuit closes, the failures
+// that tripped it are history, not evidence against the recovered host).
+func (hb *hostBreaker) reset() {
+	for i := range hb.window {
+		hb.window[i] = false
+	}
+	hb.next, hb.filled, hb.failures, hb.probes = 0, 0, 0, 0
+}
+
+// record pushes one outcome into the ring.
+func (hb *hostBreaker) record(failure bool) {
+	if hb.filled == len(hb.window) && hb.window[hb.next] {
+		hb.failures--
+	}
+	hb.window[hb.next] = failure
+	hb.next = (hb.next + 1) % len(hb.window)
+	if hb.filled < len(hb.window) {
+		hb.filled++
+	}
+	if failure {
+		hb.failures++
+	}
+}
+
+// countsAsFailure classifies an attempt outcome for the breaker. The
+// caller canceling is not the host's fault; a deadline blown talking to
+// the host is (slow is the canonical symptom of dying). Status ≥ 500
+// counts, 4xx does not — the host is answering, just not agreeing.
+func countsAsFailure(resp *Response, err error) bool {
+	if err != nil {
+		return !errors.Is(err, context.Canceled)
+	}
+	return resp != nil && resp.Status >= 500
+}
+
+// Fetch implements Fetcher. An open circuit rejects the fetch with
+// ErrBreakerOpen (wrapped with the host) without touching the inner
+// fetcher; otherwise the attempt proceeds and its outcome feeds the
+// host's window and state machine.
+func (b *Breaker) Fetch(ctx context.Context, rawurl string) (*Response, error) {
+	host := hostOf(rawurl)
+	tel := obs.From(ctx)
+
+	b.mu.Lock()
+	hb := b.host(host)
+	switch hb.state {
+	case StateOpen:
+		if b.Clock.Now().Sub(hb.openedAt) >= b.Config.Cooldown {
+			b.transition(ctx, host, hb, StateHalfOpen)
+		} else {
+			b.mu.Unlock()
+			b.shortCircuits.Add(1)
+			tel.Counter("breaker.short_circuits").Inc()
+			return nil, fmt.Errorf("fetch %s: host %q: %w", rawurl, host, ErrBreakerOpen)
+		}
+	}
+	b.mu.Unlock()
+
+	resp, err := b.Inner.Fetch(ctx, rawurl)
+	failure := countsAsFailure(resp, err)
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Canceled attempts are no evidence either way; don't record them.
+	if err != nil && errors.Is(err, context.Canceled) {
+		return resp, err
+	}
+	switch hb.state {
+	case StateHalfOpen:
+		if failure {
+			b.transition(ctx, host, hb, StateOpen)
+		} else {
+			hb.probes++
+			if hb.probes >= b.Config.HalfOpenProbes {
+				b.transition(ctx, host, hb, StateClosed)
+			}
+		}
+	case StateClosed:
+		hb.record(failure)
+		if hb.filled >= b.Config.MinSamples &&
+			float64(hb.failures)/float64(hb.filled) >= b.Config.FailureThreshold {
+			b.transition(ctx, host, hb, StateOpen)
+		}
+	}
+	return resp, err
+}

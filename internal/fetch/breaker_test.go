@@ -1,0 +1,213 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ajaxcrawl/internal/obs"
+)
+
+// flakyHost serves good hosts and fails bad ones, counting inner calls.
+type flakyHost struct {
+	badHosts map[string]bool
+	calls    atomic.Int64
+}
+
+func (h *flakyHost) Fetch(ctx context.Context, rawurl string) (*Response, error) {
+	h.calls.Add(1)
+	u, _ := url.Parse(rawurl)
+	if h.badHosts[u.Host] {
+		return nil, errInjectedf("fetch " + rawurl)
+	}
+	return &Response{Status: 200, Body: []byte("ok")}, nil
+}
+
+func testBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Window:           4,
+		FailureThreshold: 0.5,
+		MinSamples:       4,
+		Cooldown:         time.Minute,
+		HalfOpenProbes:   2,
+	}
+}
+
+func TestBreakerOpensAndShortCircuits(t *testing.T) {
+	clock := &VirtualClock{}
+	inner := &flakyHost{badHosts: map[string]bool{"bad.host": true}}
+	b := NewBreaker(inner, testBreakerConfig(), clock)
+	ctx := context.Background()
+
+	for i := 0; i < 4; i++ {
+		if _, err := b.Fetch(ctx, "http://bad.host/p"); err == nil {
+			t.Fatal("want failure from bad host")
+		}
+	}
+	if got := b.State("bad.host"); got != StateOpen {
+		t.Fatalf("state after 4 failures = %v, want open", got)
+	}
+	callsBefore := inner.calls.Load()
+	_, err := b.Fetch(ctx, "http://bad.host/p")
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if inner.calls.Load() != callsBefore {
+		t.Error("open circuit still reached the inner fetcher")
+	}
+	st := b.BreakerStats()
+	if st.Opens != 1 || st.ShortCircuits != 1 {
+		t.Errorf("stats = %+v, want Opens=1 ShortCircuits=1", st)
+	}
+}
+
+func TestBreakerHalfOpenClosesAfterProbes(t *testing.T) {
+	clock := &VirtualClock{}
+	inner := &flakyHost{badHosts: map[string]bool{"bad.host": true}}
+	b := NewBreaker(inner, testBreakerConfig(), clock)
+	ctx := context.Background()
+
+	for i := 0; i < 4; i++ {
+		b.Fetch(ctx, "http://bad.host/p") //nolint:errcheck — tripping the circuit
+	}
+	if b.State("bad.host") != StateOpen {
+		t.Fatal("circuit did not open")
+	}
+
+	// Host recovers; cooldown elapses on the virtual clock.
+	inner.badHosts["bad.host"] = false
+	clock.Sleep(ctx, time.Minute) //nolint:errcheck — virtual
+
+	if _, err := b.Fetch(ctx, "http://bad.host/p"); err != nil {
+		t.Fatalf("first probe: %v", err)
+	}
+	if got := b.State("bad.host"); got != StateHalfOpen {
+		t.Fatalf("state after 1/2 probes = %v, want half-open", got)
+	}
+	if _, err := b.Fetch(ctx, "http://bad.host/p"); err != nil {
+		t.Fatalf("second probe: %v", err)
+	}
+	if got := b.State("bad.host"); got != StateClosed {
+		t.Fatalf("state after probes = %v, want closed", got)
+	}
+	if st := b.BreakerStats(); st.Closes != 1 {
+		t.Errorf("Closes = %d, want 1", st.Closes)
+	}
+}
+
+func TestBreakerHalfOpenReopensOnProbeFailure(t *testing.T) {
+	clock := &VirtualClock{}
+	inner := &flakyHost{badHosts: map[string]bool{"bad.host": true}}
+	b := NewBreaker(inner, testBreakerConfig(), clock)
+	ctx := context.Background()
+
+	for i := 0; i < 4; i++ {
+		b.Fetch(ctx, "http://bad.host/p") //nolint:errcheck
+	}
+	clock.Sleep(ctx, time.Minute) //nolint:errcheck
+
+	// Probe goes through (half-open) and fails: back to open, cooldown
+	// restarted, traffic shed again.
+	if _, err := b.Fetch(ctx, "http://bad.host/p"); err == nil {
+		t.Fatal("probe should have failed")
+	}
+	if got := b.State("bad.host"); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if _, err := b.Fetch(ctx, "http://bad.host/p"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want short-circuit after reopen", err)
+	}
+	if st := b.BreakerStats(); st.Opens != 2 {
+		t.Errorf("Opens = %d, want 2", st.Opens)
+	}
+}
+
+func TestBreakerIsPerHost(t *testing.T) {
+	clock := &VirtualClock{}
+	inner := &flakyHost{badHosts: map[string]bool{"bad.host": true}}
+	b := NewBreaker(inner, testBreakerConfig(), clock)
+	ctx := context.Background()
+
+	for i := 0; i < 4; i++ {
+		b.Fetch(ctx, "http://bad.host/p")  //nolint:errcheck
+		b.Fetch(ctx, "http://good.host/p") //nolint:errcheck
+	}
+	if b.State("bad.host") != StateOpen {
+		t.Error("bad.host circuit should be open")
+	}
+	if b.State("good.host") != StateClosed {
+		t.Error("good.host circuit should stay closed")
+	}
+	if _, err := b.Fetch(ctx, "http://good.host/p"); err != nil {
+		t.Errorf("good host sheared by bad host's circuit: %v", err)
+	}
+}
+
+func TestBreakerIgnoresCanceledAttempts(t *testing.T) {
+	clock := &VirtualClock{}
+	inner := Func(func(ctx context.Context, rawurl string) (*Response, error) {
+		return nil, fmt.Errorf("fetch %s: %w", rawurl, context.Canceled)
+	})
+	b := NewBreaker(inner, BreakerConfig{Window: 4, MinSamples: 2, FailureThreshold: 0.1}, clock)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		b.Fetch(ctx, "/p") //nolint:errcheck
+	}
+	if got := b.State(""); got != StateClosed {
+		t.Errorf("state after canceled attempts = %v, want closed (cancel is not the host's fault)", got)
+	}
+}
+
+func TestBreaker5xxCountsAsFailure(t *testing.T) {
+	clock := &VirtualClock{}
+	inner := Func(func(ctx context.Context, rawurl string) (*Response, error) {
+		return &Response{Status: 503}, nil
+	})
+	b := NewBreaker(inner, testBreakerConfig(), clock)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		b.Fetch(ctx, "/p") //nolint:errcheck
+	}
+	if got := b.State(""); got != StateOpen {
+		t.Errorf("state after 4x 503 = %v, want open", got)
+	}
+}
+
+func TestBreakerReportsTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.With(context.Background(), obs.New(reg, nil))
+	clock := &VirtualClock{}
+	inner := &flakyHost{badHosts: map[string]bool{"bad.host": true}}
+	b := NewBreaker(inner, testBreakerConfig(), clock)
+
+	for i := 0; i < 5; i++ {
+		b.Fetch(ctx, "http://bad.host/p") //nolint:errcheck
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["breaker.opens"] != 1 {
+		t.Errorf("breaker.opens = %d, want 1", snap.Counters["breaker.opens"])
+	}
+	if snap.Counters["breaker.short_circuits"] != 1 {
+		t.Errorf("breaker.short_circuits = %d, want 1", snap.Counters["breaker.short_circuits"])
+	}
+	if snap.Gauges["breaker.open_hosts"] != 1 {
+		t.Errorf("breaker.open_hosts = %d, want 1", snap.Gauges["breaker.open_hosts"])
+	}
+
+	// Recovery drains the gauge and counts the close.
+	inner.badHosts["bad.host"] = false
+	clock.Sleep(ctx, time.Minute)     //nolint:errcheck
+	b.Fetch(ctx, "http://bad.host/p") //nolint:errcheck
+	b.Fetch(ctx, "http://bad.host/p") //nolint:errcheck
+	snap = reg.Snapshot()
+	if snap.Gauges["breaker.open_hosts"] != 0 {
+		t.Errorf("breaker.open_hosts after close = %d, want 0", snap.Gauges["breaker.open_hosts"])
+	}
+	if snap.Counters["breaker.closes"] != 1 {
+		t.Errorf("breaker.closes = %d, want 1", snap.Counters["breaker.closes"])
+	}
+}

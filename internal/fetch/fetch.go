@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -27,6 +28,30 @@ type Response struct {
 	Status      int
 	Body        []byte
 	ContentType string
+	// RetryAfter is the server's Retry-After hint, when the response
+	// carried one (0 otherwise). RetryFetcher uses it to override its
+	// computed backoff, so cooperating servers can pace their clients.
+	RetryAfter time.Duration
+}
+
+// parseRetryAfter decodes a Retry-After header value: either a delay in
+// seconds or an HTTP-date. Unparseable or negative values yield 0.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Fetcher retrieves the resource at a URL. Implementations must honor
@@ -114,6 +139,7 @@ func (f *HTTPFetcher) Fetch(ctx context.Context, rawurl string) (*Response, erro
 		Status:      resp.StatusCode,
 		Body:        body,
 		ContentType: resp.Header.Get("Content-Type"),
+		RetryAfter:  parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()),
 	}, nil
 }
 
@@ -151,6 +177,7 @@ func (f *HandlerFetcher) Fetch(ctx context.Context, rawurl string) (*Response, e
 		Status:      rec.Code,
 		Body:        rec.Body.Bytes(),
 		ContentType: rec.Header().Get("Content-Type"),
+		RetryAfter:  parseRetryAfter(rec.Header().Get("Retry-After"), time.Now()),
 	}, nil
 }
 

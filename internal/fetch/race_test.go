@@ -84,3 +84,52 @@ func TestInstrumentedConcurrentStats(t *testing.T) {
 		t.Fatalf("Reset left %+v", s)
 	}
 }
+
+// TestResilienceStackConcurrent hammers one shared
+// Retry→Breaker→Fault→Instrumented stack from many goroutines — the
+// shape of process lines sharing a resilient fetcher. Under `go test
+// -race` (CI's fetch-race job runs this three times) it pins that the
+// middlewares' internal state (breaker windows, fault RNG, retry
+// counters) is safe for concurrent use, and that the counters balance.
+func TestResilienceStackConcurrent(t *testing.T) {
+	clock := &VirtualClock{}
+	inst := NewInstrumented(Func(func(ctx context.Context, rawurl string) (*Response, error) {
+		return &Response{Status: 200, Body: []byte("ok")}, nil
+	}), clock, time.Millisecond, 0)
+	fault := NewFaultFetcher(inst, FaultConfig{ErrorRate: 0.2, MaxConsecutive: 2, Seed: 9}, clock)
+	brk := NewBreaker(fault, BreakerConfig{Window: 50, FailureThreshold: 0.9, MinSamples: 10}, clock)
+	retry := NewRetryFetcher(brk, RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}, clock)
+
+	const workers = 8
+	const perWorker = 300
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				retry.Fetch(ctx, fmt.Sprintf("/p%d", i%20)) //nolint:errcheck — faults are part of the workload
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := retry.RetryStats()
+	if st.Attempts < workers*perWorker {
+		t.Errorf("Attempts = %d, want >= %d", st.Attempts, workers*perWorker)
+	}
+	if st.Retries == 0 {
+		t.Error("no retries recorded against a 20% fault rate")
+	}
+	errs, _, _ := fault.Injected()
+	if errs == 0 {
+		t.Error("fault injector never fired")
+	}
+	if got := st.Attempts - brk.BreakerStats().ShortCircuits; inst.Stats().Calls+fault.errs.Load() < got {
+		// Every non-short-circuited attempt either reached the inner
+		// fetcher or died at the fault injector.
+		t.Errorf("attempt accounting leaks: attempts=%d shortCircuits=%d inner=%d injected=%d",
+			st.Attempts, brk.BreakerStats().ShortCircuits, inst.Stats().Calls, fault.errs.Load())
+	}
+}

@@ -21,6 +21,8 @@ const (
 	SpanPartitionCrawl = "partition.crawl" // one partition on one process line
 	SpanIndexBuild     = "index.build"     // one shard's index construction
 	SpanQueryExec      = "query.exec"      // one query evaluation
+	SpanFetchRetry     = "fetch.retry"     // one backoff-and-retry decision (fetch)
+	SpanBreakerState   = "breaker.state"   // a circuit breaker state transition (fetch)
 )
 
 // SpanRecord is one finished span as emitted to a Sink. Start is wall
