@@ -65,6 +65,8 @@ type (
 	Weights = query.Weights
 	// Index is one inverted-file shard.
 	Index = index.Index
+	// Manifest is the versioned descriptor of a saved index snapshot.
+	Manifest = index.Manifest
 	// ErrorPolicy decides how a multi-page crawl treats a failed page.
 	ErrorPolicy = core.ErrorPolicy
 )
@@ -306,6 +308,45 @@ func (e *Engine) SearchTopK(q string, k int) []Result {
 // SearchTopKCtx is SearchTopK under a context (see SearchCtx).
 func (e *Engine) SearchTopKCtx(ctx context.Context, q string, k int) []Result {
 	return e.broker.SearchTopKCtx(ctx, q, k)
+}
+
+// SaveSnapshot persists the engine — every index shard, every
+// application model, and a versioned manifest — into dir, the layout
+// the ajaxserve daemon (and LoadEngineSnapshot) consumes. The manifest
+// is written last and atomically, so a crash mid-save never publishes a
+// half-snapshot, and a daemon watching dir hot-swaps only once the new
+// snapshot is complete.
+func (e *Engine) SaveSnapshot(dir string) (*Manifest, error) {
+	graphs := make([]*model.Graph, 0, len(e.graphs))
+	for _, g := range e.graphs {
+		graphs = append(graphs, g)
+	}
+	return index.SaveSnapshot(dir, e.broker.Shards, graphs)
+}
+
+// LoadEngineSnapshot constructs an Engine from a snapshot directory
+// written by SaveSnapshot (or `ajaxcrawl -save-index`). The fetcher is
+// only needed for Reconstruct; pass nil for a query-only engine.
+func LoadEngineSnapshot(dir string, f Fetcher) (*Engine, error) {
+	man, shards, err := index.LoadSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	graphs := make(map[string]*model.Graph)
+	if man.Models != "" {
+		gs, err := model.LoadAll(dir)
+		if err != nil {
+			return nil, fmt.Errorf("ajaxcrawl: snapshot models: %w", err)
+		}
+		for _, g := range gs {
+			graphs[g.URL] = g
+		}
+	}
+	return &Engine{
+		broker:  &query.Broker{Shards: shards, W: query.DefaultWeights},
+		graphs:  graphs,
+		fetcher: f,
+	}, nil
 }
 
 // Graph returns the application model of a crawled URL, or nil.

@@ -268,6 +268,62 @@ func BenchmarkRecallSweep(b *testing.B) {
 	}
 }
 
+// benchServeServer builds a serving-layer query server over the bench
+// corpus with the given result-cache capacity.
+func benchServeServer(b *testing.B, cacheCapacity int) *query.Server {
+	b.Helper()
+	graphs := benchGraphs(b, core.Options{UseHotNode: true})
+	texts := make(map[string][]string, len(graphs))
+	for _, g := range graphs {
+		for _, st := range g.States {
+			texts[g.URL] = append(texts[g.URL], st.Text)
+		}
+	}
+	snap := &query.ServeSnapshot{
+		Broker: query.NewBroker([]*index.Index{index.Build(graphs, nil, 0)}),
+		StateText: func(url string, state int) string {
+			if ts := texts[url]; state < len(ts) {
+				return ts[state]
+			}
+			return ""
+		},
+	}
+	return query.NewServer(snap, query.CacheOptions{Shards: 8, Capacity: cacheCapacity})
+}
+
+// BenchmarkServeQueryCached / Uncached are the serving layer's pair: the
+// same top-k query answered from the result cache versus re-evaluated
+// (posting-list merge + ranking + snippets) on every request. The gap is
+// what the cache buys a repeated-query workload.
+func BenchmarkServeQueryCached(b *testing.B) {
+	srv := benchServeServer(b, 1024)
+	ctx := context.Background()
+	srv.Search(ctx, "funny dance", 10) // warm the entry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, cached := srv.Search(ctx, "funny dance", 10); !cached {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkServeQueryUncached clears the cache every iteration, so each
+// request pays the full evaluation path.
+func BenchmarkServeQueryUncached(b *testing.B) {
+	srv := benchServeServer(b, 1024)
+	ctx := context.Background()
+	gen := srv.Live().Gen
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Cache().Invalidate(gen)
+		if _, _, cached := srv.Search(ctx, "funny dance", 10); cached {
+			b.Fatal("expected a cache miss")
+		}
+	}
+}
+
 // BenchmarkReconstruct measures result aggregation (§5.4): replaying the
 // event path to rebuild a deep state's DOM.
 func BenchmarkReconstruct(b *testing.B) {

@@ -33,6 +33,7 @@ import (
 
 	"ajaxcrawl/internal/core"
 	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/index"
 	"ajaxcrawl/internal/obs"
 	"ajaxcrawl/internal/webapp"
 )
@@ -52,6 +53,7 @@ func main() {
 		saveProfile = flag.Bool("save-profile", false, "record an event profile for faster re-crawls")
 		useProfile  = flag.String("use-profile", "", "skip events a stored profile marked unproductive")
 		robots      = flag.Bool("respect-ajax-robots", false, "honor the site's /robots-ajax.txt state granularity")
+		saveIndex   = flag.String("save-index", "", "also build per-partition index shards and publish a serving snapshot (shards + models + manifest) into this directory")
 		verbose     = flag.Bool("v", false, "per-page progress output (live span lines on stderr)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics, /debug/trace/recent and pprof on this address")
 		tracePath   = flag.String("trace", "", "write every span to this JSONL file")
@@ -208,6 +210,27 @@ func main() {
 			m.Retries, m.PagesRecovered, m.BreakerOpens)
 	}
 	infof("models stored under %s (one ajaxmodels.gob per partition)", *out)
+	if *saveIndex != "" {
+		// One shard per partition, in partition order — the same shard
+		// layout BuildEngine produces, so rankings (and their
+		// tie-breaks) match the in-process pipeline.
+		var shards []*index.Index
+		for _, gs := range res.GraphsByPartition {
+			if len(gs) == 0 {
+				continue
+			}
+			shards = append(shards, index.BuildCtx(ctx, gs, preRes.PageRank, 0))
+		}
+		if len(shards) == 0 {
+			fatal("save index: no crawled partitions to index")
+		}
+		man, err := index.SaveSnapshot(*saveIndex, shards, res.Graphs())
+		if err != nil {
+			fatal("save index: %v", err)
+		}
+		infof("index snapshot %s published to %s (%d shards, %d docs, %d states) — serve it with: ajaxserve -snapshot %s",
+			man.ID, *saveIndex, len(man.Shards), man.TotalDocs, man.TotalStates, *saveIndex)
+	}
 	if m.EventsSkipped > 0 {
 		infof("profile skipped %d events", m.EventsSkipped)
 	}

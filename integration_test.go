@@ -5,6 +5,9 @@ package ajaxcrawl
 
 import (
 	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,7 +16,9 @@ import (
 	"ajaxcrawl/internal/core"
 	"ajaxcrawl/internal/index"
 	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/obs"
 	"ajaxcrawl/internal/query"
+	"ajaxcrawl/internal/serve"
 	"ajaxcrawl/internal/webapp"
 )
 
@@ -180,6 +185,130 @@ func TestEngineDeterminism(t *testing.T) {
 			if ra[i] != rb[i] {
 				t.Fatalf("q=%q: result %d differs: %v vs %v", q, i, ra[i], rb[i])
 			}
+		}
+	}
+}
+
+// TestServeGoldenEndToEnd drives the complete serving story: crawl the
+// synthetic webapp, publish a snapshot, boot the HTTP serving layer
+// in-process, and pin down the end-to-end guarantees — the second
+// request is a cache hit with a byte-identical body and no re-evaluation,
+// a hot swap of the same snapshot changes the generation but not one
+// response byte, and an entire re-run (fresh crawl, fresh snapshot,
+// fresh server) reproduces every body byte-for-byte.
+func TestServeGoldenEndToEnd(t *testing.T) {
+	queries := []string{"funny dance", "wow", "music love", "kiss"}
+
+	run := func(t *testing.T) map[string]string {
+		// Deterministic crawl: fixed site seed and crawl options.
+		site := NewSimSite(18, 909)
+		eng, err := BuildEngine(context.Background(), Config{
+			Fetcher:       NewHandlerFetcher(site.Handler()),
+			StartURL:      site.VideoURL(0),
+			MaxPages:      10,
+			PartitionSize: 3,
+			ProcLines:     3,
+			Crawl:         CrawlOptions{UseHotNode: true, MaxStates: 4},
+			KeepURL:       IsWatchURL,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapDir := t.TempDir()
+		man, err := eng.SaveSnapshot(snapDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(man.Shards) == 0 || man.Models == "" {
+			t.Fatalf("snapshot incomplete: %+v", man)
+		}
+
+		// A snapshot-loaded engine answers like the live one — the same
+		// shards went to disk and came back.
+		reloaded, err := LoadEngineSnapshot(snapDir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			live, fromSnap := eng.SearchTopK(q, 10), reloaded.SearchTopK(q, 10)
+			if len(live) != len(fromSnap) {
+				t.Fatalf("q=%q: snapshot engine %d results, live %d", q, len(fromSnap), len(live))
+			}
+			for i := range live {
+				if live[i] != fromSnap[i] {
+					t.Fatalf("q=%q result %d: %v vs %v", q, i, fromSnap[i], live[i])
+				}
+			}
+		}
+
+		reg := obs.NewRegistry()
+		srv, err := serve.New(serve.Config{SnapshotDir: snapDir}, obs.New(reg, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		fetch := func(q string) (*http.Response, string) {
+			resp, err := http.Get(ts.URL + "/search?q=" + strings.ReplaceAll(q, " ", "+") + "&k=10")
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("q=%q: status %d: %s", q, resp.StatusCode, body)
+			}
+			return resp, string(body)
+		}
+
+		bodies := make(map[string]string, len(queries))
+		for _, q := range queries {
+			resp1, body1 := fetch(q)
+			if resp1.Header.Get(serve.HeaderCache) != "miss" {
+				t.Fatalf("q=%q: first request was %q", q, resp1.Header.Get(serve.HeaderCache))
+			}
+			evals := reg.Counter("query.count").Value()
+			resp2, body2 := fetch(q)
+			if resp2.Header.Get(serve.HeaderCache) != "hit" {
+				t.Fatalf("q=%q: repeat was %q", q, resp2.Header.Get(serve.HeaderCache))
+			}
+			if reg.Counter("query.count").Value() != evals {
+				t.Fatalf("q=%q: cache hit re-ran the posting-list merge", q)
+			}
+			if body2 != body1 {
+				t.Fatalf("q=%q: cached body differs:\n%s\nvs\n%s", q, body2, body1)
+			}
+			bodies[q] = body1
+		}
+
+		// Hot-swap the same snapshot: generation moves 1 → 2, the cache
+		// restarts cold, and not one response byte changes.
+		if swapped, err := srv.Reload(context.Background(), true); err != nil || !swapped {
+			t.Fatalf("forced reload = %v, %v", swapped, err)
+		}
+		for _, q := range queries {
+			resp, body := fetch(q)
+			if resp.Header.Get(serve.HeaderGeneration) != "2" {
+				t.Fatalf("q=%q: post-swap generation %q", q, resp.Header.Get(serve.HeaderGeneration))
+			}
+			if resp.Header.Get(serve.HeaderCache) != "miss" {
+				t.Fatalf("q=%q: post-swap request hit the invalidated cache", q)
+			}
+			if body != bodies[q] {
+				t.Fatalf("q=%q: body changed across hot swap of identical snapshot:\n%s\nvs\n%s", q, body, bodies[q])
+			}
+		}
+		return bodies
+	}
+
+	first := run(t)
+	second := run(t)
+	for q, body := range first {
+		if second[q] != body {
+			t.Fatalf("q=%q: end-to-end responses differ across identical runs:\n%s\nvs\n%s", q, second[q], body)
 		}
 	}
 }

@@ -33,7 +33,46 @@ import (
 const (
 	compressedMagic   = "AJIX"
 	compressedVersion = 1
+
+	// maxCount bounds every count read from an untrusted file (docs,
+	// states, terms, postings, positions). A truncated or corrupt varint
+	// otherwise turns straight into make([]T, n) with an arbitrary n —
+	// an unrecoverable allocation panic rather than a load error.
+	maxCount = 1 << 26
+	// maxPrealloc caps how much a single count is trusted for slice
+	// pre-allocation; beyond it, slices grow by append as real data
+	// arrives, so a lying header can't allocate more than the file
+	// actually backs.
+	maxPrealloc = 1 << 16
 )
+
+// checkCount validates an untrusted count field.
+func checkCount(what string, n uint64) (int, error) {
+	if n > maxCount {
+		return 0, fmt.Errorf("%s count %d exceeds limit %d", what, n, maxCount)
+	}
+	return int(n), nil
+}
+
+// prealloc returns a safe initial capacity for a count-prefixed slice.
+func prealloc(n int) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
+}
+
+// EncodeCompressed writes the compact binary format to w.
+func (ix *Index) EncodeCompressed(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := ix.writeCompressed(bw); err != nil {
+		return fmt.Errorf("index: encode compressed: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("index: encode compressed: %w", err)
+	}
+	return nil
+}
 
 // SaveCompressed writes the index in the compact binary format.
 func (ix *Index) SaveCompressed(path string) error {
@@ -41,14 +80,9 @@ func (ix *Index) SaveCompressed(path string) error {
 	if err != nil {
 		return fmt.Errorf("index: save compressed: %w", err)
 	}
-	w := bufio.NewWriter(f)
-	if err := ix.writeCompressed(w); err != nil {
+	if err := ix.EncodeCompressed(f); err != nil {
 		f.Close()
-		return fmt.Errorf("index: save compressed: %w", err)
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("index: save compressed: %w", err)
+		return err
 	}
 	return f.Close()
 }
@@ -97,6 +131,25 @@ func (ix *Index) writeCompressed(w *bufio.Writer) error {
 	return nil
 }
 
+// DecodeCompressed reads one compact-binary index from r. Like Decode,
+// the input is untrusted: counts are bounded, pre-allocations capped,
+// the result validated, and decoder panics converted to errors.
+func DecodeCompressed(r io.Reader) (ix *Index, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ix, err = nil, fmt.Errorf("index: decode compressed: corrupt input: %v", rec)
+		}
+	}()
+	ix, err = readCompressed(bufio.NewReader(r))
+	if err != nil {
+		return nil, fmt.Errorf("index: decode compressed: %w", err)
+	}
+	if err := ix.validate(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
 // LoadCompressed reads an index written by SaveCompressed.
 func LoadCompressed(path string) (*Index, error) {
 	f, err := os.Open(path)
@@ -104,8 +157,7 @@ func LoadCompressed(path string) (*Index, error) {
 		return nil, fmt.Errorf("index: load compressed: %w", err)
 	}
 	defer f.Close()
-	r := bufio.NewReader(f)
-	ix, err := readCompressed(r)
+	ix, err := DecodeCompressed(f)
 	if err != nil {
 		return nil, fmt.Errorf("index: load compressed %s: %w", path, err)
 	}
@@ -129,11 +181,15 @@ func readCompressed(r *bufio.Reader) (*Index, error) {
 	}
 
 	ix := New()
-	docCount, err := getUvarint(r)
+	rawDocCount, err := getUvarint(r)
 	if err != nil {
 		return nil, err
 	}
-	for i := uint64(0); i < docCount; i++ {
+	docCount, err := checkCount("doc", rawDocCount)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < docCount; i++ {
 		var d DocInfo
 		if d.URL, err = getString(r); err != nil {
 			return nil, err
@@ -141,26 +197,30 @@ func readCompressed(r *bufio.Reader) (*Index, error) {
 		if d.PageRank, err = getFloat64(r); err != nil {
 			return nil, err
 		}
-		states, err := getUvarint(r)
+		rawStates, err := getUvarint(r)
 		if err != nil {
 			return nil, err
 		}
-		d.States = int(states)
-		d.StateLens = make([]int32, states)
-		for j := range d.StateLens {
+		states, err := checkCount("state", rawStates)
+		if err != nil {
+			return nil, err
+		}
+		d.States = states
+		d.StateLens = make([]int32, 0, prealloc(states))
+		for j := 0; j < states; j++ {
 			v, err := getUvarint(r)
 			if err != nil {
 				return nil, err
 			}
-			d.StateLens[j] = int32(v)
+			d.StateLens = append(d.StateLens, int32(v))
 		}
-		d.AJAXRanks = make([]float64, states)
-		for j := range d.AJAXRanks {
+		d.AJAXRanks = make([]float64, 0, prealloc(states))
+		for j := 0; j < states; j++ {
 			v, err := getFloat32(r)
 			if err != nil {
 				return nil, err
 			}
-			d.AJAXRanks[j] = float64(v)
+			d.AJAXRanks = append(d.AJAXRanks, float64(v))
 		}
 		ix.docByURL[d.URL] = DocID(len(ix.Docs))
 		ix.Docs = append(ix.Docs, d)
@@ -169,49 +229,70 @@ func readCompressed(r *bufio.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, err := checkCount("total-state", total); err != nil {
+		return nil, err
+	}
 	ix.TotalStates = int(total)
 
-	termCount, err := getUvarint(r)
+	rawTermCount, err := getUvarint(r)
 	if err != nil {
 		return nil, err
 	}
-	for i := uint64(0); i < termCount; i++ {
+	termCount, err := checkCount("term", rawTermCount)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < termCount; i++ {
 		term, err := getString(r)
 		if err != nil {
 			return nil, err
 		}
-		n, err := getUvarint(r)
+		rawN, err := getUvarint(r)
 		if err != nil {
 			return nil, err
 		}
-		ps := make([]Posting, n)
+		n, err := checkCount("posting", rawN)
+		if err != nil {
+			return nil, err
+		}
+		ps := make([]Posting, 0, prealloc(n))
 		prevDoc := DocID(0)
-		for j := range ps {
+		for j := 0; j < n; j++ {
+			var p Posting
 			dd, err := getUvarint(r)
 			if err != nil {
 				return nil, err
 			}
 			prevDoc += DocID(dd)
-			ps[j].Doc = prevDoc
+			p.Doc = prevDoc
 			st, err := getUvarint(r)
 			if err != nil {
 				return nil, err
 			}
-			ps[j].State = model.StateID(st)
-			pc, err := getUvarint(r)
+			state, err := checkCount("state-id", st)
 			if err != nil {
 				return nil, err
 			}
-			ps[j].Positions = make([]int32, pc)
+			p.State = model.StateID(state)
+			rawPC, err := getUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			pc, err := checkCount("position", rawPC)
+			if err != nil {
+				return nil, err
+			}
+			p.Positions = make([]int32, 0, prealloc(pc))
 			prev := int32(0)
-			for k := range ps[j].Positions {
+			for k := 0; k < pc; k++ {
 				d, err := getUvarint(r)
 				if err != nil {
 					return nil, err
 				}
 				prev += int32(d)
-				ps[j].Positions[k] = prev
+				p.Positions = append(p.Positions, prev)
 			}
+			ps = append(ps, p)
 		}
 		ix.Terms[term] = ps
 	}

@@ -1,0 +1,109 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSeedIndex builds a representative index and returns its bytes in
+// both on-disk formats.
+func fuzzSeedIndex(tb testing.TB) (gobBytes, binBytes []byte) {
+	tb.Helper()
+	part1, part2 := snapshotGraphs()
+	ix := Build(append(part1, part2...), map[string]float64{"site/watch?v=a": 0.4}, 0)
+	var gb, bb bytes.Buffer
+	if err := ix.Encode(&gb); err != nil {
+		tb.Fatal(err)
+	}
+	if err := ix.EncodeCompressed(&bb); err != nil {
+		tb.Fatal(err)
+	}
+	return gb.Bytes(), bb.Bytes()
+}
+
+// FuzzIndexLoad feeds arbitrary bytes to both snapshot decoders. Neither
+// may ever panic — snapshot files are untrusted disk input read by a
+// long-running daemon — and any index that decodes successfully must be
+// safe to query (in-range postings, non-empty position lists).
+func FuzzIndexLoad(f *testing.F) {
+	gobBytes, binBytes := fuzzSeedIndex(f)
+	f.Add(gobBytes)
+	f.Add(binBytes)
+	f.Add(gobBytes[:len(gobBytes)/2])
+	f.Add(binBytes[:len(binBytes)/2])
+	f.Add([]byte{})
+	f.Add([]byte(compressedMagic))
+	f.Add([]byte(compressedMagic + "\x01"))
+	// A header that lies about the doc count: magic, version, then a
+	// varint claiming ~1e12 docs follow. This was a crasher: the count
+	// went straight into make() before maxCount existed.
+	lying := []byte(compressedMagic + "\x01")
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], 1<<40)
+	f.Add(append(lying, buf[:n]...))
+	// Bit flips in otherwise-valid input hit the mid-stream paths.
+	for _, off := range []int{8, len(binBytes) / 3, 2 * len(binBytes) / 3} {
+		flipped := append([]byte(nil), binBytes...)
+		flipped[off] ^= 0x80
+		f.Add(flipped)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for name, dec := range map[string]func(*bytes.Reader) (*Index, error){
+			"gob": func(r *bytes.Reader) (*Index, error) { return Decode(r) },
+			"bin": func(r *bytes.Reader) (*Index, error) { return DecodeCompressed(r) },
+		} {
+			ix, err := dec(bytes.NewReader(data))
+			if err != nil {
+				continue // error is the correct outcome for corrupt input
+			}
+			// Decoded OK: the invariants the query layer relies on must
+			// hold, or SearchTopK would index out of range at serve time.
+			nd := ix.NumDocs()
+			_ = ix.NumPostings()
+			for term, ps := range ix.Terms {
+				for _, p := range ps {
+					if int(p.Doc) < 0 || int(p.Doc) >= nd {
+						t.Fatalf("%s: term %q posting doc %d out of range [0,%d)", name, term, p.Doc, nd)
+					}
+					if len(p.Positions) == 0 {
+						t.Fatalf("%s: term %q posting for doc %d has no positions", name, term, p.Doc)
+					}
+					_ = ix.Doc(p.Doc)
+				}
+				_ = ix.Lookup(term)
+				_ = ix.DF(term)
+			}
+		}
+	})
+}
+
+// TestDecodeCompressedLyingCounts pins the specific crasher class the
+// count caps fix: headers that promise more data than the file holds
+// must come back as load errors, not allocation panics.
+func TestDecodeCompressedLyingCounts(t *testing.T) {
+	header := []byte(compressedMagic + "\x01")
+	var buf [binary.MaxVarintLen64]byte
+	for _, count := range []uint64{maxCount + 1, 1 << 40, 1<<64 - 1} {
+		n := binary.PutUvarint(buf[:], count)
+		data := append(append([]byte(nil), header...), buf[:n]...)
+		if _, err := DecodeCompressed(bytes.NewReader(data)); err == nil {
+			t.Fatalf("doc count %d accepted", count)
+		}
+	}
+}
+
+// TestDecodeTruncated walks every prefix of a valid compressed index;
+// all must fail cleanly (the full input must load).
+func TestDecodeTruncated(t *testing.T) {
+	_, binBytes := fuzzSeedIndex(t)
+	if _, err := DecodeCompressed(bytes.NewReader(binBytes)); err != nil {
+		t.Fatalf("full input: %v", err)
+	}
+	for i := 0; i < len(binBytes); i++ {
+		if _, err := DecodeCompressed(bytes.NewReader(binBytes[:i])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", i, len(binBytes))
+		}
+	}
+}

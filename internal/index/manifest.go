@@ -1,0 +1,218 @@
+package index
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"ajaxcrawl/internal/model"
+)
+
+// Snapshot layout: a serving snapshot is one directory holding immutable
+// index shard files, optionally the application models needed for
+// snippets and result reconstruction, and a manifest.json naming them
+// all. The manifest is written last and atomically (temp file + rename),
+// so a reader that can load a manifest can load everything it points at;
+// a crash mid-save leaves no manifest and therefore no half-snapshot. A
+// new save into the same directory gets a fresh ID, which is what the
+// serving daemon's -watch loop keys hot swaps on.
+
+const (
+	// ManifestFileName is the snapshot manifest file.
+	ManifestFileName = "manifest.json"
+	// ManifestVersion is the current manifest format version.
+	ManifestVersion = 1
+
+	// FormatGob marks shards saved with Index.Save (encoding/gob).
+	FormatGob = "gob"
+	// FormatCompressed marks shards saved with Index.SaveCompressed.
+	FormatCompressed = "bin"
+)
+
+// ShardEntry describes one shard file of a snapshot.
+type ShardEntry struct {
+	// File is the shard's file name, relative to the snapshot directory.
+	File string `json:"file"`
+	// Docs, States and Postings are the shard's sizes, recorded so a
+	// loader can cross-check what it read against what was written.
+	Docs     int `json:"docs"`
+	States   int `json:"states"`
+	Postings int `json:"postings"`
+}
+
+// Manifest is the versioned snapshot descriptor.
+type Manifest struct {
+	// Version is the manifest format version (ManifestVersion).
+	Version int `json:"version"`
+	// ID uniquely identifies this snapshot generation; every save mints
+	// a new one. The serving daemon swaps engines when it changes.
+	ID string `json:"id"`
+	// CreatedAt is when the snapshot was written.
+	CreatedAt time.Time `json:"created_at"`
+	// Format is the shard file format (FormatGob or FormatCompressed).
+	Format string `json:"format"`
+	// Shards lists the shard files in broker order (partition order, so
+	// ranking tie-breaks are reproducible).
+	Shards []ShardEntry `json:"shards"`
+	// Models is the application-models file name (model.ModelFileName),
+	// or "" when the snapshot carries indexes only (no snippets or
+	// result reconstruction).
+	Models string `json:"models,omitempty"`
+	// TotalDocs and TotalStates aggregate the shard sizes.
+	TotalDocs   int `json:"total_docs"`
+	TotalStates int `json:"total_states"`
+}
+
+// computeID derives the snapshot ID from the shard inventory and the
+// creation time: identical content re-saved still gets a distinct ID, so
+// every completed save reads as a new generation to watchers.
+func (m *Manifest) computeID() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d@%d:%s:%s\n", m.Version, m.CreatedAt.UnixNano(), m.Format, m.Models)
+	for _, s := range m.Shards {
+		fmt.Fprintf(h, "%s:%d:%d:%d\n", s.File, s.Docs, s.States, s.Postings)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// WriteManifest writes m to dir/manifest.json atomically: the JSON is
+// staged in a temp file in the same directory and renamed into place, so
+// a concurrent -watch reader sees either the old manifest or the new
+// one, never a torn write.
+func WriteManifest(dir string, m *Manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("index: manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ManifestFileName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("index: manifest: %w", err)
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("index: manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("index: manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestFileName)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("index: manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest reads and validates dir/manifest.json.
+func LoadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestFileName))
+	if err != nil {
+		return nil, fmt.Errorf("index: manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("index: manifest: %w", err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("index: manifest: unsupported version %d", m.Version)
+	}
+	if m.Format != FormatGob && m.Format != FormatCompressed {
+		return nil, fmt.Errorf("index: manifest: unknown shard format %q", m.Format)
+	}
+	if len(m.Shards) == 0 {
+		return nil, fmt.Errorf("index: manifest: no shards")
+	}
+	for _, s := range m.Shards {
+		// Shard files must stay inside the snapshot directory; a
+		// manifest is disk input and gets no path traversal.
+		if s.File == "" || s.File != filepath.Base(s.File) || strings.HasPrefix(s.File, ".") {
+			return nil, fmt.Errorf("index: manifest: bad shard file name %q", s.File)
+		}
+	}
+	if m.Models != "" && (m.Models != filepath.Base(m.Models) || strings.HasPrefix(m.Models, ".")) {
+		return nil, fmt.Errorf("index: manifest: bad models file name %q", m.Models)
+	}
+	return &m, nil
+}
+
+// SaveSnapshot writes shards (and, when graphs is non-empty, the
+// application models) into dir and then publishes the manifest. The
+// shard order is preserved — it is the broker order queries will see.
+// Graphs are stored sorted by URL so identical crawls produce
+// byte-identical snapshots (modulo the manifest's ID and timestamp).
+func SaveSnapshot(dir string, shards []*Index, graphs []*model.Graph) (*Manifest, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("index: snapshot: no shards to save")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("index: snapshot: %w", err)
+	}
+	m := &Manifest{
+		Version:   ManifestVersion,
+		CreatedAt: time.Now().UTC(),
+		Format:    FormatGob,
+	}
+	for i, shard := range shards {
+		name := fmt.Sprintf("shard-%04d.%s", i, FormatGob)
+		if err := shard.Save(filepath.Join(dir, name)); err != nil {
+			return nil, err
+		}
+		m.Shards = append(m.Shards, ShardEntry{
+			File:     name,
+			Docs:     shard.NumDocs(),
+			States:   shard.TotalStates,
+			Postings: shard.NumPostings(),
+		})
+		m.TotalDocs += shard.NumDocs()
+		m.TotalStates += shard.TotalStates
+	}
+	if len(graphs) > 0 {
+		sorted := append([]*model.Graph(nil), graphs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].URL < sorted[j].URL })
+		if err := model.SaveAll(dir, sorted); err != nil {
+			return nil, fmt.Errorf("index: snapshot: %w", err)
+		}
+		m.Models = model.ModelFileName
+	}
+	m.ID = m.computeID()
+	if err := WriteManifest(dir, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadSnapshot reads dir's manifest and every shard it lists, verifying
+// each shard's sizes against the manifest record. Models, when present,
+// are loaded separately (model.LoadAll) by callers that need them.
+func LoadSnapshot(dir string) (*Manifest, []*Index, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	shards := make([]*Index, 0, len(m.Shards))
+	for _, entry := range m.Shards {
+		path := filepath.Join(dir, entry.File)
+		var shard *Index
+		if m.Format == FormatCompressed {
+			shard, err = LoadCompressed(path)
+		} else {
+			shard, err = Load(path)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("index: snapshot shard %s: %w", entry.File, err)
+		}
+		if shard.NumDocs() != entry.Docs || shard.TotalStates != entry.States {
+			return nil, nil, fmt.Errorf("index: snapshot shard %s: has %d docs/%d states, manifest says %d/%d",
+				entry.File, shard.NumDocs(), shard.TotalStates, entry.Docs, entry.States)
+		}
+		shards = append(shards, shard)
+	}
+	return m, shards, nil
+}

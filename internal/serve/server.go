@@ -1,0 +1,360 @@
+// Package serve is the search serving layer: a long-running HTTP front
+// end that answers keyword queries from persisted index snapshots — the
+// piece that turns the crawl-then-query-once pipeline into a search
+// *service* (thesis ch. 5–6's endgame; ROADMAP "serve heavy traffic").
+//
+// The design follows the classic crawler/repository split: the crawler
+// publishes immutable snapshot directories (shards + models + manifest,
+// internal/index), and the server loads one, fronts it with a sharded
+// LRU result cache, and hot-swaps to a new snapshot — load in the
+// background, swap one atomic pointer, let old readers drain — whenever
+// the manifest's ID changes (Reload/Watch). Per-query deadlines and a
+// bounded in-flight gate (429 on saturation) keep an overloaded server
+// shedding instead of collapsing.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ajaxcrawl/internal/index"
+	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/obs"
+	"ajaxcrawl/internal/query"
+)
+
+// Response headers: per-request serving metadata rides on headers, not
+// the JSON body, so response bodies for one snapshot's content are
+// byte-stable across cache states, swaps of identical snapshots, and
+// whole re-crawls (the golden end-to-end test pins this).
+const (
+	// HeaderGeneration is the serving generation that answered.
+	HeaderGeneration = "X-Ajaxserve-Generation"
+	// HeaderDocs is that generation's document count.
+	HeaderDocs = "X-Ajaxserve-Docs"
+	// HeaderStates is that generation's state count.
+	HeaderStates = "X-Ajaxserve-States"
+	// HeaderCache is "hit" or "miss".
+	HeaderCache = "X-Ajaxserve-Cache"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// SnapshotDir is the snapshot directory to serve (required).
+	SnapshotDir string
+	// DefaultK is the result count when ?k= is absent (default 10).
+	DefaultK int
+	// MaxK caps ?k= (default 100).
+	MaxK int
+	// CacheShards, CacheCapacity and CacheTTL configure the result
+	// cache (defaults 8 / 1024 / no expiry).
+	CacheShards   int
+	CacheCapacity int
+	CacheTTL      time.Duration
+	// MaxInflight bounds concurrently evaluating queries; excess
+	// requests are shed with 429 (0 = unlimited).
+	MaxInflight int
+	// QueryTimeout is the per-query deadline (0 = none).
+	QueryTimeout time.Duration
+	// Weights are the ranking coefficients (default query.DefaultWeights).
+	Weights *query.Weights
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultK <= 0 {
+		c.DefaultK = 10
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 100
+	}
+	return c
+}
+
+// Server is the HTTP search daemon's engine room: the hot-swappable
+// query server plus snapshot (re)loading and the request handlers.
+type Server struct {
+	cfg      Config
+	tel      *obs.Telemetry
+	qs       *query.Server
+	inflight chan struct{}
+
+	// mu serializes Reload: only one snapshot load/swap runs at a time.
+	// Serving never takes this lock.
+	mu         sync.Mutex
+	manifestID string
+}
+
+// New loads the snapshot in cfg.SnapshotDir and returns a ready Server.
+// tel may be nil (no telemetry).
+func New(cfg Config, tel *obs.Telemetry) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SnapshotDir == "" {
+		return nil, fmt.Errorf("serve: Config.SnapshotDir is required")
+	}
+	snap, man, err := LoadSnapshot(cfg.SnapshotDir, cfg.Weights)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, tel: tel, manifestID: man.ID}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	s.qs = query.NewServer(snap, query.CacheOptions{
+		Shards:   cfg.CacheShards,
+		Capacity: cfg.CacheCapacity,
+		TTL:      cfg.CacheTTL,
+	})
+	// Re-publish the swap gauges under this server's telemetry (the
+	// initial NewServer swap ran before tel was attached to a context).
+	live := s.qs.Live()
+	tel.Gauge("query.serve.snapshot.gen").Set(live.Gen)
+	tel.Gauge("query.serve.snapshot.docs").Set(int64(live.Docs))
+	tel.Gauge("query.serve.snapshot.states").Set(int64(live.States))
+	return s, nil
+}
+
+// LoadSnapshot reads a snapshot directory into a ServeSnapshot: shards
+// into a broker, models (when present) into the snippet source. w nil
+// means default weights.
+func LoadSnapshot(dir string, w *query.Weights) (*query.ServeSnapshot, *index.Manifest, error) {
+	man, shards, err := index.LoadSnapshot(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	weights := query.DefaultWeights
+	if w != nil {
+		weights = *w
+	}
+	snap := &query.ServeSnapshot{
+		Broker: &query.Broker{Shards: shards, W: weights},
+	}
+	if man.Models != "" {
+		graphs, err := model.LoadAll(dir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: snapshot models: %w", err)
+		}
+		byURL := make(map[string]*model.Graph, len(graphs))
+		for _, g := range graphs {
+			byURL[g.URL] = g
+		}
+		snap.StateText = func(url string, state int) string {
+			g := byURL[url]
+			if g == nil {
+				return ""
+			}
+			st := g.State(model.StateID(state))
+			if st == nil {
+				return ""
+			}
+			return st.Text
+		}
+	}
+	return snap, man, nil
+}
+
+// ManifestID returns the ID of the currently serving manifest.
+func (s *Server) ManifestID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.manifestID
+}
+
+// QueryServer exposes the underlying hot-swappable query server.
+func (s *Server) QueryServer() *query.Server { return s.qs }
+
+// Reload checks the snapshot directory's manifest and, when its ID
+// differs from the serving one (or force is set), loads the new shards
+// in the background and hot-swaps the live engine. Serving continues
+// from the old snapshot for the whole load; the swap itself is one
+// atomic pointer store. Returns whether a swap happened.
+func (s *Server) Reload(ctx context.Context, force bool) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tel := s.tel
+	man, err := index.LoadManifest(s.cfg.SnapshotDir)
+	if err != nil {
+		tel.Counter("query.serve.reload.errors").Inc()
+		return false, err
+	}
+	if !force && man.ID == s.manifestID {
+		return false, nil
+	}
+	snap, man, err := LoadSnapshot(s.cfg.SnapshotDir, s.cfg.Weights)
+	if err != nil {
+		// A half-written snapshot (new manifest, shard still streaming
+		// to disk) stays un-swapped; the next poll retries.
+		tel.Counter("query.serve.reload.errors").Inc()
+		return false, err
+	}
+	s.qs.Swap(obs.With(ctx, tel), snap)
+	s.manifestID = man.ID
+	return true, nil
+}
+
+// Watch polls the manifest every interval and hot-swaps on ID changes —
+// the -watch flag's loop. It returns when ctx ends. Reload errors are
+// counted (query.serve.reload.errors) and retried next tick.
+func (s *Server) Watch(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_, _ = s.Reload(ctx, false)
+		}
+	}
+}
+
+// Routes mounts the serving endpoints on mux: /search and /healthz.
+func (s *Server) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/healthz", s.handleHealth)
+}
+
+// Handler returns the serving endpoints wrapped in the obs request
+// middleware (http.requests / http.inflight / http.latency), backed by
+// this server's telemetry registry. Debug endpoints are mounted by the
+// daemon (cmd/ajaxserve) on the same mux, outside this handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.Routes(mux)
+	return obs.InstrumentHandler(s.tel.Registry(), mux)
+}
+
+// searchResponse is the /search JSON body. Field order (and therefore
+// the marshaled bytes) is fixed; serving metadata that varies run-to-run
+// (generation, cache state) travels in headers instead.
+type searchResponse struct {
+	Query   string         `json:"query"`
+	K       int            `json:"k"`
+	Count   int            `json:"count"`
+	Results []searchResult `json:"results"`
+}
+
+type searchResult struct {
+	URL     string  `json:"url"`
+	State   int     `json:"state"`
+	Score   float64 `json:"score"`
+	Snippet string  `json:"snippet,omitempty"`
+}
+
+// errorResponse is the JSON error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	tel := s.tel
+	// Load shedding first: saturation must cost a channel poll, not an
+	// evaluation. 429 + Retry-After tells well-behaved clients to back
+	// off; the shed count is the first metric to watch under load.
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			tel.Counter("query.serve.shed").Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server saturated, retry later"})
+			return
+		}
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter"})
+		return
+	}
+	k := s.cfg.DefaultK
+	if kv := r.URL.Query().Get("k"); kv != "" {
+		parsed, err := strconv.Atoi(kv)
+		if err != nil || parsed <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "k must be a positive integer"})
+			return
+		}
+		k = parsed
+		if k > s.cfg.MaxK {
+			k = s.cfg.MaxK
+		}
+	}
+
+	ctx := obs.With(r.Context(), tel)
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	// A request that spent its whole deadline queued (or whose client
+	// hung up) is not worth evaluating.
+	if err := ctx.Err(); err != nil {
+		tel.Counter("query.serve.deadline").Inc()
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "deadline exceeded before evaluation"})
+		return
+	}
+
+	results, snap, cached := s.qs.Search(ctx, q, k)
+	resp := searchResponse{
+		Query:   query.QueryString(query.Parse(q)),
+		K:       k,
+		Count:   len(results),
+		Results: make([]searchResult, 0, len(results)),
+	}
+	for _, r := range results {
+		resp.Results = append(resp.Results, searchResult{
+			URL:     r.URL,
+			State:   int(r.State),
+			Score:   r.Score,
+			Snippet: r.Snippet,
+		})
+	}
+	w.Header().Set(HeaderGeneration, strconv.FormatInt(snap.Gen, 10))
+	w.Header().Set(HeaderDocs, strconv.Itoa(snap.Docs))
+	w.Header().Set(HeaderStates, strconv.Itoa(snap.States))
+	if cached {
+		w.Header().Set(HeaderCache, "hit")
+	} else {
+		w.Header().Set(HeaderCache, "miss")
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthResponse is the /healthz JSON body.
+type healthResponse struct {
+	Status     string `json:"status"`
+	ManifestID string `json:"manifest_id"`
+	Generation int64  `json:"generation"`
+	Docs       int    `json:"docs"`
+	States     int    `json:"states"`
+	Shards     int    `json:"shards"`
+	CacheLen   int    `json:"cache_len"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.qs.Live()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		ManifestID: s.ManifestID(),
+		Generation: snap.Gen,
+		Docs:       snap.Docs,
+		States:     snap.States,
+		Shards:     len(snap.Broker.Shards),
+		CacheLen:   s.qs.Cache().Len(),
+	})
+}
