@@ -16,6 +16,10 @@
 //
 //	# Traditional (JavaScript-off) crawl for comparison.
 //	ajaxcrawl -sim 500 -pages 100 -out ./trad-out -traditional
+//
+//	# Crash-tolerant crawl: journal progress, then resume after a kill.
+//	ajaxcrawl -sim 500 -pages 100 -out ./crawl-out -checkpoint-dir ./crawl-out/checkpoints
+//	ajaxcrawl -sim 500 -pages 100 -out ./crawl-out -resume
 package main
 
 import (
@@ -62,6 +66,10 @@ func main() {
 		retryBase   = flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff; doubles per retry with full jitter")
 		breakerThr  = flag.Float64("breaker-threshold", 0, "per-host circuit-breaker failure-rate threshold in (0,1] (0 disables the breaker)")
 		faultRate   = flag.Float64("fault-rate", 0, "inject transient fetch faults with this probability (chaos testing; seeded by -seed)")
+		ckptDir     = flag.String("checkpoint-dir", "", "journal per-partition crawl progress into this directory (crash tolerance; default <out>/checkpoints when -resume is set)")
+		resume      = flag.Bool("resume", false, "resume a previous crawl: reuse the saved precrawl and replay checkpoint journals so completed pages are not re-crawled")
+		partRetries = flag.Int("partition-restarts", 0, "supervisor: restart a failed or wedged partition up to this many times")
+		partStuck   = flag.Duration("partition-stuck", 0, "supervisor watchdog: restart a partition when no page completes within this duration (0 disables)")
 	)
 	flag.Parse()
 
@@ -123,17 +131,38 @@ func main() {
 	defer stop()
 	ctx = obs.With(ctx, tel)
 
+	// -resume implies checkpointing; default the journal directory so
+	// `ajaxcrawl -resume` alone picks up where the killed run left off.
+	if *resume && *ckptDir == "" {
+		*ckptDir = filepath.Join(*out, "checkpoints")
+	}
+
 	begin := time.Now()
-	infof("precrawling %d pages from %s ...", *pages, startURL)
-	pre := &core.Precrawler{Fetcher: fetcher, StartURL: startURL, MaxPages: *pages}
-	preRes, err := pre.Run(ctx)
-	if err != nil {
-		fatal("precrawl: %v", err)
+	var preRes *core.PrecrawlResult
+	if *resume {
+		// The saved precrawl pins the URL universe and partition layout,
+		// so the resumed run crawls exactly the pages of the killed one.
+		loaded, lerr := core.LoadPrecrawl(*out)
+		if lerr == nil {
+			preRes = loaded
+			infof("resume: reusing saved precrawl (%d pages)", len(preRes.URLs))
+		} else {
+			infof("resume: %v; precrawling fresh", lerr)
+		}
 	}
-	if err := preRes.Save(*out); err != nil {
-		fatal("save precrawl: %v", err)
+	if preRes == nil {
+		infof("precrawling %d pages from %s ...", *pages, startURL)
+		pre := &core.Precrawler{Fetcher: fetcher, StartURL: startURL, MaxPages: *pages}
+		var err error
+		preRes, err = pre.Run(ctx)
+		if err != nil {
+			fatal("precrawl: %v", err)
+		}
+		if err := preRes.Save(*out); err != nil {
+			fatal("save precrawl: %v", err)
+		}
+		infof("precrawl done: %d pages, %d link sources", len(preRes.URLs), len(preRes.Links))
 	}
-	infof("precrawl done: %d pages, %d link sources", len(preRes.URLs), len(preRes.Links))
 
 	parts, err := (&core.URLPartitioner{PartitionSize: *partSize, RootDir: *out}).Partition(preRes.URLs)
 	if err != nil {
@@ -177,10 +206,28 @@ func main() {
 		}
 	}
 	mp := &core.MPCrawler{
-		NewCrawler: func() *core.Crawler { return core.New(fetcher, opts) },
-		ProcLines:  *lines,
-		Partitions: parts,
-		SaveModels: true,
+		NewCrawler:  func() *core.Crawler { return core.New(fetcher, opts) },
+		ProcLines:   *lines,
+		Partitions:  parts,
+		SaveModels:  true,
+		MaxRestarts: *partRetries,
+	}
+	if *partStuck > 0 {
+		mp.StuckTimeout = *partStuck
+	}
+	if *ckptDir != "" {
+		journalRoot := *ckptDir
+		doResume := *resume
+		mp.NewCheckpointer = func(ctx context.Context, dir string, attempt int) (core.Checkpointer, error) {
+			// One journal directory per partition, named after it. A
+			// fresh run (-resume omitted) resets stale journals on each
+			// partition's first attempt; supervisor restarts always
+			// reopen in resume mode so the failed attempt's pages are
+			// replayed, not re-crawled.
+			return core.OpenJournalCheckpointer(ctx,
+				filepath.Join(journalRoot, filepath.Base(dir)), doResume || attempt > 0)
+		}
+		infof("checkpointing partitions into %s", journalRoot)
 	}
 	res := mp.Run(ctx)
 	if err := res.Err(); err != nil {
@@ -204,6 +251,12 @@ func main() {
 		m.Pages, m.States, m.EventsTriggered, m.NetworkEvents, m.HotNodeHits)
 	if m.PagesFailed > 0 {
 		infof("skipped %d failed pages", m.PagesFailed)
+	}
+	if m.PagesResumed > 0 {
+		infof("resume: %d pages replayed from checkpoint journals (not re-crawled)", m.PagesResumed)
+	}
+	if restarts := sum(res.Restarts); restarts > 0 {
+		infof("supervisor: %d partition restarts", restarts)
 	}
 	if m.Retries > 0 || m.BreakerOpens > 0 {
 		infof("resilience: %d retries recovered %d pages, %d breaker opens",
@@ -256,6 +309,14 @@ func main() {
 			fatal("json: %v", err)
 		}
 	}
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
 }
 
 func fatal(format string, args ...interface{}) {

@@ -1,0 +1,712 @@
+// Package checkpoint implements the durable crawl journal that makes a
+// partition crawl crash-tolerant: an append-only write-ahead log of
+// per-partition progress (completed pages with their application models,
+// admitted state hashes, hot-node cache fills) plus periodic compacted
+// snapshots of the completed pages.
+//
+// The format follows the WAL discipline of production crawlers
+// (Mercator-style frontier persistence): every record is one
+// length-prefixed, CRC-checksummed frame, so a crash — including
+// `kill -9` mid-write — leaves at worst a torn tail that recovery
+// truncates away. Everything before the tear replays losslessly, which
+// is what lets a resumed crawl skip already-completed pages and converge
+// to the same state set as an uninterrupted run.
+//
+// On-disk layout inside one journal directory:
+//
+//	journal.wal   — header "AJWL"+version, then frames appended in order
+//	snapshot.ajcp — same frame stream holding only page records, written
+//	                atomically (temp + rename) at each compaction
+//
+// Frame: u32le payload length | u32le CRC-32C(payload) | payload.
+// Payload: record type byte, then length-prefixed fields.
+//
+// Like the index decoders, the read side treats the file as untrusted:
+// counts are bounded, pre-allocations capped at what the file actually
+// backs, decoder panics convert to a stop, and replay never fails Open —
+// a corrupt or truncated suffix only shortens what is recovered.
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"ajaxcrawl/internal/dom"
+	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/obs"
+)
+
+const (
+	// walFileName is the append-only journal inside a journal directory.
+	walFileName = "journal.wal"
+	// snapFileName is the compacted snapshot of completed pages.
+	snapFileName = "snapshot.ajcp"
+
+	journalMagic   = "AJWL"
+	journalVersion = 1
+
+	recPageDone byte = 1
+	recState    byte = 2
+	recHotNode  byte = 3
+
+	// maxFramePayload bounds the length prefix of a frame. A lying
+	// header beyond it is treated as a torn tail, not an allocation.
+	maxFramePayload = 1 << 28
+	// maxFieldLen bounds every length-prefixed field inside a payload.
+	maxFieldLen = 1 << 26
+	// maxPrealloc caps how much a single untrusted length is trusted
+	// for pre-allocation; larger fields grow as real bytes arrive.
+	maxPrealloc = 1 << 16
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// headerLen is the byte length of the file header (magic + version).
+const headerLen = len(journalMagic) + 1
+
+// Options configure a journal.
+type Options struct {
+	// CompactEvery compacts the journal into a fresh snapshot after this
+	// many page records since the last compaction. 0 means the default
+	// (16); negative disables compaction.
+	CompactEvery int
+	// Reset discards any existing journal in the directory instead of
+	// recovering it — a fresh crawl rather than a resume.
+	Reset bool
+}
+
+// defaultCompactEvery is the page interval between snapshot compactions.
+const defaultCompactEvery = 16
+
+// PageRecord is one durably completed page: its URL, its application
+// model, and an opaque caller-defined metrics payload (the crawler
+// journals its gob-encoded PageMetrics there, so a resumed run's
+// aggregate metrics match an uninterrupted one).
+type PageRecord struct {
+	URL     string
+	Graph   *model.Graph
+	Metrics []byte
+}
+
+// RecoveryInfo summarizes what Open recovered from disk.
+type RecoveryInfo struct {
+	// Pages is the number of completed pages replayed.
+	Pages int
+	// States is the number of mid-page state records replayed.
+	States int
+	// HotEntries is the number of hot-node cache fills replayed.
+	HotEntries int
+	// TruncatedBytes counts journal bytes dropped by torn-tail recovery
+	// (0 for a cleanly closed journal).
+	TruncatedBytes int64
+}
+
+// Journal is one partition's durable crawl log. All methods are safe for
+// concurrent use, though a crawl writes from a single process line.
+type Journal struct {
+	mu  sync.Mutex
+	dir string
+	tel *obs.Telemetry
+	ctx context.Context
+
+	f *os.File
+	w *bufio.Writer
+
+	// err is sticky: after any write failure the journal refuses further
+	// work, so a half-written frame can never be followed by records the
+	// caller believes durable.
+	err error
+
+	pages     map[string]PageRecord
+	pageOrder []string
+	states    map[string][]dom.Hash
+	hot       map[string]map[string]string
+
+	compactEvery int
+	sinceCompact int
+	walBytes     int64
+	recovered    RecoveryInfo
+}
+
+// Open opens (creating or recovering) the journal in dir. Recovery
+// replays the snapshot, then the WAL, stopping at the first torn or
+// corrupt frame and truncating the file there so appends continue from
+// the last durable record. The context supplies telemetry: recovery
+// emits a checkpoint.recover span, writes count into
+// crawl.partition.journal_bytes.
+func Open(ctx context.Context, dir string, opts Options) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %w", dir, err)
+	}
+	j := &Journal{
+		dir:          dir,
+		tel:          obs.From(ctx),
+		ctx:          ctx,
+		pages:        make(map[string]PageRecord),
+		states:       make(map[string][]dom.Hash),
+		hot:          make(map[string]map[string]string),
+		compactEvery: opts.CompactEvery,
+	}
+	if j.compactEvery == 0 {
+		j.compactEvery = defaultCompactEvery
+	}
+	walPath := filepath.Join(dir, walFileName)
+	snapPath := filepath.Join(dir, snapFileName)
+	if opts.Reset {
+		if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("checkpoint: reset %s: %w", walPath, err)
+		}
+		if err := os.Remove(snapPath); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("checkpoint: reset %s: %w", snapPath, err)
+		}
+	}
+
+	_, sp := obs.StartSpan(ctx, obs.SpanCheckpointRecover, obs.A("dir", dir))
+	// Snapshot first: it holds the compacted prefix of the log. A torn
+	// snapshot (it is written atomically, so this means outside
+	// interference) recovers its intact prefix like the WAL does.
+	if err := j.replayFile(snapPath, nil); err != nil {
+		sp.End(err)
+		return nil, err
+	}
+	var goodOffset int64
+	if err := j.replayFile(walPath, &goodOffset); err != nil {
+		sp.End(err)
+		return nil, err
+	}
+
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		sp.End(err)
+		return nil, fmt.Errorf("checkpoint: open %s: %w", walPath, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		sp.End(err)
+		return nil, fmt.Errorf("checkpoint: open %s: %w", walPath, err)
+	}
+	if goodOffset < int64(headerLen) {
+		// Empty, headerless, or corrupt-from-the-start file: rewrite it.
+		j.recovered.TruncatedBytes += st.Size()
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			sp.End(err)
+			return nil, fmt.Errorf("checkpoint: reset %s: %w", walPath, err)
+		}
+		if _, err := f.WriteAt(append([]byte(journalMagic), journalVersion), 0); err != nil {
+			f.Close()
+			sp.End(err)
+			return nil, fmt.Errorf("checkpoint: header %s: %w", walPath, err)
+		}
+		goodOffset = int64(headerLen)
+	} else if goodOffset < st.Size() {
+		// Torn tail: drop the bytes past the last intact frame so the
+		// next append starts on a frame boundary.
+		j.recovered.TruncatedBytes += st.Size() - goodOffset
+		if err := f.Truncate(goodOffset); err != nil {
+			f.Close()
+			sp.End(err)
+			return nil, fmt.Errorf("checkpoint: truncate %s: %w", walPath, err)
+		}
+	}
+	if _, err := f.Seek(goodOffset, io.SeekStart); err != nil {
+		f.Close()
+		sp.End(err)
+		return nil, fmt.Errorf("checkpoint: seek %s: %w", walPath, err)
+	}
+	j.f = f
+	j.w = bufio.NewWriterSize(f, 64*1024)
+	j.walBytes = goodOffset
+	sp.SetAttr("pages", strconv.Itoa(j.recovered.Pages))
+	sp.SetAttr("truncated_bytes", strconv.FormatInt(j.recovered.TruncatedBytes, 10))
+	sp.End(nil)
+	return j, nil
+}
+
+// replayFile replays one frame file into the in-memory maps. Missing
+// files are fine (fresh journal). When goodOffset is non-nil it receives
+// the offset just past the last intact, decodable frame; replay stops —
+// without error — at the first torn or corrupt one.
+func (j *Journal) replayFile(path string, goodOffset *int64) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("checkpoint: recover %s: %w", path, err)
+	}
+	defer f.Close()
+	off := replayFrames(f, func(payload []byte) bool {
+		return j.applyRecord(payload)
+	})
+	if goodOffset != nil {
+		*goodOffset = off
+	}
+	return nil
+}
+
+// replayFrames reads header + frames from r, calling apply for each
+// CRC-intact frame until apply rejects one or the stream tears. It
+// returns the offset just past the last accepted frame (0 when even the
+// header is unusable). Decoder panics on hostile input are contained
+// here: the frame that panicked is treated as the tear point.
+func replayFrames(r io.Reader, apply func(payload []byte) bool) (goodOffset int64) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return 0
+	}
+	if string(hdr[:len(journalMagic)]) != journalMagic || hdr[len(journalMagic)] != journalVersion {
+		return 0
+	}
+	goodOffset = int64(headerLen)
+	var fh [8]byte
+	for {
+		if _, err := io.ReadFull(br, fh[:]); err != nil {
+			return goodOffset // clean EOF or torn frame header
+		}
+		plen := binary.LittleEndian.Uint32(fh[0:4])
+		crc := binary.LittleEndian.Uint32(fh[4:8])
+		if plen == 0 || plen > maxFramePayload {
+			return goodOffset
+		}
+		// Read through a limited reader with growth-by-arrival, so a
+		// lying length can't allocate more than the file backs.
+		payload, err := readCapped(br, int(plen))
+		if err != nil || len(payload) != int(plen) {
+			return goodOffset
+		}
+		if crc32.Checksum(payload, crcTable) != crc {
+			return goodOffset
+		}
+		if !safeApply(apply, payload) {
+			return goodOffset
+		}
+		goodOffset += 8 + int64(plen)
+	}
+}
+
+// safeApply runs apply, converting a decoder panic into a rejection.
+func safeApply(apply func([]byte) bool, payload []byte) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return apply(payload)
+}
+
+// readCapped reads exactly n bytes, pre-allocating at most maxPrealloc.
+func readCapped(r io.Reader, n int) ([]byte, error) {
+	capHint := n
+	if capHint > maxPrealloc {
+		capHint = maxPrealloc
+	}
+	buf := make([]byte, 0, capHint)
+	chunk := make([]byte, 32*1024)
+	for len(buf) < n {
+		want := n - len(buf)
+		if want > len(chunk) {
+			want = len(chunk)
+		}
+		m, err := r.Read(chunk[:want])
+		buf = append(buf, chunk[:m]...)
+		if err != nil {
+			return buf, err
+		}
+	}
+	return buf, nil
+}
+
+// applyRecord decodes one frame payload and folds it into the in-memory
+// maps. It returns false for undecodable payloads (the tear point).
+func (j *Journal) applyRecord(payload []byte) bool {
+	r := bytes.NewReader(payload)
+	typ, err := r.ReadByte()
+	if err != nil {
+		return false
+	}
+	switch typ {
+	case recPageDone:
+		url, err := readField(r)
+		if err != nil {
+			return false
+		}
+		graphBytes, err := readField(r)
+		if err != nil {
+			return false
+		}
+		metrics, err := readField(r)
+		if err != nil {
+			return false
+		}
+		g, err := model.DecodeGraph(graphBytes)
+		if err != nil {
+			return false
+		}
+		u := string(url)
+		if _, dup := j.pages[u]; !dup {
+			j.pageOrder = append(j.pageOrder, u)
+		}
+		j.pages[u] = PageRecord{URL: u, Graph: g, Metrics: metrics}
+		j.recovered.Pages++
+		return true
+	case recState:
+		url, err := readField(r)
+		if err != nil {
+			return false
+		}
+		var h dom.Hash
+		if _, err := io.ReadFull(r, h[:]); err != nil {
+			return false
+		}
+		j.states[string(url)] = append(j.states[string(url)], h)
+		j.recovered.States++
+		return true
+	case recHotNode:
+		url, err := readField(r)
+		if err != nil {
+			return false
+		}
+		key, err := readField(r)
+		if err != nil {
+			return false
+		}
+		body, err := readField(r)
+		if err != nil {
+			return false
+		}
+		u := string(url)
+		if j.hot[u] == nil {
+			j.hot[u] = make(map[string]string)
+		}
+		j.hot[u][string(key)] = string(body)
+		j.recovered.HotEntries++
+		return true
+	default:
+		return false
+	}
+}
+
+// readField reads one length-prefixed field with bounded length and
+// capped pre-allocation.
+func readField(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFieldLen {
+		return nil, fmt.Errorf("checkpoint: field length %d exceeds limit", n)
+	}
+	if int64(n) > int64(r.Len()) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func putField(buf *bytes.Buffer, b []byte) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(b)))
+	buf.Write(tmp[:n])
+	buf.Write(b)
+}
+
+// Recovered reports what Open replayed from disk.
+func (j *Journal) Recovered() RecoveryInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovered
+}
+
+// CompletedPages returns the number of pages the journal holds.
+func (j *Journal) CompletedPages() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.pages)
+}
+
+// Completed returns the journaled record of url, if the page finished in
+// this or a previous (recovered) run.
+func (j *Journal) Completed(url string) (PageRecord, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.pages[url]
+	return rec, ok
+}
+
+// States returns the mid-page state hashes journaled for url, in
+// admission order — the partial-progress trail of an interrupted page.
+func (j *Journal) States(url string) []dom.Hash {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]dom.Hash, len(j.states[url]))
+	copy(out, j.states[url])
+	return out
+}
+
+// HotEntries returns the journaled hot-node cache fills for url (nil
+// when none) — a re-crawl of an interrupted page seeds its cache from
+// these, so repeat hot calls skip the network exactly as they did before
+// the crash.
+func (j *Journal) HotEntries(url string) map[string]string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	entries := j.hot[url]
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(entries))
+	for k, v := range entries {
+		out[k] = v
+	}
+	return out
+}
+
+// PageDone durably records a completed page: the frame is written and
+// flushed to the OS before PageDone returns, so a process kill after it
+// can never lose the page. Every CompactEvery pages the journal compacts
+// itself into a fresh snapshot.
+func (j *Journal) PageDone(rec PageRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	_, sp := obs.StartSpan(j.ctx, obs.SpanCheckpointWrite, obs.A("url", rec.URL))
+	graphBytes, err := model.EncodeGraph(rec.Graph)
+	if err != nil {
+		err = fmt.Errorf("checkpoint: encode graph %s: %w", rec.URL, err)
+		sp.End(err)
+		return err
+	}
+	var payload bytes.Buffer
+	payload.WriteByte(recPageDone)
+	putField(&payload, []byte(rec.URL))
+	putField(&payload, graphBytes)
+	putField(&payload, rec.Metrics)
+	if err := j.writeFrame(payload.Bytes()); err != nil {
+		sp.End(err)
+		return err
+	}
+	// The page frame is the durability point: flush it through to the OS
+	// so only a machine (not process) crash can lose it.
+	if err := j.flushLocked(); err != nil {
+		sp.End(err)
+		return err
+	}
+	if _, dup := j.pages[rec.URL]; !dup {
+		j.pageOrder = append(j.pageOrder, rec.URL)
+	}
+	j.pages[rec.URL] = rec
+	j.sinceCompact++
+	var cerr error
+	if j.compactEvery > 0 && j.sinceCompact >= j.compactEvery {
+		cerr = j.compactLocked()
+	}
+	sp.End(cerr)
+	return cerr
+}
+
+// StateAdmitted journals a state discovered mid-page. These records are
+// buffered (flushed with the next page frame), so they cost no extra
+// syscalls on the hot path.
+func (j *Journal) StateAdmitted(url string, h dom.Hash) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	var payload bytes.Buffer
+	payload.WriteByte(recState)
+	putField(&payload, []byte(url))
+	payload.Write(h[:])
+	if err := j.writeFrame(payload.Bytes()); err != nil {
+		return err
+	}
+	j.states[url] = append(j.states[url], h)
+	return nil
+}
+
+// HotNode journals one hot-node cache fill mid-page (buffered, like
+// StateAdmitted).
+func (j *Journal) HotNode(url, key, body string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	var payload bytes.Buffer
+	payload.WriteByte(recHotNode)
+	putField(&payload, []byte(url))
+	putField(&payload, []byte(key))
+	putField(&payload, []byte(body))
+	if err := j.writeFrame(payload.Bytes()); err != nil {
+		return err
+	}
+	if j.hot[url] == nil {
+		j.hot[url] = make(map[string]string)
+	}
+	j.hot[url][key] = body
+	return nil
+}
+
+// writeFrame appends one frame. Any failure is sticky.
+func (j *Journal) writeFrame(payload []byte) error {
+	if len(payload) > maxFramePayload {
+		j.err = fmt.Errorf("checkpoint: frame payload %d exceeds limit %d", len(payload), maxFramePayload)
+		return j.err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := j.w.Write(hdr[:]); err != nil {
+		j.err = fmt.Errorf("checkpoint: write %s: %w", j.dir, err)
+		return j.err
+	}
+	if _, err := j.w.Write(payload); err != nil {
+		j.err = fmt.Errorf("checkpoint: write %s: %w", j.dir, err)
+		return j.err
+	}
+	n := int64(8 + len(payload))
+	j.walBytes += n
+	j.tel.Counter("crawl.partition.journal_bytes").Add(n)
+	return nil
+}
+
+// Flush pushes buffered records through to the OS.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushLocked()
+}
+
+func (j *Journal) flushLocked() error {
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = fmt.Errorf("checkpoint: flush %s: %w", j.dir, err)
+	}
+	return j.err
+}
+
+// compactLocked folds every completed page into a fresh snapshot file
+// (temp + atomic rename, like the index manifest publish) and resets the
+// WAL to just its header, bounding journal growth and resume replay
+// time. Mid-page records of pages that later completed become redundant
+// and are dropped with the old WAL.
+func (j *Journal) compactLocked() error {
+	_, sp := obs.StartSpan(j.ctx, obs.SpanCheckpointCompact,
+		obs.A("dir", j.dir), obs.A("pages", strconv.Itoa(len(j.pages))))
+	err := j.compactFiles()
+	if err != nil {
+		j.err = err
+	} else {
+		j.sinceCompact = 0
+		j.tel.Counter("checkpoint.compactions").Inc()
+	}
+	sp.End(err)
+	return err
+}
+
+func (j *Journal) compactFiles() error {
+	tmp, err := os.CreateTemp(j.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
+	}
+	tmpPath := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpPath) }
+	if _, err := tmp.Write(append([]byte(journalMagic), journalVersion)); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
+	}
+	for _, url := range j.pageOrder {
+		rec := j.pages[url]
+		graphBytes, err := model.EncodeGraph(rec.Graph)
+		if err != nil {
+			cleanup()
+			return fmt.Errorf("checkpoint: compact %s: encode %s: %w", j.dir, url, err)
+		}
+		var payload bytes.Buffer
+		payload.WriteByte(recPageDone)
+		putField(&payload, []byte(url))
+		putField(&payload, graphBytes)
+		putField(&payload, rec.Metrics)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload.Bytes(), crcTable))
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			cleanup()
+			return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
+		}
+		if _, err := tmp.Write(payload.Bytes()); err != nil {
+			cleanup()
+			return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(j.dir, snapFileName)); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
+	}
+	// The snapshot now owns every page; reset the WAL to its header.
+	// Ordering matters: the rename lands before the truncate, so a crash
+	// between the two replays pages from both files (idempotent), never
+	// from neither.
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
+	}
+	if err := j.f.Truncate(int64(headerLen)); err != nil {
+		return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
+	}
+	if _, err := j.f.Seek(int64(headerLen), io.SeekStart); err != nil {
+		return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
+	}
+	j.walBytes = int64(headerLen)
+	return nil
+}
+
+// Close flushes buffered records, syncs the WAL, and closes it. The
+// journal is unusable afterwards; reopen with Open to resume.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return j.err
+	}
+	flushErr := j.flushLocked()
+	syncErr := j.f.Sync()
+	closeErr := j.f.Close()
+	j.f = nil
+	if flushErr != nil {
+		return flushErr
+	}
+	if syncErr != nil {
+		return fmt.Errorf("checkpoint: sync %s: %w", j.dir, syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", j.dir, closeErr)
+	}
+	return nil
+}

@@ -111,6 +111,81 @@ func TestChaosCrawlMatchesFaultFreeBaseline(t *testing.T) {
 	if baseMetrics.States != metrics.States {
 		t.Errorf("total states = %d under chaos, %d fault-free", metrics.States, baseMetrics.States)
 	}
+
+	// Checkpointed chaos run: journaling every page must never change the
+	// crawl's outcome. Same fault seed, same retry budget — the journal
+	// only observes the crawl.
+	ckDir := t.TempDir()
+	ckClock := &fetch.VirtualClock{}
+	ckFetcher := fetch.NewInstrumented(
+		fetch.NewFaultFetcher(
+			&fetch.HandlerFetcher{Handler: site.Handler()},
+			fetch.FaultConfig{ErrorRate: 0.25, TruncateRate: 0.05, MaxConsecutive: 3, Seed: 7},
+			ckClock),
+		ckClock, 10*time.Millisecond, time.Millisecond)
+	cp, err := OpenJournalCheckpointer(ctx, ckDir, false)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	ckOpts := Options{
+		UseHotNode:  true,
+		Clock:       ckClock,
+		RetryPolicy: &fetch.RetryPolicy{MaxAttempts: 5, BaseDelay: 50 * time.Millisecond},
+		Checkpoint:  cp,
+	}
+	ckGraphs, ckMetrics, err := New(ckFetcher, ckOpts).CrawlAll(ctx, urls)
+	if err != nil {
+		t.Fatalf("checkpointed chaos crawl: %v", err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatalf("close journal: %v", err)
+	}
+	if ckMetrics.States != baseMetrics.States {
+		t.Errorf("checkpointed chaos crawl found %d states, baseline %d", ckMetrics.States, baseMetrics.States)
+	}
+	ck := stateSets(ckGraphs)
+	for url, want := range base {
+		got := ck[url]
+		if len(got) != len(want) {
+			t.Errorf("%s: %d states with checkpointing, %d baseline", url, len(got), len(want))
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: checkpointed state hash set diverges from baseline at %d", url, i)
+				break
+			}
+		}
+	}
+
+	// Resume from the complete journal against a dead fetcher: every page
+	// must replay from disk without a single network call.
+	cp2, err := OpenJournalCheckpointer(ctx, ckDir, true)
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	dead := fetch.Func(func(context.Context, string) (*fetch.Response, error) {
+		t.Error("resume of a complete journal hit the network")
+		return nil, fmt.Errorf("no network in resume")
+	})
+	resGraphs, resMetrics, err := New(dead, Options{UseHotNode: true, Checkpoint: cp2}).CrawlAll(ctx, urls)
+	if err != nil {
+		t.Fatalf("resume crawl: %v", err)
+	}
+	if err := cp2.Close(); err != nil {
+		t.Fatalf("close reopened journal: %v", err)
+	}
+	if resMetrics.PagesResumed != len(urls) || resMetrics.Pages != len(urls) {
+		t.Errorf("resume replayed %d/%d pages, want all %d from the journal",
+			resMetrics.PagesResumed, resMetrics.Pages, len(urls))
+	}
+	res := stateSets(resGraphs)
+	for url, want := range base {
+		got := res[url]
+		if len(got) != len(want) {
+			t.Errorf("%s: %d states after resume, %d baseline", url, len(got), len(want))
+		}
+	}
 }
 
 // TestParallelBreakerIsolation pins the chapter-6 requirement that one

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+
+	"ajaxcrawl/internal/checkpoint"
+	"ajaxcrawl/internal/dom"
+	"ajaxcrawl/internal/model"
+)
+
+// Checkpointer is the crawler's durable-progress hook. When
+// Options.Checkpoint is set, CrawlAll journals every completed page
+// through it and consults it before crawling, so a crawl resumed after a
+// crash (or a supervisor restart) skips already-completed pages and
+// converges to the same state set as an uninterrupted run. Mid-page
+// records — admitted state hashes and hot-node cache fills — trace
+// partial progress through an interrupted page: the hashes for
+// diagnostics, the hot entries to re-seed the cache on re-crawl.
+//
+// Implementations must tolerate being called from one process line at a
+// time; the parallel crawler opens one Checkpointer per partition.
+type Checkpointer interface {
+	// Completed returns the journaled result of url, if that page
+	// finished in a previous (recovered) run or earlier in this one.
+	Completed(url string) (*model.Graph, PageMetrics, bool)
+	// PageDone durably records a completed page. A non-nil error means
+	// durability is broken and fails the crawl: pages reported crawled
+	// must never be silently un-journaled.
+	PageDone(url string, g *model.Graph, pm PageMetrics) error
+	// StateAdmitted records a state discovered mid-page (best-effort).
+	StateAdmitted(url string, h dom.Hash) error
+	// HotNode records one hot-node cache fill mid-page (best-effort).
+	HotNode(url, key, body string) error
+	// HotEntries returns journaled hot-node fills for url, used to
+	// pre-warm the cache when re-crawling an interrupted page.
+	HotEntries(url string) map[string]string
+	// Flush pushes buffered records to stable storage.
+	Flush() error
+	// Close flushes and releases the underlying journal. The owner that
+	// opened the Checkpointer closes it — for the parallel crawler that
+	// is the partition supervisor, on every exit path including panics
+	// and cancellation, which is what makes Ctrl-C a graceful flush.
+	Close() error
+}
+
+// journalCheckpointer adapts a checkpoint.Journal to the Checkpointer
+// hook, gob-encoding PageMetrics into the journal's opaque metrics
+// payload so a resumed run's aggregate metrics match an uninterrupted
+// one.
+type journalCheckpointer struct {
+	j *checkpoint.Journal
+}
+
+// OpenJournalCheckpointer opens (resume=true) or resets (resume=false)
+// the checkpoint journal in dir and adapts it to the crawler's
+// Checkpointer hook. The context supplies telemetry for the journal's
+// checkpoint.{write,compact,recover} spans and journal-byte counters.
+func OpenJournalCheckpointer(ctx context.Context, dir string, resume bool) (Checkpointer, error) {
+	j, err := checkpoint.Open(ctx, dir, checkpoint.Options{Reset: !resume})
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint %s: %w", dir, err)
+	}
+	return &journalCheckpointer{j: j}, nil
+}
+
+// Journal exposes the underlying journal (recovery stats for callers
+// that report them).
+func (c *journalCheckpointer) Journal() *checkpoint.Journal { return c.j }
+
+func (c *journalCheckpointer) Completed(url string) (*model.Graph, PageMetrics, bool) {
+	rec, ok := c.j.Completed(url)
+	if !ok {
+		return nil, PageMetrics{}, false
+	}
+	var pm PageMetrics
+	if len(rec.Metrics) > 0 {
+		if err := gob.NewDecoder(bytes.NewReader(rec.Metrics)).Decode(&pm); err != nil {
+			// The frame passed its checksum, so this is a version skew
+			// between writer and reader, not corruption. The graph is
+			// still good; resume with zeroed metrics rather than
+			// re-crawling the page.
+			pm = PageMetrics{URL: url}
+		}
+	}
+	return rec.Graph, pm, true
+}
+
+func (c *journalCheckpointer) PageDone(url string, g *model.Graph, pm PageMetrics) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pm); err != nil {
+		return fmt.Errorf("core: checkpoint encode metrics %s: %w", url, err)
+	}
+	return c.j.PageDone(checkpoint.PageRecord{URL: url, Graph: g, Metrics: buf.Bytes()})
+}
+
+func (c *journalCheckpointer) StateAdmitted(url string, h dom.Hash) error {
+	return c.j.StateAdmitted(url, h)
+}
+
+func (c *journalCheckpointer) HotNode(url, key, body string) error {
+	return c.j.HotNode(url, key, body)
+}
+
+func (c *journalCheckpointer) HotEntries(url string) map[string]string {
+	return c.j.HotEntries(url)
+}
+
+func (c *journalCheckpointer) Flush() error { return c.j.Flush() }
+
+func (c *journalCheckpointer) Close() error { return c.j.Close() }

@@ -108,6 +108,20 @@ type Options struct {
 	// under the RetryFetcher, so an open circuit fails a fetch fast
 	// instead of burning retry attempts against it.
 	BreakerConfig *fetch.BreakerConfig
+	// Checkpoint, when non-nil, makes the crawl crash-tolerant: CrawlAll
+	// journals every completed page through it, skips pages it already
+	// holds (counting them in Metrics.PagesResumed instead of
+	// re-crawling), and crawlDynamic journals mid-page progress
+	// (admitted state hashes, hot-node cache fills). A checkpoint write
+	// failure fails the crawl — a page must never be reported crawled
+	// without being durably journaled.
+	Checkpoint Checkpointer
+	// OnPage, when non-nil, is invoked after every page attempt in
+	// CrawlAll — crawled, failed-and-skipped, or resumed from the
+	// checkpoint — with that page's metrics. The partition supervisor
+	// uses it as the stuck-partition heartbeat; tests use it to script
+	// mid-crawl cancellation points.
+	OnPage func(pm PageMetrics)
 }
 
 func (o Options) withDefaults() Options {
@@ -171,7 +185,11 @@ type Metrics struct {
 	Pages int
 	// PagesFailed counts pages skipped under the SkipAndCount error
 	// policy (their graphs are not in the result).
-	PagesFailed     int
+	PagesFailed int
+	// PagesResumed counts pages served from the checkpoint journal
+	// instead of being re-crawled (their journaled graphs and metrics
+	// are in the result, so the aggregate matches an uninterrupted run).
+	PagesResumed    int
 	States          int
 	Transitions     int
 	EventsTriggered int
@@ -217,6 +235,7 @@ func (m *Metrics) Add(pm PageMetrics) {
 func (m *Metrics) Merge(o *Metrics) {
 	m.Pages += o.Pages
 	m.PagesFailed += o.PagesFailed
+	m.PagesResumed += o.PagesResumed
 	m.States += o.States
 	m.Transitions += o.Transitions
 	m.EventsTriggered += o.EventsTriggered
@@ -357,6 +376,16 @@ func (c *Crawler) crawlDynamic(ctx context.Context, page *browser.Page, graph *m
 	var hot *HotNodeCache
 	if opts.UseHotNode {
 		hot = NewHotNodeCache()
+		if cp := opts.Checkpoint; cp != nil {
+			// Re-crawling a page that a crash interrupted: seed the
+			// cache with the journaled fills, so hot calls the previous
+			// attempt already paid for skip the network again, and
+			// journal fresh fills as they happen. Mid-page records are
+			// buffered (flushed with the page frame), so errors here
+			// surface at PageDone rather than per fill.
+			hot.Seed(cp.HotEntries(url))
+			hot.Observer = func(key, body string) { _ = cp.HotNode(url, key, body) }
+		}
 		page.XHR = hot.Hook()
 	}
 
@@ -374,6 +403,9 @@ func (c *Crawler) crawlDynamic(ctx context.Context, page *browser.Page, graph *m
 	}
 	tel := obs.From(ctx)
 	admit := newStateAdmitter(graph, opts.NearDupThreshold, pm, tel)
+	if cp := opts.Checkpoint; cp != nil {
+		admit.journal = func(h dom.Hash) { _ = cp.StateAdmitted(url, h) }
+	}
 	initial, _ := admit.state(page.Hash(), page.Doc.VisibleText(), 0)
 	graph.Initial = initial
 
@@ -578,16 +610,38 @@ func diffTargets(snap *browser.Snapshot, page *browser.Page) []string {
 // FailFast the first page error aborts the run. Either way the graphs
 // crawled so far are returned. Cancellation of ctx always stops the run
 // promptly — within one page budget — with the partial graphs intact.
+//
+// With Options.Checkpoint set, each completed page is durably journaled
+// before the next one starts, and pages the journal already holds are
+// served from it (folded into the result with their journaled metrics,
+// counted in Metrics.PagesResumed) instead of being re-crawled — the
+// resume half of the crash-tolerance contract.
 func (c *Crawler) CrawlAll(ctx context.Context, urls []string) ([]*model.Graph, *Metrics, error) {
 	var graphs []*model.Graph
 	metrics := &Metrics{}
 	tel := obs.From(ctx)
+	cp := c.Opts.Checkpoint
 	for _, u := range urls {
 		if err := ctx.Err(); err != nil {
 			return graphs, metrics, err
 		}
+		if cp != nil {
+			if g, pm, ok := cp.Completed(u); ok {
+				graphs = append(graphs, g)
+				metrics.Add(pm)
+				metrics.PagesResumed++
+				tel.Counter("crawl.partition.resumed_pages").Inc()
+				if c.Opts.OnPage != nil {
+					c.Opts.OnPage(pm)
+				}
+				continue
+			}
+		}
 		g, pm, err := c.CrawlPage(ctx, u)
 		tel.Counter("crawl.pages").Inc()
+		if c.Opts.OnPage != nil {
+			c.Opts.OnPage(pm)
+		}
 		if err != nil {
 			// The caller's context ending is never a page failure: stop
 			// and hand back what is already crawled. A page that blew
@@ -604,6 +658,16 @@ func (c *Crawler) CrawlAll(ctx context.Context, urls []string) ([]*model.Graph, 
 		}
 		graphs = append(graphs, g)
 		metrics.Add(pm)
+		if cp != nil {
+			// Journal before moving on: once the next page starts, this
+			// one must already be durable. A write failure here is a
+			// broken journal, not a broken page — fail the crawl so the
+			// operator never resumes from a journal missing pages the
+			// run reported crawled.
+			if jerr := cp.PageDone(u, g, pm); jerr != nil {
+				return graphs, metrics, fmt.Errorf("core: checkpoint %s: %w", u, jerr)
+			}
+		}
 	}
 	return graphs, metrics, nil
 }
@@ -618,6 +682,9 @@ type stateAdmitter struct {
 	pm        *PageMetrics
 	tel       *obs.Telemetry
 	sigs      map[model.StateID]shingle.Signature
+	// journal, when set, receives every newly admitted state hash — the
+	// checkpoint journal's mid-page progress trail.
+	journal func(h dom.Hash)
 }
 
 func newStateAdmitter(graph *model.Graph, threshold float64, pm *PageMetrics, tel *obs.Telemetry) *stateAdmitter {
@@ -640,6 +707,9 @@ func (a *stateAdmitter) state(h dom.Hash, text string, depth int) (model.StateID
 		id, isNew := a.graph.AddState(h, text, depth)
 		if isNew {
 			a.tel.Counter("crawl.states.discovered").Inc()
+			if a.journal != nil {
+				a.journal(h)
+			}
 		}
 		return id, isNew
 	}
@@ -654,6 +724,9 @@ func (a *stateAdmitter) state(h dom.Hash, text string, depth int) (model.StateID
 	id, isNew := a.graph.AddState(h, text, depth)
 	if isNew {
 		a.tel.Counter("crawl.states.discovered").Inc()
+		if a.journal != nil {
+			a.journal(h)
+		}
 	}
 	a.sigs[id] = sig
 	return id, isNew

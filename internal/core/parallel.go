@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ajaxcrawl/internal/fetch"
 	"ajaxcrawl/internal/model"
@@ -16,7 +18,16 @@ import (
 // serially take the next unprocessed partition, crawl its URLs with an
 // isolated crawler instance, and store the resulting application models
 // into the partition directory. Process lines share nothing but the
-// partition counter — goroutines stand in for the thesis's JVM processes.
+// partition work queue — goroutines stand in for the thesis's JVM
+// processes.
+//
+// On top of the thesis architecture sits a supervisor: a partition whose
+// run fails (page error under FailFast, a panic recovered at the
+// partition boundary, or a stuck-partition watchdog trip) is requeued
+// with bounded restart attempts instead of being lost. When a
+// per-partition checkpoint journal is wired in through NewCheckpointer,
+// a restarted partition replays its journal first, so pages completed
+// before the failure are never re-crawled.
 type MPCrawler struct {
 	// NewCrawler builds the per-process-line crawler. Each process line
 	// calls it once, so fetchers/caches can be isolated or shared as the
@@ -31,7 +42,32 @@ type MPCrawler struct {
 	// SaveModels controls whether each partition's graphs are serialized
 	// into its directory (the thesis always does; tests may skip I/O).
 	SaveModels bool
+	// NewCheckpointer, when set, opens the durable journal for a
+	// partition just before it runs; the supervisor closes it (flushing)
+	// on every exit path. attempt is 0 for the partition's first run and
+	// grows with each supervisor restart — restarts must open in resume
+	// mode whatever the factory does on attempt 0, so the pages the
+	// failed attempt journaled are replayed, not re-crawled.
+	NewCheckpointer func(ctx context.Context, dir string, attempt int) (Checkpointer, error)
+	// MaxRestarts bounds how many times the supervisor requeues one
+	// failed partition (its total attempts are MaxRestarts+1). 0
+	// disables restarts: a failed partition is reported immediately,
+	// the pre-supervisor behavior.
+	MaxRestarts int
+	// StuckTimeout arms the wedged-partition watchdog: an attempt in
+	// which no page completes for this long (measured on Clock) is
+	// canceled, reported as ErrPartitionStuck, and — attempts
+	// permitting — restarted. 0 disables the watchdog.
+	StuckTimeout time.Duration
+	// Clock is the watchdog's time source; use the same clock the
+	// crawlers run on so virtual-clock tests stay deterministic. nil
+	// means wall time.
+	Clock fetch.Clock
 }
+
+// ErrPartitionStuck marks a partition attempt canceled by the
+// stuck-partition watchdog: no page completed within StuckTimeout.
+var ErrPartitionStuck = errors.New("core: partition stuck: no page completed within the watchdog timeout")
 
 // PartitionResult is one completed partition, as emitted by Stream while
 // later partitions are still crawling.
@@ -45,8 +81,12 @@ type PartitionResult struct {
 	Graphs []*model.Graph
 	// Metrics are this partition's crawl metrics (never nil).
 	Metrics *Metrics
-	// Err is the partition's failure, if any.
+	// Err is the partition's failure, if any — the final attempt's
+	// error once restarts are exhausted.
 	Err error
+	// Restarts is how many times the supervisor requeued this partition
+	// before producing this result.
+	Restarts int
 }
 
 // MPResult is the outcome of a parallel crawl.
@@ -63,6 +103,9 @@ type MPResult struct {
 	// for successful ones). A canceled run leaves ctx.Err() in the
 	// partitions that were cut short and nil in untouched ones.
 	Errors []error
+	// Restarts holds each partition's supervisor restart count,
+	// index-aligned with Partitions.
+	Restarts []int
 }
 
 // Graphs flattens all partitions' graphs in partition order.
@@ -84,49 +127,86 @@ func (r *MPResult) Err() error {
 	return nil
 }
 
+// partWork is one queued partition attempt.
+type partWork struct {
+	idx     int
+	attempt int // 0 for the first run, +1 per supervisor restart
+}
+
 // Stream starts the process lines and returns a channel that yields each
 // partition as soon as it completes, so downstream phases (indexing) can
 // overlap with crawling. The channel is closed once every process line
 // has drained. Canceling ctx stops the hand-out of new partitions and
 // cuts short in-flight ones; their partial graphs are still emitted,
 // with Err set to the context error.
+//
+// Supervision: a partition attempt that fails for any reason other than
+// the caller's context ending is requeued up to MaxRestarts times (the
+// crawl.partition.restarts counter meters every requeue) before its
+// error is emitted. Exactly one PartitionResult is emitted per partition
+// that started, whatever the number of attempts.
 func (m *MPCrawler) Stream(ctx context.Context) <-chan PartitionResult {
 	n := m.ProcLines
 	if n <= 0 {
 		n = 1
 	}
 	out := make(chan PartitionResult)
-	var (
-		next int
-		mu   sync.Mutex // guards next
-		wg   sync.WaitGroup
-	)
+	// Each partition has at most one live work item (queued or running),
+	// so the buffer can never fill: requeues always succeed without
+	// blocking a process line.
+	work := make(chan partWork, len(m.Partitions)+1)
+	for i := range m.Partitions {
+		work <- partWork{idx: i}
+	}
+	remaining := int64(len(m.Partitions))
+	if remaining == 0 {
+		close(work)
+	}
+	// finish retires one partition for good; the last one closes the
+	// queue and lets the process lines drain out.
+	finish := func() {
+		if atomic.AddInt64(&remaining, -1) == 0 {
+			close(work)
+		}
+	}
+	tel := obs.From(ctx)
+	var wg sync.WaitGroup
 	for line := 0; line < n; line++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			crawler := m.NewCrawler()
-			for {
-				// getPartitionID(): synchronized hand-out of the next
-				// partition (thesis §6.3.1).
-				mu.Lock()
-				idx := next
-				next++
-				mu.Unlock()
-				if idx >= len(m.Partitions) || ctx.Err() != nil {
-					return
+			for w := range work {
+				if ctx.Err() != nil {
+					// Canceled before this attempt started: leave the
+					// partition untouched (no result), like the
+					// pre-supervisor hand-out stop.
+					finish()
+					continue
 				}
-				graphs, metrics, err := m.runPartition(ctx, crawler, m.Partitions[idx])
+				graphs, metrics, err := m.runPartition(ctx, crawler, m.Partitions[w.idx], w.attempt)
 				if metrics == nil {
 					metrics = &Metrics{}
 				}
-				out <- PartitionResult{
-					Index:   idx,
-					Dir:     m.Partitions[idx],
-					Graphs:  graphs,
-					Metrics: metrics,
-					Err:     err,
+				if err != nil && ctx.Err() == nil && w.attempt < m.MaxRestarts {
+					// Supervisor: the attempt failed on its own (error,
+					// panic, watchdog) — requeue rather than emit. A
+					// sibling process line may pick it up; its journal,
+					// reopened by the next attempt, carries the pages
+					// this attempt completed.
+					tel.Counter("crawl.partition.restarts").Inc()
+					work <- partWork{idx: w.idx, attempt: w.attempt + 1}
+					continue
 				}
+				out <- PartitionResult{
+					Index:    w.idx,
+					Dir:      m.Partitions[w.idx],
+					Graphs:   graphs,
+					Metrics:  metrics,
+					Err:      err,
+					Restarts: w.attempt,
+				}
+				finish()
 			}
 		}()
 	}
@@ -147,11 +227,13 @@ func (m *MPCrawler) Run(ctx context.Context) *MPResult {
 		GraphsByPartition: make([][]*model.Graph, len(m.Partitions)),
 		Metrics:           &Metrics{},
 		Errors:            make([]error, len(m.Partitions)),
+		Restarts:          make([]int, len(m.Partitions)),
 	}
 	perPart := make([]*Metrics, len(m.Partitions))
 	for pr := range m.Stream(ctx) {
 		res.GraphsByPartition[pr.Index] = pr.Graphs
 		res.Errors[pr.Index] = pr.Err
+		res.Restarts[pr.Index] = pr.Restarts
 		perPart[pr.Index] = pr.Metrics
 	}
 	// Merge in partition order — not completion order — so
@@ -176,9 +258,17 @@ func (m *MPCrawler) Run(ctx context.Context) *MPResult {
 // is counted in crawl.partitions.breaker_tripped, and sibling process
 // lines (whose crawlers hold their own breaker state when built through
 // Options.BreakerConfig) keep crawling their partitions undisturbed.
-func (m *MPCrawler) runPartition(ctx context.Context, c *Crawler, dir string) (graphs []*model.Graph, metrics *Metrics, err error) {
+//
+// The same boundary contains panics: a crawler bug (or hostile page)
+// that panics mid-partition is recovered here and reported as the
+// partition's error, so sibling process lines keep running — and the
+// supervisor can restart the partition like any other failure.
+func (m *MPCrawler) runPartition(ctx context.Context, c *Crawler, dir string, attempt int) (graphs []*model.Graph, metrics *Metrics, err error) {
 	tel := obs.From(ctx)
 	ctx, sp := obs.StartSpan(ctx, obs.SpanPartitionCrawl, obs.A("dir", dir))
+	if attempt > 0 {
+		sp.SetAttr("attempt", strconv.Itoa(attempt+1))
+	}
 	tel.Gauge("crawl.partitions.inflight").Add(1)
 	// Trips are detected on the breaker's own counters, not the crawl
 	// metrics: a page that failed *because* the circuit opened is dropped
@@ -202,11 +292,96 @@ func (m *MPCrawler) runPartition(ctx context.Context, c *Crawler, dir string) (g
 		}
 		sp.End(err)
 	}()
+	// Registered after the telemetry defer, so (LIFO) it runs first and
+	// the span records the panic as this partition's error. Graphs built
+	// before the panic are indeterminate — drop them; the journal, not
+	// the wreckage, is the restart's source of truth.
+	defer func() {
+		if r := recover(); r != nil {
+			graphs = nil
+			err = fmt.Errorf("core: partition %s: panic: %v", dir, r)
+			tel.Counter("crawl.partition.panics").Inc()
+		}
+	}()
+
+	// Checkpointing: open (replaying) this partition's journal and hook
+	// it into the crawler for the duration of the attempt. Close —
+	// which flushes buffered records — runs on every exit path,
+	// including panic unwinds and cancellation: that is the
+	// graceful-shutdown flush.
+	if m.NewCheckpointer != nil {
+		cp, cerr := m.NewCheckpointer(ctx, dir, attempt)
+		if cerr != nil {
+			return nil, nil, fmt.Errorf("core: partition %s: %w", dir, cerr)
+		}
+		defer cp.Close()
+		saved := c.Opts.Checkpoint
+		c.Opts.Checkpoint = cp
+		defer func() { c.Opts.Checkpoint = saved }()
+	}
+
+	// Watchdog: cancel the attempt when no page completes within
+	// StuckTimeout. Progress is observed through the OnPage heartbeat;
+	// staleness is measured on the injectable Clock (so virtual-clock
+	// tests can wedge and trip it deterministically) while the polling
+	// cadence runs on a cheap wall ticker.
+	if m.StuckTimeout > 0 {
+		clock := m.Clock
+		if clock == nil {
+			clock = fetch.RealClock{}
+		}
+		var cancel context.CancelCauseFunc
+		ctx, cancel = context.WithCancelCause(ctx)
+		defer cancel(nil)
+		var lastBeat atomic.Int64
+		lastBeat.Store(clock.Now().UnixNano())
+		saved := c.Opts.OnPage
+		c.Opts.OnPage = func(pm PageMetrics) {
+			lastBeat.Store(clock.Now().UnixNano())
+			if saved != nil {
+				saved(pm)
+			}
+		}
+		defer func() { c.Opts.OnPage = saved }()
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			poll := m.StuckTimeout / 8
+			if poll < time.Millisecond {
+				poll = time.Millisecond
+			}
+			if poll > 250*time.Millisecond {
+				poll = 250 * time.Millisecond
+			}
+			ticker := time.NewTicker(poll)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					stale := clock.Now().UnixNano() - lastBeat.Load()
+					if time.Duration(stale) > m.StuckTimeout {
+						tel.Counter("crawl.partition.watchdog_trips").Inc()
+						cancel(ErrPartitionStuck)
+						return
+					}
+				}
+			}
+		}()
+	}
+
 	urls, err := ReadPartition(dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	graphs, metrics, err = c.CrawlAll(ctx, urls)
+	if err != nil && context.Cause(ctx) != nil && errors.Is(context.Cause(ctx), ErrPartitionStuck) {
+		// Surface the watchdog trip instead of a bare context.Canceled,
+		// so the caller (and the supervisor's restart check against the
+		// *outer* context) can tell a wedged partition from a Ctrl-C.
+		err = fmt.Errorf("core: partition %s: %w", dir, ErrPartitionStuck)
+	}
 	if m.SaveModels && len(graphs) > 0 {
 		if saveErr := model.SaveAll(dir, graphs); saveErr != nil && err == nil {
 			err = saveErr

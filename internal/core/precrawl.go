@@ -119,16 +119,19 @@ func (r *PrecrawlResult) Save(dir string) error {
 	return f.Close()
 }
 
-// LoadPrecrawl reads a saved PrecrawlResult from dir.
+// LoadPrecrawl reads a saved PrecrawlResult from dir. Errors are
+// qualified with the path involved, so a resumed run that points at the
+// wrong -out directory says which file was missing or undecodable.
 func LoadPrecrawl(dir string) (*PrecrawlResult, error) {
-	f, err := os.Open(filepath.Join(dir, precrawlFileName))
+	path := filepath.Join(dir, precrawlFileName)
+	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("core: precrawl load: %w", err)
+		return nil, fmt.Errorf("core: load precrawl %s: %w", dir, err)
 	}
 	defer f.Close()
 	var r PrecrawlResult
 	if err := gob.NewDecoder(f).Decode(&r); err != nil {
-		return nil, fmt.Errorf("core: precrawl decode: %w", err)
+		return nil, fmt.Errorf("core: decode precrawl %s: %w", path, err)
 	}
 	return &r, nil
 }
@@ -183,11 +186,13 @@ func (u *URLPartitioner) Partition(urls []string) ([]string, error) {
 	return dirs, nil
 }
 
-// ReadPartition loads the URL list of one partition directory.
+// ReadPartition loads the URL list of one partition directory. Errors
+// are qualified with the partition directory, so a supervisor report for
+// a failed partition names exactly which one could not be read.
 func ReadPartition(dir string) ([]string, error) {
 	data, err := os.ReadFile(filepath.Join(dir, URLFileName))
 	if err != nil {
-		return nil, fmt.Errorf("core: read partition: %w", err)
+		return nil, fmt.Errorf("core: read partition %s: %w", dir, err)
 	}
 	var urls []string
 	for _, line := range strings.Split(string(data), "\n") {

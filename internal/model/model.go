@@ -206,6 +206,28 @@ func (g *Graph) GobDecode(data []byte) error {
 	return nil
 }
 
+// EncodeGraph serializes one graph to bytes — the payload format the
+// checkpoint journal stores completed pages in. It reuses the gob wire
+// format of SaveAll/LoadAll, so a journaled graph round-trips through
+// exactly the code path the partition model files use.
+func EncodeGraph(g *Graph) ([]byte, error) {
+	data, err := gobEncode(g)
+	if err != nil {
+		return nil, fmt.Errorf("model: encode graph %s: %w", g.URL, err)
+	}
+	return data, nil
+}
+
+// DecodeGraph deserializes a graph encoded by EncodeGraph, rebuilding
+// the derived lookup maps.
+func DecodeGraph(data []byte) (*Graph, error) {
+	var g Graph
+	if err := gobDecode(data, &g); err != nil {
+		return nil, fmt.Errorf("model: decode graph: %w", err)
+	}
+	return &g, nil
+}
+
 // ModelFileName is the file one partition's application models are
 // stored under (the thesis serializes per-partition app models too,
 // §6.3.2).

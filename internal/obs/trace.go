@@ -23,6 +23,10 @@ const (
 	SpanQueryExec      = "query.exec"      // one query evaluation
 	SpanFetchRetry     = "fetch.retry"     // one backoff-and-retry decision (fetch)
 	SpanBreakerState   = "breaker.state"   // a circuit breaker state transition (fetch)
+
+	SpanCheckpointWrite   = "checkpoint.write"   // one page durably journaled (checkpoint)
+	SpanCheckpointCompact = "checkpoint.compact" // journal folded into a snapshot (checkpoint)
+	SpanCheckpointRecover = "checkpoint.recover" // journal replayed on open (checkpoint)
 )
 
 // SpanRecord is one finished span as emitted to a Sink. Start is wall
