@@ -127,6 +127,13 @@ type Config struct {
 	// KeepURL filters which hyperlinks the precrawler follows (nil =
 	// same-path /watch pages and everything else alike).
 	KeepURL func(string) bool
+	// FrontierSeed seeds the work-stealing scheduler's tie-breaks. Any
+	// fixed value makes a crawl reproducible run-to-run; 0 uses the
+	// default seed.
+	FrontierSeed int64
+	// BloomBits sizes the frontier's dedup bloom filter (bits, rounded
+	// to a power of two; 0 = default).
+	BloomBits int
 }
 
 // Engine is a complete AJAX search engine: sharded indexes, the ranking
@@ -206,9 +213,13 @@ func BuildEngine(ctx context.Context, cfg Config) (*Engine, error) {
 	// stay index-aligned with partitions so the layout (and ranking
 	// tie-breaks) are deterministic regardless of completion order.
 	mp := &core.MPCrawler{
-		NewCrawler: func() *core.Crawler { return core.New(cfg.Fetcher, cfg.Crawl) },
-		ProcLines:  cfg.ProcLines,
-		Partitions: parts,
+		NewCrawler:   func() *core.Crawler { return core.New(cfg.Fetcher, cfg.Crawl) },
+		ProcLines:    cfg.ProcLines,
+		Partitions:   parts,
+		Priorities:   preRes.PageRank,
+		SeedSeen:     preRes.Visited,
+		FrontierSeed: cfg.FrontierSeed,
+		BloomBits:    cfg.BloomBits,
 	}
 	shardByPart := make([]*index.Index, len(parts))
 	perPart := make([]*core.Metrics, len(parts))

@@ -258,8 +258,10 @@ func (e *env) parallelCrawl(n, lines int, opts core.Options) (time.Duration, *co
 			f := fetch.NewInstrumented(&fetch.HandlerFetcher{Handler: e.site.Handler()}, fetch.RealClock{}, base, 0)
 			return core.New(f, opts)
 		},
-		ProcLines:  lines,
-		Partitions: parts,
+		ProcLines:    lines,
+		Partitions:   parts,
+		FrontierSeed: e.frontSeed,
+		BloomBits:    e.bloomBits,
 	}
 	start := time.Now()
 	res := mp.Run(e.ctx)

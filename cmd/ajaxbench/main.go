@@ -63,6 +63,10 @@ type env struct {
 	retry     *fetch.RetryPolicy
 	breaker   *fetch.BreakerConfig
 	faultRate float64
+	// Frontier knobs for the parallel experiments (-frontier-seed,
+	// -bloom-bits); zero values select the scheduler defaults.
+	frontSeed int64
+	bloomBits int
 }
 
 // experiment is one runnable table/figure reproduction.
@@ -93,6 +97,8 @@ func main() {
 		retryBase   = flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff; doubles per retry with full jitter")
 		breakerThr  = flag.Float64("breaker-threshold", 0, "per-host circuit-breaker failure-rate threshold in (0,1] (0 disables the breaker)")
 		faultRate   = flag.Float64("fault-rate", 0, "inject transient fetch faults with this probability (chaos testing; seeded by -seed)")
+		frontSeed   = flag.Int64("frontier-seed", 0, "seed for the parallel crawler's work-stealing scheduler (0 = default seed 1)")
+		bloomBits   = flag.Int("bloom-bits", 0, "frontier dedup bloom-filter size in bits, rounded to a power of two (0 = default)")
 	)
 	flag.Parse()
 
@@ -150,6 +156,8 @@ func main() {
 		latBase:   *base,
 		latPerK:   *perKB,
 		faultRate: *faultRate,
+		frontSeed: *frontSeed,
+		bloomBits: *bloomBits,
 	}
 	if *retries > 0 {
 		e.retry = &fetch.RetryPolicy{MaxAttempts: *retries + 1, BaseDelay: *retryBase}

@@ -66,12 +66,19 @@ func main() {
 		retryBase   = flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff; doubles per retry with full jitter")
 		breakerThr  = flag.Float64("breaker-threshold", 0, "per-host circuit-breaker failure-rate threshold in (0,1] (0 disables the breaker)")
 		faultRate   = flag.Float64("fault-rate", 0, "inject transient fetch faults with this probability (chaos testing; seeded by -seed)")
-		ckptDir     = flag.String("checkpoint-dir", "", "journal per-partition crawl progress into this directory (crash tolerance; default <out>/checkpoints when -resume is set)")
+		ckptDir     = flag.String("checkpoint-dir", "", "journal crawl progress (per-line journals + frontier snapshot) into this directory (crash tolerance; default <out>/checkpoints when -resume is set)")
 		resume      = flag.Bool("resume", false, "resume a previous crawl: reuse the saved precrawl and replay checkpoint journals so completed pages are not re-crawled")
-		partRetries = flag.Int("partition-restarts", 0, "supervisor: restart a failed or wedged partition up to this many times")
-		partStuck   = flag.Duration("partition-stuck", 0, "supervisor watchdog: restart a partition when no page completes within this duration (0 disables)")
+		partRetries = flag.Int("partition-restarts", 0, "supervisor: requeue a failed or wedged page up to this many times")
+		partStuck   = flag.Duration("partition-stuck", 0, "supervisor watchdog: cancel and requeue a page when no page completes on its line within this duration (0 disables)")
+		frontSeed   = flag.Int64("frontier-seed", 0, "seed for the frontier scheduler's steal-victim PRNG (0 selects seed 1; results are seed-independent)")
+		bloomBits   = flag.Int("bloom-bits", 0, "frontier dedup bloom filter size in bits (0 selects the default, 1<<20)")
+		partsAlias  = flag.Int("partitions", 0, "deprecated: alias for -lines; process lines now pull from a shared frontier, partitions only shape the output layout")
 	)
 	flag.Parse()
+	if *partsAlias > 0 {
+		fmt.Fprintln(os.Stderr, "warning: -partitions is deprecated; use -lines (process lines pull from a shared frontier)")
+		*lines = *partsAlias
+	}
 
 	tel, reg, closeTrace, err := obs.CLITelemetry(obs.CLIConfig{
 		MetricsAddr:   *metricsAddr,
@@ -206,30 +213,40 @@ func main() {
 		}
 	}
 	mp := &core.MPCrawler{
-		NewCrawler:  func() *core.Crawler { return core.New(fetcher, opts) },
-		ProcLines:   *lines,
-		Partitions:  parts,
-		SaveModels:  true,
-		MaxRestarts: *partRetries,
+		NewCrawler:   func() *core.Crawler { return core.New(fetcher, opts) },
+		ProcLines:    *lines,
+		Partitions:   parts,
+		SaveModels:   true,
+		MaxRestarts:  *partRetries,
+		Priorities:   preRes.PageRank,
+		SeedSeen:     preRes.Visited,
+		FrontierSeed: *frontSeed,
+		BloomBits:    *bloomBits,
 	}
 	if *partStuck > 0 {
 		mp.StuckTimeout = *partStuck
 	}
+	var cps *core.CrawlCheckpoints
 	if *ckptDir != "" {
-		journalRoot := *ckptDir
-		doResume := *resume
-		mp.NewCheckpointer = func(ctx context.Context, dir string, attempt int) (core.Checkpointer, error) {
-			// One journal directory per partition, named after it. A
-			// fresh run (-resume omitted) resets stale journals on each
-			// partition's first attempt; supervisor restarts always
-			// reopen in resume mode so the failed attempt's pages are
-			// replayed, not re-crawled.
-			return core.OpenJournalCheckpointer(ctx,
-				filepath.Join(journalRoot, filepath.Base(dir)), doResume || attempt > 0)
+		// One journal per process line plus the frontier snapshot. A
+		// fresh run (-resume omitted) resets stale journals; a resume
+		// recovers every line journal whatever line count wrote it.
+		cps, err = core.OpenCrawlCheckpoints(ctx, *ckptDir, *resume)
+		if err != nil {
+			fatal("checkpoint: %v", err)
 		}
-		infof("checkpointing partitions into %s", journalRoot)
+		mp.Checkpoints = cps
+		if n := cps.CompletedPages(); *resume && n > 0 {
+			infof("resume: %d pages recovered from line journals, %d frontier URLs", n, len(cps.RecoveredFrontier()))
+		}
+		infof("checkpointing crawl into %s", *ckptDir)
 	}
 	res := mp.Run(ctx)
+	if cps != nil {
+		if cerr := cps.Close(); cerr != nil {
+			fatal("checkpoint close: %v", cerr)
+		}
+	}
 	if err := res.Err(); err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// Partial models of completed (and cut-short) partitions
@@ -256,7 +273,7 @@ func main() {
 		infof("resume: %d pages replayed from checkpoint journals (not re-crawled)", m.PagesResumed)
 	}
 	if restarts := sum(res.Restarts); restarts > 0 {
-		infof("supervisor: %d partition restarts", restarts)
+		infof("supervisor: %d page requeues", restarts)
 	}
 	if m.Retries > 0 || m.BreakerOpens > 0 {
 		infof("resilience: %d retries recovered %d pages, %d breaker opens",

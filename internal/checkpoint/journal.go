@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -57,6 +58,7 @@ const (
 	recPageDone byte = 1
 	recState    byte = 2
 	recHotNode  byte = 3
+	recFrontier byte = 4
 
 	// maxFramePayload bounds the length prefix of a frame. A lying
 	// header beyond it is treated as a torn tail, not an allocation.
@@ -97,6 +99,17 @@ type PageRecord struct {
 	Metrics []byte
 }
 
+// FrontierRecord is one admitted frontier item: a URL with its place in
+// the partition layout and its admission priority. The parallel crawler
+// journals these into a dedicated frontier journal so a resumed crawl
+// rebuilds the same prioritized frontier — including priorities that
+// carried a learned yield boost — instead of recomputing from scratch.
+type FrontierRecord struct {
+	URL            string
+	Partition, Seq int
+	Priority       float64
+}
+
 // RecoveryInfo summarizes what Open recovered from disk.
 type RecoveryInfo struct {
 	// Pages is the number of completed pages replayed.
@@ -105,6 +118,8 @@ type RecoveryInfo struct {
 	States int
 	// HotEntries is the number of hot-node cache fills replayed.
 	HotEntries int
+	// FrontierURLs is the number of distinct frontier admissions replayed.
+	FrontierURLs int
 	// TruncatedBytes counts journal bytes dropped by torn-tail recovery
 	// (0 for a cleanly closed journal).
 	TruncatedBytes int64
@@ -126,10 +141,12 @@ type Journal struct {
 	// caller believes durable.
 	err error
 
-	pages     map[string]PageRecord
-	pageOrder []string
-	states    map[string][]dom.Hash
-	hot       map[string]map[string]string
+	pages         map[string]PageRecord
+	pageOrder     []string
+	states        map[string][]dom.Hash
+	hot           map[string]map[string]string
+	frontier      map[string]FrontierRecord
+	frontierOrder []string
 
 	compactEvery int
 	sinceCompact int
@@ -154,6 +171,7 @@ func Open(ctx context.Context, dir string, opts Options) (*Journal, error) {
 		pages:        make(map[string]PageRecord),
 		states:       make(map[string][]dom.Hash),
 		hot:          make(map[string]map[string]string),
+		frontier:     make(map[string]FrontierRecord),
 		compactEvery: opts.CompactEvery,
 	}
 	if j.compactEvery == 0 {
@@ -393,9 +411,54 @@ func (j *Journal) applyRecord(payload []byte) bool {
 		j.hot[u][string(key)] = string(body)
 		j.recovered.HotEntries++
 		return true
+	case recFrontier:
+		url, err := readField(r)
+		if err != nil {
+			return false
+		}
+		part, err := binary.ReadUvarint(r)
+		if err != nil || part > 1<<31 {
+			return false
+		}
+		seq, err := binary.ReadUvarint(r)
+		if err != nil || seq > 1<<31 {
+			return false
+		}
+		var bits [8]byte
+		if _, err := io.ReadFull(r, bits[:]); err != nil {
+			return false
+		}
+		u := string(url)
+		if _, dup := j.frontier[u]; !dup {
+			j.frontierOrder = append(j.frontierOrder, u)
+			j.recovered.FrontierURLs++
+		}
+		j.frontier[u] = FrontierRecord{
+			URL:       u,
+			Partition: int(part),
+			Seq:       int(seq),
+			Priority:  math.Float64frombits(binary.LittleEndian.Uint64(bits[:])),
+		}
+		return true
 	default:
 		return false
 	}
+}
+
+// encodeFrontier builds one frontier frame payload.
+func encodeFrontier(rec FrontierRecord) []byte {
+	var payload bytes.Buffer
+	payload.WriteByte(recFrontier)
+	putField(&payload, []byte(rec.URL))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(rec.Partition))
+	payload.Write(tmp[:n])
+	n = binary.PutUvarint(tmp[:], uint64(rec.Seq))
+	payload.Write(tmp[:n])
+	var bits [8]byte
+	binary.LittleEndian.PutUint64(bits[:], math.Float64bits(rec.Priority))
+	payload.Write(bits[:])
+	return payload.Bytes()
 }
 
 // readField reads one length-prefixed field with bounded length and
@@ -564,6 +627,42 @@ func (j *Journal) HotNode(url, key, body string) error {
 	return nil
 }
 
+// FrontierAdmitted journals one frontier admission (buffered, like
+// StateAdmitted; callers flush after an admission batch). Re-admissions
+// of an already-journaled URL with identical fields are skipped, so the
+// journal stays bounded by the distinct URL universe across however
+// many resumes re-admit it.
+func (j *Journal) FrontierAdmitted(rec FrontierRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if prev, dup := j.frontier[rec.URL]; dup && prev == rec {
+		return nil
+	}
+	if err := j.writeFrame(encodeFrontier(rec)); err != nil {
+		return err
+	}
+	if _, dup := j.frontier[rec.URL]; !dup {
+		j.frontierOrder = append(j.frontierOrder, rec.URL)
+	}
+	j.frontier[rec.URL] = rec
+	return nil
+}
+
+// FrontierEntries returns every journaled frontier admission in first-
+// admission order — the resume path's frontier snapshot.
+func (j *Journal) FrontierEntries() []FrontierRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]FrontierRecord, 0, len(j.frontierOrder))
+	for _, u := range j.frontierOrder {
+		out = append(out, j.frontier[u])
+	}
+	return out
+}
+
 // writeFrame appends one frame. Any failure is sticky.
 func (j *Journal) writeFrame(payload []byte) error {
 	if len(payload) > maxFramePayload {
@@ -654,6 +753,23 @@ func (j *Journal) compactFiles() error {
 			return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
 		}
 		if _, err := tmp.Write(payload.Bytes()); err != nil {
+			cleanup()
+			return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
+		}
+	}
+	// Frontier admissions survive compaction: unlike mid-page records
+	// they are not made redundant by completed pages — a resumed crawl
+	// needs them to rebuild the queue of pages that never completed.
+	for _, url := range j.frontierOrder {
+		payload := encodeFrontier(j.frontier[url])
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			cleanup()
+			return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
+		}
+		if _, err := tmp.Write(payload); err != nil {
 			cleanup()
 			return fmt.Errorf("checkpoint: compact %s: %w", j.dir, err)
 		}

@@ -283,3 +283,66 @@ func TestJournalDuplicatePageDoneKeepsLatest(t *testing.T) {
 		t.Fatalf("duplicate replay kept %+v, want the later record", rec)
 	}
 }
+
+func TestJournalFrontierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{CompactEvery: -1})
+	recs := []FrontierRecord{
+		{URL: "u1", Partition: 0, Seq: 0, Priority: 0.75},
+		{URL: "u2", Partition: 1, Seq: 3, Priority: 0.0625},
+	}
+	for _, r := range recs {
+		if err := j.FrontierAdmitted(r); err != nil {
+			t.Fatalf("FrontierAdmitted(%s): %v", r.URL, err)
+		}
+	}
+	// Identical re-admission must not grow the journal.
+	before := j.walBytes
+	if err := j.FrontierAdmitted(recs[0]); err != nil {
+		t.Fatalf("re-admit: %v", err)
+	}
+	if j.walBytes != before {
+		t.Fatalf("duplicate frontier record grew the WAL by %d bytes", j.walBytes-before)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if got := j2.Recovered().FrontierURLs; got != 2 {
+		t.Fatalf("recovered FrontierURLs = %d, want 2", got)
+	}
+	got := j2.FrontierEntries()
+	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
+		t.Fatalf("FrontierEntries = %+v, want %+v", got, recs)
+	}
+}
+
+func TestJournalFrontierSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{CompactEvery: 2})
+	want := FrontierRecord{URL: "pending", Partition: 2, Seq: 1, Priority: 0.5}
+	if err := j.FrontierAdmitted(want); err != nil {
+		t.Fatalf("FrontierAdmitted: %v", err)
+	}
+	// Two pages trigger a compaction, which resets the WAL; the
+	// frontier record must be carried into the snapshot.
+	for _, u := range []string{"a", "b"} {
+		if err := j.PageDone(PageRecord{URL: u, Graph: testGraph(u, 1)}); err != nil {
+			t.Fatalf("PageDone(%s): %v", u, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	got := j2.FrontierEntries()
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("FrontierEntries after compaction = %+v, want [%+v]", got, want)
+	}
+	if j2.CompletedPages() != 2 {
+		t.Fatalf("CompletedPages = %d, want 2", j2.CompletedPages())
+	}
+}

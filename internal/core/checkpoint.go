@@ -5,10 +5,16 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
 
 	"ajaxcrawl/internal/checkpoint"
 	"ajaxcrawl/internal/dom"
 	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/obs"
 )
 
 // Checkpointer is the crawler's durable-progress hook. When
@@ -21,7 +27,8 @@ import (
 // diagnostics, the hot entries to re-seed the cache on re-crawl.
 //
 // Implementations must tolerate being called from one process line at a
-// time; the parallel crawler opens one Checkpointer per partition.
+// time; the parallel crawler opens one Checkpointer per process line
+// (see CrawlCheckpoints).
 type Checkpointer interface {
 	// Completed returns the journaled result of url, if that page
 	// finished in a previous (recovered) run or earlier in this one.
@@ -75,17 +82,21 @@ func (c *journalCheckpointer) Completed(url string) (*model.Graph, PageMetrics, 
 	if !ok {
 		return nil, PageMetrics{}, false
 	}
+	return rec.Graph, decodePageMetrics(url, rec.Metrics), true
+}
+
+// decodePageMetrics decodes the journal's opaque metrics payload. A
+// payload that passed its checksum but no longer decodes is version
+// skew between writer and reader, not corruption: the graph is still
+// good, so resume with zeroed metrics rather than re-crawling the page.
+func decodePageMetrics(url string, raw []byte) PageMetrics {
 	var pm PageMetrics
-	if len(rec.Metrics) > 0 {
-		if err := gob.NewDecoder(bytes.NewReader(rec.Metrics)).Decode(&pm); err != nil {
-			// The frame passed its checksum, so this is a version skew
-			// between writer and reader, not corruption. The graph is
-			// still good; resume with zeroed metrics rather than
-			// re-crawling the page.
+	if len(raw) > 0 {
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&pm); err != nil {
 			pm = PageMetrics{URL: url}
 		}
 	}
-	return rec.Graph, pm, true
+	return pm
 }
 
 func (c *journalCheckpointer) PageDone(url string, g *model.Graph, pm PageMetrics) error {
@@ -111,3 +122,223 @@ func (c *journalCheckpointer) HotEntries(url string) map[string]string {
 func (c *journalCheckpointer) Flush() error { return c.j.Flush() }
 
 func (c *journalCheckpointer) Close() error { return c.j.Close() }
+
+// frontierDirName is the frontier journal's subdirectory under a
+// CrawlCheckpoints root; linePrefix names the per-line journals.
+const (
+	frontierDirName = "frontier"
+	linePrefix      = "line-"
+)
+
+// CrawlCheckpoints manages the parallel crawl's durable state under one
+// root directory: one journal per process line (line-<i>/) plus a
+// frontier journal (frontier/) recording every admitted URL with its
+// priority. The per-partition journals of the static-partition era are
+// replaced by this layout: pages land in the journal of whichever line
+// crawled them, and reads union every line's journal, so resuming with
+// a different line count — or after work stealing moved a page between
+// lines — still finds every completed page.
+//
+// One CrawlCheckpoints serves one crawl; open a fresh one per run.
+type CrawlCheckpoints struct {
+	mu       sync.Mutex
+	ctx      context.Context
+	dir      string
+	journals map[string]*checkpoint.Journal
+	frontier *checkpoint.Journal
+	// recovered is the frontier snapshot replayed on resume.
+	recovered []checkpoint.FrontierRecord
+}
+
+// OpenCrawlCheckpoints opens the checkpoint root at dir. With
+// resume=false any line and frontier journals from a previous crawl are
+// discarded; with resume=true every existing line journal is recovered
+// (whatever line count wrote it) along with the frontier snapshot. The
+// context supplies telemetry for the journals and the frontier.snapshot
+// recovery span.
+func OpenCrawlCheckpoints(ctx context.Context, dir string, resume bool) (*CrawlCheckpoints, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: checkpoint root %s: %w", dir, err)
+	}
+	c := &CrawlCheckpoints{ctx: ctx, dir: dir, journals: make(map[string]*checkpoint.Journal)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint root %s: %w", dir, err)
+	}
+	if !resume {
+		for _, e := range entries {
+			if e.IsDir() && (strings.HasPrefix(e.Name(), linePrefix) || e.Name() == frontierDirName) {
+				if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+					return nil, fmt.Errorf("core: checkpoint reset %s: %w", dir, err)
+				}
+			}
+		}
+	} else {
+		for _, e := range entries {
+			if !e.IsDir() || !strings.HasPrefix(e.Name(), linePrefix) {
+				continue
+			}
+			j, jerr := checkpoint.Open(ctx, filepath.Join(dir, e.Name()), checkpoint.Options{})
+			if jerr != nil {
+				c.Close()
+				return nil, fmt.Errorf("core: checkpoint %s: %w", e.Name(), jerr)
+			}
+			c.journals[e.Name()] = j
+		}
+	}
+	// The frontier journal holds only frontier records, so it never
+	// reaches a page-count compaction trigger; compaction is moot.
+	_, sp := obs.StartSpan(ctx, obs.SpanFrontierSnapshot, obs.A("dir", dir))
+	fj, ferr := checkpoint.Open(ctx, filepath.Join(dir, frontierDirName), checkpoint.Options{CompactEvery: -1})
+	if ferr != nil {
+		sp.End(ferr)
+		c.Close()
+		return nil, fmt.Errorf("core: frontier journal %s: %w", dir, ferr)
+	}
+	c.frontier = fj
+	c.recovered = fj.FrontierEntries()
+	sp.SetAttr("urls", strconv.Itoa(len(c.recovered)))
+	sp.SetAttr("pages", strconv.Itoa(c.CompletedPages()))
+	sp.End(nil)
+	return c, nil
+}
+
+// Line returns process line line's Checkpointer: writes go to the
+// line's own journal, reads union every recovered and live journal. The
+// line closes (flushing) it on every exit path; the returned
+// Checkpointer's Close leaves sibling journals open.
+func (c *CrawlCheckpoints) Line(line int) (Checkpointer, error) {
+	name := linePrefix + strconv.Itoa(line)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.journals[name]
+	if j == nil {
+		var err error
+		j, err = checkpoint.Open(c.ctx, filepath.Join(c.dir, name), checkpoint.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint %s: %w", name, err)
+		}
+		c.journals[name] = j
+	}
+	return &lineCheckpointer{c: c, j: j}, nil
+}
+
+// FrontierAdmitted journals one frontier admission (buffered; call
+// FlushFrontier after the admission batch).
+func (c *CrawlCheckpoints) FrontierAdmitted(rec checkpoint.FrontierRecord) error {
+	return c.frontier.FrontierAdmitted(rec)
+}
+
+// FlushFrontier pushes buffered frontier records to stable storage.
+func (c *CrawlCheckpoints) FlushFrontier() error { return c.frontier.Flush() }
+
+// RecoveredFrontier returns the frontier snapshot replayed on open —
+// every URL a previous run admitted, with its priority, so a resumed
+// crawl rebuilds the same prioritized frontier.
+func (c *CrawlCheckpoints) RecoveredFrontier() []checkpoint.FrontierRecord {
+	return c.recovered
+}
+
+// CompletedPages counts journaled pages across every line journal.
+func (c *CrawlCheckpoints) CompletedPages() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, j := range c.journals {
+		n += j.CompletedPages()
+	}
+	return n
+}
+
+// snapshotJournals returns the current journal set for a union read.
+func (c *CrawlCheckpoints) snapshotJournals() []*checkpoint.Journal {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*checkpoint.Journal, 0, len(c.journals))
+	for _, j := range c.journals {
+		out = append(out, j)
+	}
+	return out
+}
+
+// completed is the union Completed across every line journal.
+func (c *CrawlCheckpoints) completed(url string) (*model.Graph, PageMetrics, bool) {
+	for _, j := range c.snapshotJournals() {
+		if rec, ok := j.Completed(url); ok {
+			return rec.Graph, decodePageMetrics(url, rec.Metrics), true
+		}
+	}
+	return nil, PageMetrics{}, false
+}
+
+// hotEntries is the union HotEntries across every line journal: an
+// interrupted page's cache fills live in whichever journals its earlier
+// attempts wrote, possibly several when restarts moved it across lines.
+func (c *CrawlCheckpoints) hotEntries(url string) map[string]string {
+	var out map[string]string
+	for _, j := range c.snapshotJournals() {
+		for k, v := range j.HotEntries(url) {
+			if out == nil {
+				out = make(map[string]string)
+			}
+			if _, dup := out[k]; !dup {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// Close closes every line journal and the frontier journal, returning
+// the first error. Call after the crawl fully drains.
+func (c *CrawlCheckpoints) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, j := range c.journals {
+		if err := j.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.frontier != nil {
+		if err := c.frontier.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// lineCheckpointer is one process line's view of CrawlCheckpoints:
+// reads union all journals, writes land in the line's own.
+type lineCheckpointer struct {
+	c *CrawlCheckpoints
+	j *checkpoint.Journal
+}
+
+func (l *lineCheckpointer) Completed(url string) (*model.Graph, PageMetrics, bool) {
+	return l.c.completed(url)
+}
+
+func (l *lineCheckpointer) PageDone(url string, g *model.Graph, pm PageMetrics) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pm); err != nil {
+		return fmt.Errorf("core: checkpoint encode metrics %s: %w", url, err)
+	}
+	return l.j.PageDone(checkpoint.PageRecord{URL: url, Graph: g, Metrics: buf.Bytes()})
+}
+
+func (l *lineCheckpointer) StateAdmitted(url string, h dom.Hash) error {
+	return l.j.StateAdmitted(url, h)
+}
+
+func (l *lineCheckpointer) HotNode(url, key, body string) error {
+	return l.j.HotNode(url, key, body)
+}
+
+func (l *lineCheckpointer) HotEntries(url string) map[string]string {
+	return l.c.hotEntries(url)
+}
+
+func (l *lineCheckpointer) Flush() error { return l.j.Flush() }
+
+func (l *lineCheckpointer) Close() error { return l.j.Close() }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -185,12 +184,14 @@ func TestMPCrawlerResumeConvergence(t *testing.T) {
 
 	ckRoot := t.TempDir()
 	dirs := mkDirs()
-	resumeAll := false
-	newCkpt := func(ctx context.Context, dir string, attempt int) (Checkpointer, error) {
-		return OpenJournalCheckpointer(ctx, filepath.Join(ckRoot, filepath.Base(dir)), resumeAll || attempt > 0)
-	}
 
-	// Run 1: cancel once 5 pages have completed across all process lines.
+	// Run 1: cancel once 5 pages have completed across all process
+	// lines — a crawl killed mid-frontier, with per-line journals and
+	// the frontier snapshot on disk.
+	cps, err := OpenCrawlCheckpoints(context.Background(), ckRoot, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	runCtx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var crawled atomic.Int32
@@ -204,44 +205,60 @@ func TestMPCrawlerResumeConvergence(t *testing.T) {
 			}
 			return New(&fetch.HandlerFetcher{Handler: site.Handler()}, o)
 		},
-		ProcLines:       2,
-		Partitions:      dirs,
-		NewCheckpointer: newCkpt,
+		ProcLines:   2,
+		Partitions:  dirs,
+		Checkpoints: cps,
 	}
 	partial := mp.Run(runCtx)
+	if err := cps.Close(); err != nil {
+		t.Fatalf("close checkpoints: %v", err)
+	}
 	if got := len(partial.Graphs()); got >= len(urls) {
 		t.Fatalf("interrupted run crawled all %d pages — the cancellation never bit", got)
 	}
 
-	// Run 2: resume. Every journaled page must be replayed and the final
-	// result must converge to the uninterrupted baseline.
-	resumeAll = true
+	// Run 2: resume, on a different line count than run 1 wrote — the
+	// union read over recovered line journals must still replay every
+	// journaled page, and the frontier snapshot must be recovered.
+	cps2, err := OpenCrawlCheckpoints(context.Background(), ckRoot, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cps2.RecoveredFrontier()); got != len(urls) {
+		t.Errorf("recovered frontier has %d URLs, want %d", got, len(urls))
+	}
+	journaled := cps2.CompletedPages()
+	if journaled == 0 {
+		t.Fatal("run 1 journaled no pages — the resume test is vacuous")
+	}
 	mp2 := &MPCrawler{
 		NewCrawler: func() *Crawler {
 			return New(&fetch.HandlerFetcher{Handler: site.Handler()}, Options{UseHotNode: true, MaxStates: 3})
 		},
-		ProcLines:       2,
-		Partitions:      dirs,
-		NewCheckpointer: newCkpt,
+		ProcLines:   3,
+		Partitions:  dirs,
+		Checkpoints: cps2,
 	}
 	res := mp2.Run(context.Background())
 	if err := res.Err(); err != nil {
 		t.Fatalf("resumed run: %v", err)
 	}
+	if err := cps2.Close(); err != nil {
+		t.Fatalf("close resumed checkpoints: %v", err)
+	}
 	if res.Metrics.Pages != len(urls) {
 		t.Fatalf("resumed run has %d pages, want %d", res.Metrics.Pages, len(urls))
 	}
-	if res.Metrics.PagesResumed == 0 {
-		t.Error("PagesResumed = 0: the resume never replayed the journal — the test is vacuous")
+	if res.Metrics.PagesResumed != journaled {
+		t.Errorf("PagesResumed = %d, want every journaled page (%d) replayed", res.Metrics.PagesResumed, journaled)
 	}
 	requireSameStateSets(t, base, stateSets(res.Graphs()))
 }
 
 // TestSupervisorRestartsFailedPartition pins the supervisor contract: a
-// partition that fails transiently is requeued (metered in
-// crawl.partition.restarts) and succeeds on its next attempt; a partition
-// that keeps failing is reported after MaxRestarts requeues, not retried
-// forever.
+// page that fails transiently is requeued to the frontier (metered in
+// frontier.requeues) and succeeds on its next attempt; a page that keeps
+// failing is reported after MaxRestarts requeues, not retried forever.
 func TestSupervisorRestartsFailedPartition(t *testing.T) {
 	site, _ := newSiteFetcher(6, 11)
 	var urls []string
@@ -282,8 +299,8 @@ func TestSupervisorRestartsFailedPartition(t *testing.T) {
 	if got := len(res.Graphs()); got != 4 {
 		t.Errorf("crawled %d pages after restart, want 4", got)
 	}
-	if n := reg.Snapshot().Counters["crawl.partition.restarts"]; n != 1 {
-		t.Errorf("crawl.partition.restarts = %d, want 1", n)
+	if n := reg.Snapshot().Counters["frontier.requeues"]; n != 1 {
+		t.Errorf("frontier.requeues = %d, want 1", n)
 	}
 
 	// Always-failing: restarts are bounded.
@@ -303,8 +320,8 @@ func TestSupervisorRestartsFailedPartition(t *testing.T) {
 	if res2.Restarts[1] != 2 {
 		t.Errorf("Restarts[1] = %d, want MaxRestarts=2", res2.Restarts[1])
 	}
-	if n := reg2.Snapshot().Counters["crawl.partition.restarts"]; n != 2 {
-		t.Errorf("crawl.partition.restarts = %d, want 2", n)
+	if n := reg2.Snapshot().Counters["frontier.requeues"]; n != 2 {
+		t.Errorf("frontier.requeues = %d, want 2", n)
 	}
 	// The healthy sibling partition is untouched by the failures.
 	if got := len(res2.GraphsByPartition[0]); got != 2 {
@@ -355,8 +372,8 @@ func TestPartitionPanicRecovered(t *testing.T) {
 	if got := len(res.GraphsByPartition[0]); got != 2 {
 		t.Errorf("healthy partition crawled %d pages, want 2", got)
 	}
-	if n := reg.Snapshot().Counters["crawl.partition.panics"]; n != 1 {
-		t.Errorf("crawl.partition.panics = %d, want 1", n)
+	if n := reg.Snapshot().Counters["crawl.line.panics"]; n != 1 {
+		t.Errorf("crawl.line.panics = %d, want 1", n)
 	}
 
 	// With restarts a panic-once partition recovers like any failure.
@@ -427,8 +444,8 @@ func TestWatchdogRestartsStuckPartition(t *testing.T) {
 		t.Errorf("crawled %d pages after the watchdog restart, want 2", got)
 	}
 	snap := reg.Snapshot()
-	if snap.Counters["crawl.partition.watchdog_trips"] < 1 {
-		t.Error("crawl.partition.watchdog_trips never incremented")
+	if snap.Counters["crawl.line.watchdog_trips"] < 1 {
+		t.Error("crawl.line.watchdog_trips never incremented")
 	}
 }
 

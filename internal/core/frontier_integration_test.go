@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/obs"
+	"ajaxcrawl/internal/webapp"
+)
+
+// TestFrontierCrawlDeterministic is the determinism suite for the
+// work-stealing frontier: a seeded 4-line crawl admits and crawls
+// exactly the state sets of a 1-line baseline, and repeating the seeded
+// run reproduces the assembled result byte-for-byte (PerPage order
+// included), even though the lines race for items in real time.
+func TestFrontierCrawlDeterministic(t *testing.T) {
+	site, fetcher := newSiteFetcher(9, 42)
+	var urls []string
+	for i := 0; i < 9; i++ {
+		urls = append(urls, webapp.WatchURL(site.Video(i).ID))
+	}
+	dirs, err := (&URLPartitioner{PartitionSize: 3, RootDir: t.TempDir()}).Partition(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(lines int, seed int64) *MPResult {
+		mp := &MPCrawler{
+			NewCrawler: func() *Crawler {
+				return New(fetcher, Options{UseHotNode: true, MaxStates: 3})
+			},
+			ProcLines:    lines,
+			Partitions:   dirs,
+			FrontierSeed: seed,
+		}
+		res := mp.Run(context.Background())
+		if err := res.Err(); err != nil {
+			t.Fatalf("%d-line crawl: %v", lines, err)
+		}
+		return res
+	}
+
+	base := run(1, 7)
+	multi := run(4, 7)
+	requireSameStateSets(t, stateSets(base.Graphs()), stateSets(multi.Graphs()))
+
+	// The assembled result is deterministic run-to-run: same seed, same
+	// PerPage row order, regardless of which line crawled which page.
+	again := run(4, 7)
+	if len(multi.Metrics.PerPage) != len(again.Metrics.PerPage) {
+		t.Fatalf("PerPage rows differ: %d vs %d",
+			len(multi.Metrics.PerPage), len(again.Metrics.PerPage))
+	}
+	for i := range multi.Metrics.PerPage {
+		if multi.Metrics.PerPage[i].URL != again.Metrics.PerPage[i].URL {
+			t.Fatalf("PerPage[%d] = %s vs %s: assembled order is not deterministic",
+				i, multi.Metrics.PerPage[i].URL, again.Metrics.PerPage[i].URL)
+		}
+	}
+	// And a different seed changes (at most) the schedule, never the
+	// crawled universe.
+	other := run(4, 99)
+	requireSameStateSets(t, stateSets(base.Graphs()), stateSets(other.Graphs()))
+}
+
+// TestWorkStealingBeatsStaticPartitions pins the point of the frontier:
+// on a skewed workload — one partition of pathologically slow pages —
+// static one-line-per-partition crawling strands capacity behind the
+// slow partition, while work stealing spreads the slow pages across
+// lines. The frontier crawl must finish measurably faster than the
+// static baseline on the same fetcher.
+func TestWorkStealingBeatsStaticPartitions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock skew measurement")
+	}
+	site, inner := newSiteFetcher(8, 5)
+	var urls []string
+	for i := 0; i < 6; i++ {
+		urls = append(urls, webapp.WatchURL(site.Video(i).ID))
+	}
+	// Partition 1 is the pathological one: every fetch of its pages
+	// sleeps slowTime. The rest answer almost instantly.
+	slow := map[string]bool{urls[0]: true, urls[1]: true, urls[2]: true}
+	const slowTime = 80 * time.Millisecond
+	fetcher := fetch.Func(func(ctx context.Context, rawurl string) (*fetch.Response, error) {
+		if slow[rawurl] {
+			select {
+			case <-time.After(slowTime):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+		return inner.Fetch(ctx, rawurl)
+	})
+	dirs, err := (&URLPartitioner{PartitionSize: 3, RootDir: t.TempDir()}).Partition(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{UseHotNode: true, MaxStates: 2}
+
+	// Static baseline: the pre-frontier model, one dedicated line per
+	// partition. The fast partition's line finishes early and idles
+	// while the slow partition grinds alone.
+	staticStart := time.Now()
+	var wg sync.WaitGroup
+	staticErrs := make([]error, len(dirs))
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			part, err := ReadPartition(dir)
+			if err != nil {
+				staticErrs[i] = err
+				return
+			}
+			if _, _, err := New(fetcher, opts).CrawlAll(context.Background(), part); err != nil {
+				staticErrs[i] = fmt.Errorf("partition %d: %w", i, err)
+			}
+		}(i, dir)
+	}
+	wg.Wait()
+	staticElapsed := time.Since(staticStart)
+	for _, err := range staticErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Frontier: two lines over the same six pages. Stealing moves slow
+	// pages onto the line that would otherwise idle.
+	mp := &MPCrawler{
+		NewCrawler: func() *Crawler { return New(fetcher, opts) },
+		ProcLines:  2,
+		Partitions: dirs,
+	}
+	frontierStart := time.Now()
+	res := mp.Run(obs.With(context.Background(), obs.New(obs.NewRegistry(), nil)))
+	frontierElapsed := time.Since(frontierStart)
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Graphs()); got != len(urls) {
+		t.Fatalf("frontier crawl produced %d graphs, want %d", got, len(urls))
+	}
+
+	// Static: ~3×slowTime serialized on one line. Stealing: the slow
+	// pages split 2/1 across lines, ~2×slowTime. Demand a 15% win so
+	// scheduler noise can't fake a pass.
+	if limit := staticElapsed * 85 / 100; frontierElapsed >= limit {
+		t.Errorf("work stealing did not beat static partitions: frontier %v, static %v (limit %v)",
+			frontierElapsed, staticElapsed, limit)
+	}
+	t.Logf("static %v, frontier %v", staticElapsed, frontierElapsed)
+}

@@ -40,6 +40,13 @@ type PrecrawlResult struct {
 	Links map[string][]string
 	// PageRank holds each page's PageRank value.
 	PageRank map[string]float64
+	// Visited is every URL the breadth-first expansion enqueued —
+	// crawled or not. The parallel crawler seeds the frontier's bloom
+	// dedup with it, so pages the precrawler already saw are not
+	// re-admitted when rediscovered dynamically. (Precrawls saved
+	// before this field existed decode with Visited nil; the frontier
+	// just starts with an empty seen-set.)
+	Visited map[string]bool
 }
 
 // Run performs the precrawl. Canceling ctx aborts the breadth-first
@@ -50,15 +57,25 @@ func (p *Precrawler) Run(ctx context.Context) (*PrecrawlResult, error) {
 	}
 	res := &PrecrawlResult{Links: make(map[string][]string)}
 	visited := map[string]bool{p.StartURL: true}
+	// BFS queue with an index cursor: `queue = queue[1:]` would pin the
+	// whole backing array (every URL ever enqueued) for the crawl's
+	// lifetime. The cursor dequeues in place and the drained prefix is
+	// compacted away once it dominates the buffer.
 	queue := []string{p.StartURL}
+	head := 0
 	var ctxErr error
-	for len(queue) > 0 && len(res.URLs) < p.MaxPages {
+	for head < len(queue) && len(res.URLs) < p.MaxPages {
 		if err := ctx.Err(); err != nil {
 			ctxErr = err
 			break
 		}
-		u := queue[0]
-		queue = queue[1:]
+		u := queue[head]
+		queue[head] = ""
+		head++
+		if head > len(queue)/2 && head > 64 {
+			n := copy(queue, queue[head:])
+			queue, head = queue[:n], 0
+		}
 		page := browser.NewPage(p.Fetcher)
 		if err := page.LoadStatic(ctx, u); err != nil {
 			if ctx.Err() != nil {
@@ -97,6 +114,8 @@ func (p *Precrawler) Run(ctx context.Context) (*PrecrawlResult, error) {
 		}
 	}
 	res.PageRank = pagerank.Compute(inGraph, pagerank.Options{})
+	// The visited set doubles as the parallel frontier's seed dedup.
+	res.Visited = visited
 	return res, ctxErr
 }
 

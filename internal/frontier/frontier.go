@@ -1,0 +1,280 @@
+package frontier
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+
+	"ajaxcrawl/internal/obs"
+)
+
+// Item is one unit of crawl work: a URL with its position in the
+// partition layout (kept so results can still be assembled per
+// partition) and its scheduling priority.
+type Item struct {
+	URL string
+	// Partition and Seq locate the URL in the partition layout:
+	// Partitions[Partition]'s Seq-th URL. Together they give every item
+	// a total order that priority ties break on, which is what makes a
+	// seeded multi-line crawl reproducible.
+	Partition int
+	Seq       int
+	// Priority orders the frontier, higher first — normalized PageRank
+	// plus the expected-AJAX-state-yield boost.
+	Priority float64
+	// Attempt counts supervisor requeues of this item (0 = first try).
+	Attempt int
+}
+
+// Config tunes a Frontier.
+type Config struct {
+	// BloomBits sizes the dedup bloom filter in bits (rounded up to a
+	// power of two). <= 0 selects 1<<20 bits (128 KiB), comfortable for
+	// hundreds of thousands of URLs at a ~1% false-positive rate.
+	BloomBits int
+	// Tiers is the number of priority bands; the tier boundaries are
+	// the priority quantiles of the seed batch. <= 0 selects 4.
+	Tiers int
+	// Tel receives frontier.* metrics; nil disables metering.
+	Tel *obs.Telemetry
+}
+
+// Frontier is the shared prioritized URL queue. Priorities are bucketed
+// into tiers (bands between seed-batch quantiles); within a tier a heap
+// orders items by (priority desc, partition, seq), so equal-priority
+// work drains in partition order — the property the determinism suite
+// pins. Tiering keeps the hot path cheap: Pop scans a handful of
+// buckets and pays one O(log n) heap operation on the first non-empty
+// one.
+//
+// Dedup is two-layer. An exact set guards the pinned crawl universe:
+// every admitted URL lands in it, and AdmitSeed consults only it, so a
+// precrawled URL can never be lost to a hash collision. The bloom
+// filter guards Admit (dynamic/late admission) and additionally carries
+// the precrawl visited set via MarkSeen, so URLs rediscovered during
+// crawling are rejected without an exact entry each.
+//
+// All methods are safe for concurrent use.
+type Frontier struct {
+	mu       sync.Mutex
+	tiers    []tierHeap
+	bounds   []float64 // descending tier lower bounds, len = len(tiers)-1
+	bloom    *Bloom
+	admitted map[string]bool
+	size     int
+	tel      *obs.Telemetry
+}
+
+// New returns an empty frontier.
+func New(cfg Config) *Frontier {
+	bits := cfg.BloomBits
+	if bits <= 0 {
+		bits = 1 << 20
+	}
+	tiers := cfg.Tiers
+	if tiers <= 0 {
+		tiers = 4
+	}
+	return &Frontier{
+		tiers:    make([]tierHeap, tiers),
+		bloom:    NewBloom(bits, 0),
+		admitted: make(map[string]bool),
+		tel:      cfg.Tel,
+	}
+}
+
+// AdmitSeed bulk-admits the precrawl batch and derives the tier
+// boundaries from its priority quantiles. Dedup within the batch is
+// exact (the bloom filter is also populated, for later Admit calls):
+// seed URLs are never lost to bloom false positives. Returns the number
+// of items admitted.
+func (f *Frontier) AdmitSeed(items []Item) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Quantile boundaries over the batch's distinct priorities. With a
+	// flat priority map (no PageRank) every item lands in tier 0 and
+	// the frontier degrades to (partition, seq) FIFO order.
+	pris := make([]float64, 0, len(items))
+	for _, it := range items {
+		if !f.admitted[it.URL] {
+			pris = append(pris, it.Priority)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(pris)))
+	f.bounds = f.bounds[:0]
+	for t := 1; t < len(f.tiers); t++ {
+		i := t * len(pris) / len(f.tiers)
+		if i >= len(pris) {
+			i = len(pris) - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		if len(pris) == 0 {
+			f.bounds = append(f.bounds, 0)
+		} else {
+			f.bounds = append(f.bounds, pris[i])
+		}
+	}
+	n := 0
+	for _, it := range items {
+		if f.admitted[it.URL] {
+			f.meter("frontier.dedup_hits", 1)
+			continue
+		}
+		f.admitted[it.URL] = true
+		f.bloom.Add(it.URL)
+		f.push(it)
+		n++
+	}
+	f.meter("frontier.admitted", int64(n))
+	return n
+}
+
+// Admit offers one dynamically discovered item. It is rejected when the
+// exact set has it or the bloom filter says "maybe seen" — including
+// the bloom's false positives, which is the documented price of
+// constant-memory dedup for the dynamic stream. Returns whether the
+// item was admitted.
+func (f *Frontier) Admit(it Item) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.admitted[it.URL] || f.bloom.MaybeContains(it.URL) {
+		f.meter("frontier.dedup_hits", 1)
+		return false
+	}
+	f.admitted[it.URL] = true
+	f.bloom.Add(it.URL)
+	f.push(it)
+	f.meter("frontier.admitted", 1)
+	return true
+}
+
+// MarkSeen feeds URLs into the bloom filter without queueing them —
+// used to seed dedup with the precrawl visited set, so pages the
+// precrawler already rejected (or crawled) are not re-admitted when
+// rediscovered dynamically.
+func (f *Frontier) MarkSeen(urls map[string]bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for u, ok := range urls {
+		if ok {
+			f.bloom.Add(u)
+		}
+	}
+}
+
+// Push requeues an item without dedup — the supervisor's retry path.
+func (f *Frontier) Push(it Item) {
+	f.mu.Lock()
+	f.push(it)
+	f.mu.Unlock()
+}
+
+// Pop removes and returns the highest-priority item.
+func (f *Frontier) Pop() (Item, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for t := range f.tiers {
+		if f.tiers[t].Len() > 0 {
+			it := heap.Pop(&f.tiers[t]).(Item)
+			f.size--
+			f.gauge("frontier.depth", -1)
+			return it, true
+		}
+	}
+	return Item{}, false
+}
+
+// PopBatch pops up to n items in priority order.
+func (f *Frontier) PopBatch(n int) []Item {
+	var out []Item
+	for len(out) < n {
+		it, ok := f.Pop()
+		if !ok {
+			break
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
+// Len returns the number of queued items.
+func (f *Frontier) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// Admitted reports whether url was ever admitted (exact, seed or
+// dynamic — MarkSeen URLs do not count).
+func (f *Frontier) Admitted(url string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.admitted[url]
+}
+
+// push enqueues under f.mu.
+func (f *Frontier) push(it Item) {
+	heap.Push(&f.tiers[f.tierOf(it.Priority)], it)
+	f.size++
+	f.gauge("frontier.depth", 1)
+	if f.tel != nil {
+		f.tel.Histogram("frontier.priority", PriorityBounds...).Observe(it.Priority)
+	}
+}
+
+// tierOf maps a priority to its band: tier t holds priorities >=
+// bounds[t] (bounds descend); anything below the last bound lands in
+// the bottom tier.
+func (f *Frontier) tierOf(pri float64) int {
+	for t, b := range f.bounds {
+		if pri >= b {
+			return t
+		}
+	}
+	return len(f.tiers) - 1
+}
+
+// PriorityBounds are the frontier.priority histogram buckets. Priorities
+// are normalized PageRank (max 1) plus a yield boost in [0,1), so the
+// observable range is [0,2).
+var PriorityBounds = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 1, 1.5}
+
+func (f *Frontier) meter(name string, d int64) {
+	if f.tel != nil {
+		f.tel.Counter(name).Add(d)
+	}
+}
+
+func (f *Frontier) gauge(name string, d int64) {
+	if f.tel != nil {
+		f.tel.Gauge(name).Add(d)
+	}
+}
+
+// tierHeap is a max-heap on priority with (partition, seq) tie-break.
+type tierHeap []Item
+
+func (h tierHeap) Len() int { return len(h) }
+func (h tierHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	if h[i].Partition != h[j].Partition {
+		return h[i].Partition < h[j].Partition
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h tierHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *tierHeap) Push(x any) { *h = append(*h, x.(Item)) }
+
+func (h *tierHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = Item{}
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,112 @@
+package frontier
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// YieldEstimator predicts how many AJAX states a URL is likely to yield,
+// learned online from pages already crawled. The thesis ranks the
+// precrawl frontier by PageRank alone; an AJAX crawler additionally
+// cares about dynamic yield — a template that historically explodes
+// into many states is worth crawling ahead of an equally-ranked static
+// page. The estimator keys an exponentially weighted moving average by
+// URL class (path with digit runs collapsed, plus sorted query
+// parameter names), so observations on /watch?v=1 inform the priority
+// of /watch?v=2.
+//
+// YieldEstimator is safe for concurrent use: every process line reports
+// observations while admissions read boosts.
+type YieldEstimator struct {
+	mu    sync.Mutex
+	alpha float64
+	ewma  map[string]float64
+}
+
+// NewYieldEstimator returns an estimator with smoothing factor alpha in
+// (0,1]; out-of-range values select 0.3 (recent pages dominate, but one
+// outlier page does not swing the class).
+func NewYieldEstimator(alpha float64) *YieldEstimator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &YieldEstimator{alpha: alpha, ewma: make(map[string]float64)}
+}
+
+// URLClass maps a URL to its template class: scheme and host dropped,
+// digit runs in the path collapsed to "#", query parameter names kept
+// (sorted) and values dropped. Distinct pages of one template share a
+// class.
+func URLClass(u string) string {
+	rest := u
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[i:]
+	} else {
+		rest = "/"
+	}
+	path, query := rest, ""
+	if i := strings.IndexByte(rest, '?'); i >= 0 {
+		path, query = rest[:i], rest[i+1:]
+	}
+	var b strings.Builder
+	inDigits := false
+	for i := 0; i < len(path); i++ {
+		c := path[i]
+		if c >= '0' && c <= '9' {
+			if !inDigits {
+				b.WriteByte('#')
+				inDigits = true
+			}
+			continue
+		}
+		inDigits = false
+		b.WriteByte(c)
+	}
+	if query == "" {
+		return b.String()
+	}
+	var names []string
+	for _, kv := range strings.Split(query, "&") {
+		if kv == "" {
+			continue
+		}
+		if i := strings.IndexByte(kv, '='); i >= 0 {
+			kv = kv[:i]
+		}
+		names = append(names, kv)
+	}
+	sort.Strings(names)
+	return b.String() + "?" + strings.Join(names, "&")
+}
+
+// Observe records that url produced states AJAX states when crawled.
+func (e *YieldEstimator) Observe(url string, states int) {
+	class := URLClass(url)
+	e.mu.Lock()
+	prev, seen := e.ewma[class]
+	if !seen {
+		e.ewma[class] = float64(states)
+	} else {
+		e.ewma[class] = e.alpha*float64(states) + (1-e.alpha)*prev
+	}
+	e.mu.Unlock()
+}
+
+// Boost returns the expected-state-yield boost for url, normalized to
+// [0,1): yield/(yield+1), so a class averaging 1 state boosts by 0.5
+// and an unseen class by 0. Callers scale it by their own weight before
+// adding it to a base priority.
+func (e *YieldEstimator) Boost(url string) float64 {
+	class := URLClass(url)
+	e.mu.Lock()
+	y := e.ewma[class]
+	e.mu.Unlock()
+	if y <= 0 {
+		return 0
+	}
+	return y / (y + 1)
+}

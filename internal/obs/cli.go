@@ -62,4 +62,4 @@ func CLITelemetry(cfg CLIConfig) (*Telemetry, *Registry, func() error, error) {
 
 // CrawlProgressSpans are the span names the crawling commands print
 // under -v: coarse units, not per-event noise.
-var CrawlProgressSpans = []string{SpanPageCrawl, SpanPartitionCrawl, SpanIndexBuild, SpanQueryExec}
+var CrawlProgressSpans = []string{SpanPageCrawl, SpanLineCrawl, SpanIndexBuild, SpanQueryExec}

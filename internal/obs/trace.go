@@ -13,16 +13,18 @@ import (
 // Span names used across the pipeline — the span taxonomy of the crawl
 // stack, one unit of work per name (see DESIGN.md §Observability).
 const (
-	SpanPageCrawl      = "page.crawl"      // one page's full AJAX crawl (core)
-	SpanEventDispatch  = "event.dispatch"  // one handler invocation (browser)
-	SpanXHRSend        = "xhr.send"        // one XMLHttpRequest send (browser)
-	SpanHotNodeHit     = "hotnode.hit"     // a send served from the hot-node cache
-	SpanHotNodeMiss    = "hotnode.miss"    // a send that had to hit the network
-	SpanPartitionCrawl = "partition.crawl" // one partition on one process line
-	SpanIndexBuild     = "index.build"     // one shard's index construction
-	SpanQueryExec      = "query.exec"      // one query evaluation
-	SpanFetchRetry     = "fetch.retry"     // one backoff-and-retry decision (fetch)
-	SpanBreakerState   = "breaker.state"   // a circuit breaker state transition (fetch)
+	SpanPageCrawl     = "page.crawl"     // one page's full AJAX crawl (core)
+	SpanEventDispatch = "event.dispatch" // one handler invocation (browser)
+	SpanXHRSend       = "xhr.send"       // one XMLHttpRequest send (browser)
+	SpanHotNodeHit    = "hotnode.hit"    // a send served from the hot-node cache
+	SpanHotNodeMiss   = "hotnode.miss"   // a send that had to hit the network
+	SpanLineCrawl     = "line.crawl"     // one process line's lifetime on the shared frontier (core)
+	SpanIndexBuild    = "index.build"    // one shard's index construction
+	SpanQueryExec     = "query.exec"     // one query evaluation
+	SpanFetchRetry    = "fetch.retry"    // one backoff-and-retry decision (fetch)
+	SpanBreakerState  = "breaker.state"  // a circuit breaker state transition (fetch)
+
+	SpanFrontierSnapshot = "frontier.snapshot" // frontier journal recovered on resume (core)
 
 	SpanCheckpointWrite   = "checkpoint.write"   // one page durably journaled (checkpoint)
 	SpanCheckpointCompact = "checkpoint.compact" // journal folded into a snapshot (checkpoint)

@@ -55,7 +55,7 @@ func TestPipelineTraceCoversEveryUnit(t *testing.T) {
 		obs.SpanPageCrawl,
 		obs.SpanEventDispatch,
 		obs.SpanXHRSend,
-		obs.SpanPartitionCrawl,
+		obs.SpanLineCrawl,
 		obs.SpanIndexBuild,
 		obs.SpanQueryExec,
 	} {
@@ -63,8 +63,8 @@ func TestPipelineTraceCoversEveryUnit(t *testing.T) {
 			t.Errorf("trace has no %s spans (units seen: %v)", unit, seen)
 		}
 	}
-	if seen[obs.SpanPartitionCrawl] != 2 {
-		t.Errorf("partition.crawl spans = %d, want 2", seen[obs.SpanPartitionCrawl])
+	if seen[obs.SpanLineCrawl] != 2 {
+		t.Errorf("line.crawl spans = %d, want 2", seen[obs.SpanLineCrawl])
 	}
 
 	// The registry saw the same run: its summary counters must agree
