@@ -67,7 +67,7 @@ func ablateHotNode(e *env) error {
 			p.XHR = &urlKeyHook{cache: map[string]string{}}
 		}},
 	}
-	fmt.Printf("%-20s %-10s %-12s %-10s\n", "policy", "states", "net calls", "sends")
+	fmt.Fprintf(e.out, "%-20s %-10s %-12s %-10s\n", "policy", "states", "net calls", "sends")
 	for _, v := range variants {
 		states, calls, sends := 0, 0, 0
 		for _, u := range urls {
@@ -81,10 +81,10 @@ func ablateHotNode(e *env) error {
 			calls += p.NetworkCalls
 			sends += p.XHRSends
 		}
-		fmt.Printf("%-20s %-10d %-12d %-10d\n", v.name, states, calls, sends)
+		fmt.Fprintf(e.out, "%-20s %-10d %-12d %-10d\n", v.name, states, calls, sends)
 	}
-	fmt.Println("(both cache keyings collapse the single-hot-node app identically;")
-	fmt.Println(" the stack key additionally distinguishes functions, which URL keying cannot)")
+	fmt.Fprintln(e.out, "(both cache keyings collapse the single-hot-node app identically;")
+	fmt.Fprintln(e.out, " the stack key additionally distinguishes functions, which URL keying cannot)")
 	return nil
 }
 
@@ -213,10 +213,10 @@ func ablateDedup(e *env) error {
 	}
 	eqTime := time.Since(start) / rounds
 
-	fmt.Printf("%-28s %-14s %-10s\n", "strategy", "time", "dups found")
-	fmt.Printf("%-28s %-14v %-10d\n", "canonical hash (thesis)", hashTime, dups)
-	fmt.Printf("%-28s %-14v %-10d\n", "full structural compare", eqTime, sdups)
-	fmt.Printf("speedup: %.1fx; both find the same duplicates: %v\n",
+	fmt.Fprintf(e.out, "%-28s %-14s %-10s\n", "strategy", "time", "dups found")
+	fmt.Fprintf(e.out, "%-28s %-14v %-10d\n", "canonical hash (thesis)", hashTime, dups)
+	fmt.Fprintf(e.out, "%-28s %-14v %-10d\n", "full structural compare", eqTime, sdups)
+	fmt.Fprintf(e.out, "speedup: %.1fx; both find the same duplicates: %v\n",
 		float64(eqTime)/float64(hashTime), dups == sdups)
 	return nil
 }
@@ -258,9 +258,9 @@ func ablateIDF(e *env) error {
 			localDiff++
 		}
 	}
-	fmt.Printf("queries with results: %d\n", evaluated)
-	fmt.Printf("top-1 divergence vs single index: global idf %d, local idf %d\n", globalDiff, localDiff)
-	fmt.Println("(global-idf correction should show zero divergence)")
+	fmt.Fprintf(e.out, "queries with results: %d\n", evaluated)
+	fmt.Fprintf(e.out, "top-1 divergence vs single index: global idf %d, local idf %d\n", globalDiff, localDiff)
+	fmt.Fprintln(e.out, "(global-idf correction should show zero divergence)")
 	return nil
 }
 
@@ -305,10 +305,10 @@ func ablateCompress(e *env) error {
 	}
 	binLoad := time.Since(start) / rounds
 
-	fmt.Printf("%-24s %-14s %-14s\n", "format", "size (KiB)", "load time")
-	fmt.Printf("%-24s %-14.1f %-14v\n", "gob", float64(gobSize)/1024, gobLoad)
-	fmt.Printf("%-24s %-14.1f %-14v\n", "delta+varint", float64(binSize)/1024, binLoad)
-	fmt.Printf("size ratio: %.2fx smaller\n", float64(gobSize)/float64(binSize))
+	fmt.Fprintf(e.out, "%-24s %-14s %-14s\n", "format", "size (KiB)", "load time")
+	fmt.Fprintf(e.out, "%-24s %-14.1f %-14v\n", "gob", float64(gobSize)/1024, gobLoad)
+	fmt.Fprintf(e.out, "%-24s %-14.1f %-14v\n", "delta+varint", float64(binSize)/1024, binLoad)
+	fmt.Fprintf(e.out, "size ratio: %.2fx smaller\n", float64(gobSize)/float64(binSize))
 	return nil
 }
 
@@ -345,13 +345,13 @@ func ablateRecrawl(e *env) error {
 			break
 		}
 	}
-	fmt.Printf("%-22s %-10s %-10s %-10s\n", "session", "events", "skipped", "states")
-	fmt.Printf("%-22s %-10d %-10d %-10d\n", "1 (recording)", m1.EventsTriggered, 0, m1.States)
-	fmt.Printf("%-22s %-10d %-10d %-10d\n", "2 (profile-guided)", m2.EventsTriggered, m2.EventsSkipped, m2.States)
-	fmt.Printf("identical models: %v; event invocations saved: %.1f%%\n",
+	fmt.Fprintf(e.out, "%-22s %-10s %-10s %-10s\n", "session", "events", "skipped", "states")
+	fmt.Fprintf(e.out, "%-22s %-10d %-10d %-10d\n", "1 (recording)", m1.EventsTriggered, 0, m1.States)
+	fmt.Fprintf(e.out, "%-22s %-10d %-10d %-10d\n", "2 (profile-guided)", m2.EventsTriggered, m2.EventsSkipped, m2.States)
+	fmt.Fprintf(e.out, "identical models: %v; event invocations saved: %.1f%%\n",
 		identical, 100*(1-float64(m2.EventsTriggered)/float64(m1.EventsTriggered)))
-	fmt.Println("(the synthetic pagination has no dead events; sites with decorative")
-	fmt.Println(" handlers save more — see examples/recrawl for a 50%+ case)")
+	fmt.Fprintln(e.out, "(the synthetic pagination has no dead events; sites with decorative")
+	fmt.Fprintln(e.out, " handlers save more — see examples/recrawl for a 50%+ case)")
 	return nil
 }
 
@@ -396,9 +396,9 @@ func ablateNearDup(e *env) error {
 	if mOff == nil || mOn == nil {
 		return fmt.Errorf("crawl failed")
 	}
-	fmt.Printf("%-22s %-10s %-14s %-14s %-10s\n", "policy", "states", "comment pages", "net calls", "merges")
-	fmt.Printf("%-22s %-10d %-14d %-14d %-10d\n", "exact hash only", mOff.States, pagesOff, mOff.NetworkCalls, 0)
-	fmt.Printf("%-22s %-10d %-14d %-14d %-10d\n", "minhash merge @0.9", mOn.States, pagesOn, mOn.NetworkCalls, mOn.NearDupMerges)
-	fmt.Println("(merging spends the state budget on real pages instead of counter noise)")
+	fmt.Fprintf(e.out, "%-22s %-10s %-14s %-14s %-10s\n", "policy", "states", "comment pages", "net calls", "merges")
+	fmt.Fprintf(e.out, "%-22s %-10d %-14d %-14d %-10d\n", "exact hash only", mOff.States, pagesOff, mOff.NetworkCalls, 0)
+	fmt.Fprintf(e.out, "%-22s %-10d %-14d %-14d %-10d\n", "minhash merge @0.9", mOn.States, pagesOn, mOn.NetworkCalls, mOn.NearDupMerges)
+	fmt.Fprintln(e.out, "(merging spends the state budget on real pages instead of counter noise)")
 	return nil
 }

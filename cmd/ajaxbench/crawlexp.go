@@ -30,13 +30,13 @@ func expT71(e *env) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-55s %d\n", "Number of Pages", m.Pages)
-	fmt.Printf("%-55s %d\n", "Total Number of States", m.States)
-	fmt.Printf("%-55s %d\n", "Total Number of Events", m.EventsTriggered)
-	fmt.Printf("%-55s %.3f\n", "Avg. Number of Events per Page",
+	fmt.Fprintf(e.out, "%-55s %d\n", "Number of Pages", m.Pages)
+	fmt.Fprintf(e.out, "%-55s %d\n", "Total Number of States", m.States)
+	fmt.Fprintf(e.out, "%-55s %d\n", "Total Number of Events", m.EventsTriggered)
+	fmt.Fprintf(e.out, "%-55s %.3f\n", "Avg. Number of Events per Page",
 		float64(m.EventsTriggered)/float64(m.Pages))
-	fmt.Printf("%-55s %d\n", "Number of Events leading to Network Communication", m.NetworkEvents)
-	fmt.Printf("%-55s %.1f%%\n", "Reduction through hot-node policy",
+	fmt.Fprintf(e.out, "%-55s %d\n", "Number of Events leading to Network Communication", m.NetworkEvents)
+	fmt.Fprintf(e.out, "%-55s %.1f%%\n", "Reduction through hot-node policy",
 		100*(1-float64(m.NetworkEvents)/float64(m.EventsTriggered)))
 	return nil
 }
@@ -45,11 +45,11 @@ func expT71(e *env) error {
 // number of comment pages (= AJAX states).
 func expF71(e *env) error {
 	st := e.site.DatasetStats(e.videos)
-	fmt.Printf("%-14s %s\n", "comment pages", "videos")
+	fmt.Fprintf(e.out, "%-14s %s\n", "comment pages", "videos")
 	for pages := 1; pages < len(st.PageHistogram); pages++ {
-		fmt.Printf("%-14d %d\n", pages, st.PageHistogram[pages])
+		fmt.Fprintf(e.out, "%-14d %d\n", pages, st.PageHistogram[pages])
 	}
-	fmt.Printf("mean states/video: %.2f (paper: 4.16)\n",
+	fmt.Fprintf(e.out, "mean states/video: %.2f (paper: 4.16)\n",
 		float64(st.TotalStates)/float64(st.Videos))
 	return nil
 }
@@ -58,13 +58,13 @@ func expF71(e *env) error {
 // number of crawled videos.
 func expF72(e *env) error {
 	prefixes := e.scaledPrefixes([]int{20, 40, 60, 80, 100, 250, 500}, 500)
-	fmt.Printf("%-8s %-8s %-8s\n", "videos", "states", "events")
+	fmt.Fprintf(e.out, "%-8s %-8s %-8s\n", "videos", "states", "events")
 	for _, n := range prefixes {
 		m, _, err := e.crawl(n, core.Options{UseHotNode: true})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-8d %-8d %-8d\n", n, m.States, m.EventsTriggered)
+		fmt.Fprintf(e.out, "%-8d %-8d %-8d\n", n, m.States, m.EventsTriggered)
 	}
 	return nil
 }
@@ -85,13 +85,13 @@ func expT72(e *env) error {
 		return err
 	}
 	row := func(name string, t, a float64) {
-		fmt.Printf("%-16s %14.2f %14.2f %10.2fx\n", name, t, a, a/t)
+		fmt.Fprintf(e.out, "%-16s %14.2f %14.2f %10.2fx\n", name, t, a, a/t)
 	}
-	fmt.Printf("%-16s %14s %14s %10s\n", "", "Trad. (ms)", "AJAX (ms)", "AJAX/Trad")
+	fmt.Fprintf(e.out, "%-16s %14s %14s %10s\n", "", "Trad. (ms)", "AJAX (ms)", "AJAX/Trad")
 	row("Total time", ms(tradT), ms(ajaxT))
 	row("Mean per page", ms(tradT)/float64(n), ms(ajaxT)/float64(n))
 	row("Mean per state", ms(tradT)/float64(tradM.States), ms(ajaxT)/float64(ajaxM.States))
-	fmt.Printf("(paper: x9.43 per page, x2.27 per state)\n")
+	fmt.Fprintf(e.out, "(paper: x9.43 per page, x2.27 per state)\n")
 	return nil
 }
 
@@ -117,11 +117,11 @@ func expF73(e *env) error {
 			maxB = b
 		}
 	}
-	fmt.Printf("%-24s %s\n", "crawl time range", "pages")
+	fmt.Fprintf(e.out, "%-24s %s\n", "crawl time range", "pages")
 	for b := 0; b <= maxB; b++ {
 		lo := time.Duration(b) * width
 		hi := lo + width
-		fmt.Printf("%6.1fs - %-6.1fs %9d\n", lo.Seconds(), hi.Seconds(), buckets[b])
+		fmt.Fprintf(e.out, "%6.1fs - %-6.1fs %9d\n", lo.Seconds(), hi.Seconds(), buckets[b])
 	}
 	return nil
 }
@@ -153,16 +153,16 @@ func expF74(e *env) error {
 			maxStates = pm.States
 		}
 	}
-	fmt.Printf("%-8s %-8s %-14s %-18s\n", "states", "videos", "avg time (ms)", "avg w/o net (ms)")
+	fmt.Fprintf(e.out, "%-8s %-8s %-14s %-18s\n", "states", "videos", "avg time (ms)", "avg w/o net (ms)")
 	for s := 1; s <= maxStates; s++ {
 		a := byStates[s]
 		if a == nil {
 			continue
 		}
-		fmt.Printf("%-8d %-8d %-14.2f %-18.2f\n", s, a.n,
+		fmt.Fprintf(e.out, "%-8d %-8d %-14.2f %-18.2f\n", s, a.n,
 			ms(a.total)/float64(a.n), ms(a.nonetwork)/float64(a.n))
 	}
-	fmt.Println("(shape: linear growth with states; network dominates)")
+	fmt.Fprintln(e.out, "(shape: linear growth with states; network dominates)")
 	return nil
 }
 
@@ -192,13 +192,13 @@ func expF75(e *env) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %-14s %-14s %-8s\n", "videos", "no-cache", "cache", "factor")
+	fmt.Fprintf(e.out, "%-8s %-14s %-14s %-8s\n", "videos", "no-cache", "cache", "factor")
 	for i, n := range prefixes {
-		fmt.Printf("%-8d %-14d %-14d %-8.2f\n", n,
+		fmt.Fprintf(e.out, "%-8d %-14d %-14d %-8.2f\n", n,
 			off[i].NetworkEvents, on[i].NetworkEvents,
 			float64(off[i].NetworkEvents)/float64(max(1, on[i].NetworkEvents)))
 	}
-	fmt.Println("(paper at 100 videos: 1790 vs 359, factor ~5)")
+	fmt.Fprintln(e.out, "(paper at 100 videos: 1790 vs 359, factor ~5)")
 	return nil
 }
 
@@ -209,13 +209,13 @@ func expF76(e *env) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %-16s %-16s %-8s\n", "videos", "no-cache (ms)", "cache (ms)", "ratio")
+	fmt.Fprintf(e.out, "%-8s %-16s %-16s %-8s\n", "videos", "no-cache (ms)", "cache (ms)", "ratio")
 	for i, n := range prefixes {
-		fmt.Printf("%-8d %-16.1f %-16.1f %-8.2f\n", n,
+		fmt.Fprintf(e.out, "%-8d %-16.1f %-16.1f %-8.2f\n", n,
 			ms(off[i].NetworkTime), ms(on[i].NetworkTime),
 			ms(on[i].NetworkTime)/ms(off[i].NetworkTime))
 	}
-	fmt.Println("(paper: caching cuts network time to ~0.37x)")
+	fmt.Fprintln(e.out, "(paper: caching cuts network time to ~0.37x)")
 	return nil
 }
 
@@ -226,13 +226,13 @@ func expF77(e *env) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %-18s %-18s %-8s\n", "videos", "no-cache (st/s)", "cache (st/s)", "factor")
+	fmt.Fprintf(e.out, "%-8s %-18s %-18s %-8s\n", "videos", "no-cache (st/s)", "cache (st/s)", "factor")
 	for i, n := range prefixes {
 		offT := float64(off[i].States) / off[i].CrawlTime.Seconds()
 		onT := float64(on[i].States) / on[i].CrawlTime.Seconds()
-		fmt.Printf("%-8d %-18.2f %-18.2f %-8.2f\n", n, offT, onT, onT/offT)
+		fmt.Fprintf(e.out, "%-8d %-18.2f %-18.2f %-8.2f\n", n, offT, onT, onT/offT)
 	}
-	fmt.Println("(paper: caching improves throughput ~1.6x)")
+	fmt.Fprintln(e.out, "(paper: caching improves throughput ~1.6x)")
 	return nil
 }
 
@@ -284,14 +284,14 @@ func expT73(e *env) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-16s %16s %16s %10s\n", "", "Par. Trad (ms)", "Par. AJAX (ms)", "ratio")
-	fmt.Printf("%-16s %16.1f %16.1f %10.2fx\n", "Total time", ms(tradT), ms(ajaxT), ms(ajaxT)/ms(tradT))
-	fmt.Printf("%-16s %16.3f %16.3f %10.2fx\n", "Mean per page",
+	fmt.Fprintf(e.out, "%-16s %16s %16s %10s\n", "", "Par. Trad (ms)", "Par. AJAX (ms)", "ratio")
+	fmt.Fprintf(e.out, "%-16s %16.1f %16.1f %10.2fx\n", "Total time", ms(tradT), ms(ajaxT), ms(ajaxT)/ms(tradT))
+	fmt.Fprintf(e.out, "%-16s %16.3f %16.3f %10.2fx\n", "Mean per page",
 		ms(tradT)/float64(n), ms(ajaxT)/float64(n), ms(ajaxT)/ms(tradT))
-	fmt.Printf("%-16s %16.3f %16.3f %10.2fx\n", "Mean per state",
+	fmt.Fprintf(e.out, "%-16s %16.3f %16.3f %10.2fx\n", "Mean per state",
 		ms(tradT)/float64(tradM.States), ms(ajaxT)/float64(ajaxM.States),
 		(ms(ajaxT)/float64(ajaxM.States))/(ms(tradT)/float64(tradM.States)))
-	fmt.Println("(paper: x8.80 per page, x2.11 per state)")
+	fmt.Fprintln(e.out, "(paper: x8.80 per page, x2.11 per state)")
 	return nil
 }
 
@@ -307,7 +307,7 @@ func expF78(e *env) error {
 		{"Traditional", core.Options{Traditional: true}, [2]int{1, 4}},
 		{"AJAX", core.Options{UseHotNode: true}, [2]int{1, 4}},
 	}
-	fmt.Printf("%-14s %-18s %-18s %-10s\n", "mode", "serial (ms/video)", "parallel (ms/video)", "gain")
+	fmt.Fprintf(e.out, "%-14s %-18s %-18s %-10s\n", "mode", "serial (ms/video)", "parallel (ms/video)", "gain")
 	for _, r := range rows {
 		serial, _, err := e.parallelCrawl(n, r.lines[0], r.opts)
 		if err != nil {
@@ -319,8 +319,8 @@ func expF78(e *env) error {
 		}
 		sm := ms(serial) / float64(n)
 		pm := ms(parallel) / float64(n)
-		fmt.Printf("%-14s %-18.3f %-18.3f %-10.1f%%\n", r.name, sm, pm, 100*(1-pm/sm))
+		fmt.Fprintf(e.out, "%-14s %-18.3f %-18.3f %-10.1f%%\n", r.name, sm, pm, 100*(1-pm/sm))
 	}
-	fmt.Println("(paper: parallel 27.5% lower for traditional, 25.6% for AJAX)")
+	fmt.Fprintln(e.out, "(paper: parallel 27.5% lower for traditional, 25.6% for AJAX)")
 	return nil
 }

@@ -1,11 +1,18 @@
 // Command ajaxbench regenerates every table and figure of the thesis's
 // evaluation chapter (ch. 7) on the synthetic YouTube-like site, plus the
-// ablation experiments called out in DESIGN.md.
+// ablation experiments called out in DESIGN.md — and doubles as the
+// repo's perf harness: -report emits a versioned BENCH_<n>.json artifact
+// (per-phase wall/CPU/alloc, span aggregates, registry snapshot) and
+// -compare diffs two artifacts with tolerance bands, exiting non-zero on
+// regression so CI can gate.
 //
 // Usage:
 //
 //	ajaxbench -exp t7.2 -videos 500
 //	ajaxbench -exp all -videos 200 > results.txt
+//	ajaxbench -exp t7.1,t7.2,t7.5 -videos 60 -report BENCH_7.json
+//	ajaxbench -compare BENCH_6.json -compare-to BENCH_7.json
+//	ajaxbench -exp t7.1,t7.2,t7.5 -videos 60 -compare BENCH_6.json
 //
 // Experiments (paper section in parentheses):
 //
@@ -38,7 +45,9 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,11 +55,17 @@ import (
 	"ajaxcrawl/internal/fetch"
 	"ajaxcrawl/internal/model"
 	"ajaxcrawl/internal/obs"
+	"ajaxcrawl/internal/obs/report"
 	"ajaxcrawl/internal/webapp"
 )
 
 type env struct {
-	ctx     context.Context
+	ctx context.Context
+	// out receives every experiment table; with -json the tables move
+	// here (stderr) while stdout carries exactly one JSON document. The
+	// writer is threaded explicitly so report/JSON output can never
+	// interleave with table bytes.
+	out     io.Writer
 	site    *webapp.Site
 	videos  int
 	seed    int64
@@ -84,25 +99,62 @@ func register(id, desc string, run func(*env) error) {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "", "experiment id (or 'all'); empty lists experiments")
+		exp         = flag.String("exp", "", "experiment id(s), comma-separated (or 'all'); empty lists experiments")
 		videos      = flag.Int("videos", 200, "dataset size in videos (paper: 10000)")
 		seed        = flag.Int64("seed", 2008, "site generation seed")
 		base        = flag.Duration("latency", 60*time.Millisecond, "simulated per-request base latency")
 		perKB       = flag.Duration("latency-per-kb", 4*time.Millisecond, "simulated latency per KiB of body")
 		verbose     = flag.Bool("v", false, "live span lines on stderr")
-		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics, /debug/trace/recent and pprof on this address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics, /debug/status, /debug/trace/recent and pprof on this address")
 		tracePath   = flag.String("trace", "", "write every span to this JSONL file")
-		jsonOut     = flag.Bool("json", false, "print the final registry snapshot as one JSON document on stdout (tables move to stderr)")
+		jsonOut     = flag.Bool("json", false, "print the final registry snapshot (plus the comparison verdict, when comparing) as one JSON document on stdout (tables move to stderr)")
 		retries     = flag.Int("retries", 0, "retry transient fetch failures up to this many times per request (0 disables retrying)")
 		retryBase   = flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff; doubles per retry with full jitter")
 		breakerThr  = flag.Float64("breaker-threshold", 0, "per-host circuit-breaker failure-rate threshold in (0,1] (0 disables the breaker)")
 		faultRate   = flag.Float64("fault-rate", 0, "inject transient fetch faults with this probability (chaos testing; seeded by -seed)")
 		frontSeed   = flag.Int64("frontier-seed", 0, "seed for the parallel crawler's work-stealing scheduler (0 = default seed 1)")
 		bloomBits   = flag.Int("bloom-bits", 0, "frontier dedup bloom-filter size in bits, rounded to a power of two (0 = default)")
+		reportPath  = flag.String("report", "", "write this run's perf RunReport artifact (BENCH_<n>.json) to this path")
+		reportName  = flag.String("report-name", "", "artifact name stamped into the report (default: the -report file's base name)")
+		comparePath = flag.String("compare", "", "baseline report to diff against: the fresh run's report, or -compare-to when given")
+		compareTo   = flag.String("compare-to", "", "right-hand report for a file-vs-file comparison (no experiments run)")
+		compareTol  = flag.Float64("compare-tol", 0, "comparator relative tolerance band (0 = default 0.25)")
+		compareWarn = flag.Bool("compare-warn", false, "report-only comparison: print the diff but never fail the exit code (CI soft gate)")
+		sampleEvery = flag.Duration("sample", 0, "sample frontier/line/runtime time series at this cadence into the report and /debug/status (0 = off)")
 	)
 	flag.Parse()
 
+	tol := report.Tolerance{Rel: *compareTol}
+
+	// Pure artifact-vs-artifact mode: no experiments, just the diff.
+	if *comparePath != "" && *compareTo != "" {
+		oldR, err := report.Load(*comparePath)
+		if err != nil {
+			fatalf("compare: %v", err)
+		}
+		newR, err := report.Load(*compareTo)
+		if err != nil {
+			fatalf("compare: %v", err)
+		}
+		cmp := report.Compare(oldR, newR, tol)
+		if *jsonOut {
+			if err := cmp.WriteJSON(os.Stdout); err != nil {
+				fatalf("compare: %v", err)
+			}
+			_ = cmp.WriteTable(os.Stderr)
+		} else if err := cmp.WriteTable(os.Stdout); err != nil {
+			fatalf("compare: %v", err)
+		}
+		if cmp.Regressed() && !*compareWarn {
+			os.Exit(3)
+		}
+		return
+	}
+
 	if *exp == "" {
+		if *comparePath != "" || *reportPath != "" {
+			fatalf("-report/-compare need experiments to run: pass -exp (or use -compare with -compare-to for a file-vs-file diff)")
+		}
 		fmt.Println("available experiments:")
 		for _, e := range experiments {
 			fmt.Printf("  %-16s %s\n", e.id, e.desc)
@@ -111,45 +163,70 @@ func main() {
 		return
 	}
 
-	tel, reg, closeTrace, err := obs.CLITelemetry(obs.CLIConfig{
+	// Validate the requested ids up front, so `-exp t7.1,typo` fails
+	// fast instead of after minutes of crawling.
+	wanted := map[string]bool{}
+	if *exp != "all" {
+		known := map[string]bool{}
+		for _, x := range experiments {
+			known[x.id] = true
+		}
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (run without -exp for the list)\n", id)
+				os.Exit(2)
+			}
+			wanted[id] = true
+		}
+		if len(wanted) == 0 {
+			fatalf("-exp %q selects no experiments", *exp)
+		}
+	}
+
+	cli, err := obs.CLITelemetry(obs.CLIConfig{
 		MetricsAddr:   *metricsAddr,
 		TracePath:     *tracePath,
 		Verbose:       *verbose,
 		ProgressSpans: obs.CrawlProgressSpans,
+		SampleEvery:   *sampleEvery,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
-		os.Exit(1)
+		fatalf("telemetry: %v", err)
 	}
-	// With -json the experiment tables (fmt.Printf throughout the
-	// experiment files) move to stderr, so stdout carries exactly one
-	// JSON document.
-	jsonDest := os.Stdout
-	tablesDone := make(chan struct{})
+
+	// With -json (or -report to stdout) the experiment tables move to
+	// stderr, so stdout carries exactly one machine-readable document.
+	var tables io.Writer = os.Stdout
 	if *jsonOut {
-		pr, pw, perr := os.Pipe()
-		if perr != nil {
-			fmt.Fprintf(os.Stderr, "pipe: %v\n", perr)
-			os.Exit(1)
-		}
-		os.Stdout = pw
-		go func() {
-			io.Copy(os.Stderr, pr) //nolint:errcheck — best-effort relay
-			close(tablesDone)
-		}()
-		defer func() {
-			pw.Close()
-			<-tablesDone
-		}()
+		tables = os.Stderr
 	}
 
 	// Ctrl-C aborts the experiment batch between (and within) runs.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	ctx = obs.With(ctx, tel)
+	ctx = obs.With(ctx, cli.Tel)
+	cli.StartSampler(ctx)
+
+	name := *reportName
+	if name == "" && *reportPath != "" {
+		name = strings.TrimSuffix(filepath.Base(*reportPath), ".json")
+	}
+	rec := report.NewRecorder(
+		report.Meta{Name: name, Repo: "ajaxcrawl", Notes: "ajaxbench -exp " + *exp},
+		report.Site{
+			Videos: *videos, Seed: *seed,
+			LatencyBaseMS:  float64(*base) / float64(time.Millisecond),
+			LatencyPerKBMS: float64(*perKB) / float64(time.Millisecond),
+		},
+	)
 
 	e := &env{
 		ctx:       ctx,
+		out:       tables,
 		site:      webapp.New(webapp.DefaultConfig(*videos, *seed)),
 		videos:    *videos,
 		seed:      *seed,
@@ -167,34 +244,64 @@ func main() {
 	}
 	var failed bool
 	for _, x := range experiments {
-		if *exp != "all" && *exp != x.id {
+		if *exp != "all" && !wanted[x.id] {
 			continue
 		}
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "interrupted; skipping remaining experiments")
 			break
 		}
-		fmt.Printf("== %s: %s ==\n", x.id, x.desc)
+		fmt.Fprintf(tables, "== %s: %s ==\n", x.id, x.desc)
 		start := time.Now()
-		if err := x.run(e); err != nil {
+		endPhase := rec.StartPhase(x.id)
+		err := x.run(e)
+		endPhase(err)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", x.id, err)
 			failed = true
 		}
-		fmt.Printf("-- %s done in %v --\n\n", x.id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(tables, "-- %s done in %v --\n\n", x.id, time.Since(start).Round(time.Millisecond))
 	}
-	if err := closeTrace(); err != nil {
+	if err := cli.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "close trace: %v\n", err)
 		failed = true
 	}
+
+	rep := rec.Finish(cli.Reg.Snapshot(), cli.Spans.Aggregates(), cli.Sampler.Snapshot())
+	if *reportPath != "" {
+		if err := rep.Save(*reportPath); err != nil {
+			fatalf("report: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "perf report written to %s (%d phases, %d span types)\n",
+			*reportPath, len(rep.Phases), len(rep.Spans))
+	}
+
+	var cmp *report.Comparison
+	if *comparePath != "" {
+		oldR, err := report.Load(*comparePath)
+		if err != nil {
+			fatalf("compare: %v", err)
+		}
+		cmp = report.Compare(oldR, rep, tol)
+		if err := cmp.WriteTable(tables); err != nil {
+			fatalf("compare: %v", err)
+		}
+	}
+
 	if *jsonOut {
-		// Drain the table relay before emitting the document, so stderr
-		// output cannot interleave into a half-written stdout line.
-		os.Stdout.Close()
-		<-tablesDone
-		os.Stdout = jsonDest
-		enc := json.NewEncoder(jsonDest)
+		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(reg.Snapshot()); err != nil {
+		// Without a comparison the document stays a bare registry
+		// snapshot (the pre-report contract); with one, both travel in
+		// a single wrapper document.
+		var doc any = rep.Registry
+		if cmp != nil {
+			doc = struct {
+				Registry   obs.Snapshot       `json:"registry"`
+				Comparison *report.Comparison `json:"comparison"`
+			}{rep.Registry, cmp}
+		}
+		if err := enc.Encode(doc); err != nil {
 			fmt.Fprintf(os.Stderr, "json: %v\n", err)
 			failed = true
 		}
@@ -202,17 +309,8 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
-	if *exp != "all" {
-		found := false
-		for _, x := range experiments {
-			if x.id == *exp {
-				found = true
-			}
-		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (run without -exp for the list)\n", *exp)
-			os.Exit(2)
-		}
+	if cmp != nil && cmp.Regressed() && !*compareWarn {
+		os.Exit(3)
 	}
 }
 
@@ -302,4 +400,9 @@ func sortedCopy(xs []time.Duration) []time.Duration {
 	out := append([]time.Duration(nil), xs...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }

@@ -33,12 +33,12 @@ func queryCorpus(e *env) ([]*model.Graph, error) {
 // on the first comment page and across all pages.
 func expT74(e *env) error {
 	queries := webapp.Queries()
-	fmt.Printf("%-5s %-16s %-22s %-20s\n", "ID", "Query", "Occurrences 1st page", "Occurrences all pages")
+	fmt.Fprintf(e.out, "%-5s %-16s %-22s %-20s\n", "ID", "Query", "Occurrences 1st page", "Occurrences all pages")
 	for i, q := range queries[:11] {
 		first, all := e.site.QueryOccurrences(q, e.videos)
-		fmt.Printf("Q%-4d %-16s %-22d %-20d\n", i+1, q, first, all)
+		fmt.Fprintf(e.out, "Q%-4d %-16s %-22d %-20d\n", i+1, q, first, all)
 	}
-	fmt.Println("(shape: all-pages occurrences several times the first-page count)")
+	fmt.Fprintln(e.out, "(shape: all-pages occurrences several times the first-page count)")
 	return nil
 }
 
@@ -80,13 +80,13 @@ func expT75(e *env) error {
 	tradT, tradC := timeQueries(query.NewEngine(tradIx), queries, reps)
 	ajaxT, ajaxC := timeQueries(query.NewEngine(ajaxIx), queries, reps)
 
-	fmt.Printf("%-5s %-16s %14s %14s %8s %8s\n", "ID", "Query", "Trad (µs)", "AJAX (µs)", "Trad#", "AJAX#")
+	fmt.Fprintf(e.out, "%-5s %-16s %14s %14s %8s %8s\n", "ID", "Query", "Trad (µs)", "AJAX (µs)", "Trad#", "AJAX#")
 	for i, q := range queries {
-		fmt.Printf("Q%-4d %-16s %14.2f %14.2f %8d %8d\n", i+1, q,
+		fmt.Fprintf(e.out, "Q%-4d %-16s %14.2f %14.2f %8d %8d\n", i+1, q,
 			float64(tradT[i].Nanoseconds())/1e3, float64(ajaxT[i].Nanoseconds())/1e3,
 			tradC[i], ajaxC[i])
 	}
-	fmt.Println("(shape: AJAX index slower in absolute query time, far more results)")
+	fmt.Fprintln(e.out, "(shape: AJAX index slower in absolute query time, far more results)")
 	return nil
 }
 
@@ -103,7 +103,7 @@ func expF79(e *env) error {
 	tradT, tradC := timeQueries(query.NewEngine(tradIx), queries, reps)
 	ajaxT, ajaxC := timeQueries(query.NewEngine(ajaxIx), queries, reps)
 
-	fmt.Printf("%-5s %-16s %16s %16s %8s %8s\n", "ID", "Query", "Trad (q/s)", "AJAX (q/s)", "Trad#", "AJAX#")
+	fmt.Fprintf(e.out, "%-5s %-16s %16s %16s %8s %8s\n", "ID", "Query", "Trad (q/s)", "AJAX (q/s)", "Trad#", "AJAX#")
 	for i, q := range queries {
 		thr := func(t time.Duration) float64 {
 			if t <= 0 {
@@ -111,10 +111,10 @@ func expF79(e *env) error {
 			}
 			return 1 / t.Seconds()
 		}
-		fmt.Printf("Q%-4d %-16s %16.0f %16.0f %8d %8d\n", i+1, q,
+		fmt.Fprintf(e.out, "Q%-4d %-16s %16.0f %16.0f %8d %8d\n", i+1, q,
 			thr(tradT[i]), thr(ajaxT[i]), tradC[i], ajaxC[i])
 	}
-	fmt.Println("(shape: traditional query throughput higher, although for far fewer results)")
+	fmt.Fprintln(e.out, "(shape: traditional query throughput higher, although for far fewer results)")
 	return nil
 }
 
@@ -168,19 +168,19 @@ func expF710(e *env) error {
 		return err
 	}
 	base := times[0]
-	fmt.Printf("%-8s %-10s %-16s %-18s\n", "states", "results", "time/100q (ms)", "rel. throughput")
+	fmt.Fprintf(e.out, "%-8s %-10s %-16s %-18s\n", "states", "results", "time/100q (ms)", "rel. throughput")
 	threshold := -1
 	for i, k := range limits {
 		rel := float64(base) / float64(times[i])
-		fmt.Printf("%-8d %-10d %-16.2f %-18.3f\n", k, results[i], ms(times[i]), rel)
+		fmt.Fprintf(e.out, "%-8d %-10d %-16.2f %-18.3f\n", k, results[i], ms(times[i]), rel)
 		if threshold < 0 && rel < 0.4 {
 			threshold = k
 		}
 	}
 	if threshold > 0 {
-		fmt.Printf("relative throughput crosses 0.4 at %d states (paper: ~5)\n", threshold)
+		fmt.Fprintf(e.out, "relative throughput crosses 0.4 at %d states (paper: ~5)\n", threshold)
 	}
-	fmt.Println("(shape: relative throughput decreases with states)")
+	fmt.Fprintln(e.out, "(shape: relative throughput decreases with states)")
 	return nil
 }
 
@@ -201,7 +201,7 @@ func expF711(e *env) error {
 			counts[k][qi] = len(eng.Search(q))
 		}
 	}
-	fmt.Printf("%-8s %-14s\n", "states", "1-RelRecall")
+	fmt.Fprintf(e.out, "%-8s %-14s\n", "states", "1-RelRecall")
 	prev := 0.0
 	for k := 1; k <= 11; k++ {
 		sum, n := 0.0, 0
@@ -216,12 +216,12 @@ func expF711(e *env) error {
 			continue
 		}
 		oneMinus := 1 - sum/float64(n)
-		fmt.Printf("%-8d %-14.3f\n", k, oneMinus)
+		fmt.Fprintf(e.out, "%-8d %-14.3f\n", k, oneMinus)
 		if k > 1 && oneMinus+1e-9 < prev {
-			fmt.Printf("  (warning: non-monotone at %d states)\n", k)
+			fmt.Fprintf(e.out, "  (warning: non-monotone at %d states)\n", k)
 		}
 		prev = oneMinus
 	}
-	fmt.Println("(shape: increases with states with diminishing gradient; paper ~0.7 near 4-5 states)")
+	fmt.Fprintln(e.out, "(shape: increases with states with diminishing gradient; paper ~0.7 near 4-5 states)")
 	return nil
 }

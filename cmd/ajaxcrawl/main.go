@@ -59,8 +59,9 @@ func main() {
 		robots      = flag.Bool("respect-ajax-robots", false, "honor the site's /robots-ajax.txt state granularity")
 		saveIndex   = flag.String("save-index", "", "also build per-partition index shards and publish a serving snapshot (shards + models + manifest) into this directory")
 		verbose     = flag.Bool("v", false, "per-page progress output (live span lines on stderr)")
-		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics, /debug/trace/recent and pprof on this address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics, /debug/status, /debug/trace/recent and pprof on this address")
 		tracePath   = flag.String("trace", "", "write every span to this JSONL file")
+		sample      = flag.Duration("sample", 0, "sample frontier depth, line utilization and runtime stats at this cadence (feeds the /debug/status charts; 0 = off)")
 		jsonOut     = flag.Bool("json", false, "print the final metrics snapshot as one JSON document on stdout")
 		retries     = flag.Int("retries", 0, "retry transient fetch failures up to this many times per request (0 disables retrying)")
 		retryBase   = flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff; doubles per retry with full jitter")
@@ -80,11 +81,12 @@ func main() {
 		*lines = *partsAlias
 	}
 
-	tel, reg, closeTrace, err := obs.CLITelemetry(obs.CLIConfig{
+	cli, err := obs.CLITelemetry(obs.CLIConfig{
 		MetricsAddr:   *metricsAddr,
 		TracePath:     *tracePath,
 		Verbose:       *verbose,
 		ProgressSpans: obs.CrawlProgressSpans,
+		SampleEvery:   *sample,
 	})
 	if err != nil {
 		fatal("telemetry: %v", err)
@@ -136,7 +138,8 @@ func main() {
 	// within one page budget and their partial models are flushed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	ctx = obs.With(ctx, tel)
+	ctx = obs.With(ctx, cli.Tel)
+	cli.StartSampler(ctx)
 
 	// -resume implies checkpointing; default the journal directory so
 	// `ajaxcrawl -resume` alone picks up where the killed run left off.
@@ -312,14 +315,14 @@ func main() {
 		infof("event profile saved to %s (%d events)", path, recordProfile.NumEvents())
 	}
 	infof("total wall time: %v", time.Since(begin).Round(time.Millisecond))
-	if err := closeTrace(); err != nil {
+	if err := cli.Close(); err != nil {
 		fatal("close trace: %v", err)
 	}
 	if *jsonOut {
 		doc := struct {
 			Crawl    *core.Metrics `json:"crawl"`
 			Registry obs.Snapshot  `json:"registry"`
-		}{Crawl: m, Registry: reg.Snapshot()}
+		}{Crawl: m, Registry: cli.Reg.Snapshot()}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {

@@ -50,7 +50,7 @@ func main() {
 	)
 	flag.Parse()
 
-	tel, _, closeTrace, err := obs.CLITelemetry(obs.CLIConfig{
+	cli, err := obs.CLITelemetry(obs.CLIConfig{
 		MetricsAddr:   *metricsAddr,
 		TracePath:     *tracePath,
 		Verbose:       *verbose,
@@ -59,7 +59,7 @@ func main() {
 	if err != nil {
 		fatal("telemetry: %v", err)
 	}
-	ctx := obs.With(context.Background(), tel)
+	ctx := obs.With(context.Background(), cli.Tel)
 
 	var ix *index.Index
 	switch {
@@ -111,7 +111,7 @@ func main() {
 			}
 		}
 	}
-	if err := closeTrace(); err != nil {
+	if err := cli.Close(); err != nil {
 		fatal("close trace: %v", err)
 	}
 }

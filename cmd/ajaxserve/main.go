@@ -47,6 +47,7 @@ func main() {
 		watch       = flag.Duration("watch", 0, "poll the manifest at this interval and hot-swap on changes (0 = off)")
 		verbose     = flag.Bool("v", false, "live span lines on stderr")
 		tracePath   = flag.String("trace", "", "write every span to this JSONL file")
+		sample      = flag.Duration("sample", 0, "sample request/inflight/runtime series at this cadence for /debug/status (0 = off)")
 	)
 	flag.Parse()
 	if *snapshot == "" {
@@ -102,6 +103,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The sampler tracks serving traffic rather than the crawl defaults:
+	// in-flight queries (gauge) and total requests (counter), plus the
+	// runtime series.
+	var sampler *obs.Sampler
+	if *sample > 0 {
+		sampler = obs.NewSampler(reg, obs.SamplerConfig{
+			Gauges:   []string{"http.inflight"},
+			Counters: []string{"http.requests", "query.cache.hits"},
+		})
+		go sampler.Run(ctx, *sample)
+	}
+
 	if *watch > 0 {
 		fmt.Printf("watching %s for new manifests every %v\n", *snapshot, *watch)
 		go srv.Watch(ctx, *watch)
@@ -112,6 +125,7 @@ func main() {
 	// http.requests / http.latency reflect live query traffic.
 	mux := http.NewServeMux()
 	obs.RegisterDebug(mux, reg, ring)
+	obs.RegisterStatus(mux, obs.StatusSource{Reg: reg, Sampler: sampler, StartedAt: time.Now()})
 	h := srv.Handler()
 	mux.Handle("/search", h)
 	mux.Handle("/healthz", h)

@@ -52,6 +52,7 @@ func main() {
 	ring := obs.NewRingSink(0)
 	mux := http.NewServeMux()
 	obs.RegisterDebug(mux, reg, ring)
+	obs.RegisterStatus(mux, obs.StatusSource{Reg: reg, StartedAt: time.Now()})
 	handler := site.Handler()
 	// Server-side chaos: a fraction of site requests answer 503 with a
 	// Retry-After hint, so a crawl pointed here exercises its retry and

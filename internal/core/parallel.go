@@ -273,6 +273,10 @@ func (m *MPCrawler) Stream(ctx context.Context) <-chan PartitionResult {
 	if m.SeedSeen != nil {
 		fr.MarkSeen(m.SeedSeen)
 	}
+	// Progress denominators for /debug/status: the admitted page universe
+	// and the line count. crawl.pages.done ticks as attempts retire.
+	tel.Gauge("crawl.pages.total").Set(int64(len(seed)))
+	tel.Gauge("crawl.lines").Set(int64(n))
 	if m.Checkpoints != nil {
 		// Journal the admitted frontier — the snapshot a killed crawl
 		// resumes from. Identical re-admissions on resume are deduped
@@ -359,6 +363,7 @@ func (m *MPCrawler) Stream(ctx context.Context) <-chan PartitionResult {
 					graphs: r.graphs, metrics: r.metrics, err: r.err,
 					requeues: it.Attempt, tripped: r.tripped,
 				}
+				tel.Counter("crawl.pages.done").Inc()
 				sched.Done()
 				pages++
 			}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// SpanAgg is the duration aggregate of every finished span sharing one
+// name — the per-span-type rollup embedded into perf reports, where
+// keeping every SpanRecord of a long crawl would be prohibitive.
+type SpanAgg struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	Errors  int64   `json:"errors"`
+	TotalNS int64   `json:"total_ns"`
+	MinNS   int64   `json:"min_ns"`
+	MaxNS   int64   `json:"max_ns"`
+	MeanNS  float64 `json:"mean_ns"`
+}
+
+// AggSink folds finished spans into per-name duration aggregates
+// instead of retaining them. It is the report pipeline's trace backend:
+// O(span types) memory however long the run, safe for concurrent Emit.
+type AggSink struct {
+	mu sync.Mutex
+	m  map[string]*SpanAgg
+}
+
+// NewAggSink returns an empty aggregating sink.
+func NewAggSink() *AggSink {
+	return &AggSink{m: make(map[string]*SpanAgg)}
+}
+
+// Emit implements Sink.
+func (s *AggSink) Emit(r SpanRecord) {
+	s.mu.Lock()
+	a := s.m[r.Name]
+	if a == nil {
+		a = &SpanAgg{Name: r.Name, MinNS: r.DurNS, MaxNS: r.DurNS}
+		s.m[r.Name] = a
+	}
+	a.Count++
+	if r.Err != "" {
+		a.Errors++
+	}
+	a.TotalNS += r.DurNS
+	if r.DurNS < a.MinNS {
+		a.MinNS = r.DurNS
+	}
+	if r.DurNS > a.MaxNS {
+		a.MaxNS = r.DurNS
+	}
+	s.mu.Unlock()
+}
+
+// Aggregates returns the per-name rollups sorted by name, with MeanNS
+// computed. The returned slice is a copy; Emit may continue concurrently.
+func (s *AggSink) Aggregates() []SpanAgg {
+	s.mu.Lock()
+	out := make([]SpanAgg, 0, len(s.m))
+	for _, a := range s.m {
+		cp := *a
+		cp.MeanNS = float64(cp.TotalNS) / float64(cp.Count)
+		out = append(out, cp)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAggSinkFoldsSpansByName(t *testing.T) {
+	s := NewAggSink()
+	s.Emit(SpanRecord{Name: "page.crawl", DurNS: 100})
+	s.Emit(SpanRecord{Name: "page.crawl", DurNS: 300, Err: "boom"})
+	s.Emit(SpanRecord{Name: "page.crawl", DurNS: 200})
+	s.Emit(SpanRecord{Name: "event.dispatch", DurNS: 50})
+
+	aggs := s.Aggregates()
+	if len(aggs) != 2 {
+		t.Fatalf("aggregates = %d, want 2", len(aggs))
+	}
+	// Sorted by name: event.dispatch first.
+	if aggs[0].Name != "event.dispatch" || aggs[1].Name != "page.crawl" {
+		t.Fatalf("order = %q, %q", aggs[0].Name, aggs[1].Name)
+	}
+	pc := aggs[1]
+	if pc.Count != 3 || pc.Errors != 1 {
+		t.Errorf("page.crawl count=%d errors=%d, want 3/1", pc.Count, pc.Errors)
+	}
+	if pc.MinNS != 100 || pc.MaxNS != 300 || pc.TotalNS != 600 {
+		t.Errorf("page.crawl min/max/total = %d/%d/%d, want 100/300/600", pc.MinNS, pc.MaxNS, pc.TotalNS)
+	}
+	if pc.MeanNS != 200 {
+		t.Errorf("page.crawl mean = %v, want 200", pc.MeanNS)
+	}
+}
+
+func TestAggSinkConcurrentEmit(t *testing.T) {
+	s := NewAggSink()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Emit(SpanRecord{Name: "x", DurNS: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	aggs := s.Aggregates()
+	if len(aggs) != 1 || aggs[0].Count != 800 || aggs[0].TotalNS != 800 {
+		t.Fatalf("aggregates = %+v, want one entry with count 800", aggs)
+	}
+}

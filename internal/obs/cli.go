@@ -1,16 +1,20 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"time"
 )
 
 // CLIConfig is the telemetry surface the commands share: the
-// -metrics-addr, -trace, and -v flags map onto it.
+// -metrics-addr, -trace, -v, and -sample flags map onto it.
 type CLIConfig struct {
 	// MetricsAddr, when non-empty, starts the background debug server
-	// (ServeDebug): /debug/metrics, /debug/trace/recent, pprof.
+	// (ServeDebug): /debug/metrics, /debug/status, /debug/trace/recent,
+	// pprof.
 	MetricsAddr string
 	// TracePath, when non-empty, streams every span to a JSONL file.
 	TracePath string
@@ -20,22 +24,45 @@ type CLIConfig struct {
 	ProgressW io.Writer
 	// ProgressSpans filters which spans -v prints (empty = all).
 	ProgressSpans []string
+	// SampleEvery starts the runtime sampler at this cadence when > 0
+	// (the -sample flag); call CLI.StartSampler with the command's
+	// context to begin the loop.
+	SampleEvery time.Duration
+	// SampleCap bounds each sampled series (0 = sampler default).
+	SampleCap int
+}
+
+// CLI bundles a command's wired telemetry: the context Telemetry, its
+// registry, the span-aggregate sink (always installed, backing -report),
+// the sampler (nil unless SampleEvery was set), and the flushing Close.
+type CLI struct {
+	Tel     *Telemetry
+	Reg     *Registry
+	Ring    *RingSink
+	Spans   *AggSink
+	Sampler *Sampler
+
+	cfg     CLIConfig
+	started time.Time
+	closeFn func() error
 }
 
 // CLITelemetry wires a command's telemetry from its flags: a fresh
-// registry, a ring buffer (for /debug/trace/recent), plus the optional
-// trace file, progress printer, and debug server. The returned close
-// function flushes the trace file and must run before exit.
-func CLITelemetry(cfg CLIConfig) (*Telemetry, *Registry, func() error, error) {
+// registry, a ring buffer (for /debug/trace/recent), a span-aggregate
+// sink (for perf reports), plus the optional trace file, progress
+// printer, sampler, and debug server (which also serves /debug/status).
+// CLI.Close flushes the trace file and must run before exit.
+func CLITelemetry(cfg CLIConfig) (*CLI, error) {
 	reg := NewRegistry()
 	ring := NewRingSink(0)
-	sinks := MultiSink{ring}
+	agg := NewAggSink()
+	sinks := MultiSink{ring, agg}
 	var fs *FileSink
 	if cfg.TracePath != "" {
 		var err error
 		fs, err = NewFileSink(cfg.TracePath)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		sinks = append(sinks, fs)
 	}
@@ -46,19 +73,50 @@ func CLITelemetry(cfg CLIConfig) (*Telemetry, *Registry, func() error, error) {
 		}
 		sinks = append(sinks, NewProgressSink(w, cfg.ProgressSpans...))
 	}
+	cli := &CLI{
+		Tel:     New(reg, sinks),
+		Reg:     reg,
+		Ring:    ring,
+		Spans:   agg,
+		cfg:     cfg,
+		started: time.Now(),
+		closeFn: func() error {
+			if fs != nil {
+				return fs.Close()
+			}
+			return nil
+		},
+	}
+	if cfg.SampleEvery > 0 {
+		cli.Sampler = NewSampler(reg, SamplerConfig{Cap: cfg.SampleCap})
+	}
 	if cfg.MetricsAddr != "" {
-		ServeDebug(cfg.MetricsAddr, reg, ring, func(err error) {
-			fmt.Fprintf(os.Stderr, "obs: debug server: %v\n", err)
-		})
+		mux := http.NewServeMux()
+		RegisterDebug(mux, reg, ring)
+		RegisterStatus(mux, StatusSource{Reg: reg, Sampler: cli.Sampler, StartedAt: cli.started})
+		go func() {
+			if err := http.ListenAndServe(cfg.MetricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: debug server: %v\n", err)
+			}
+		}()
 	}
-	closeFn := func() error {
-		if fs != nil {
-			return fs.Close()
-		}
-		return nil
-	}
-	return New(reg, sinks), reg, closeFn, nil
+	return cli, nil
 }
+
+// StartSampler begins the sampling loop (no-op when -sample was off);
+// it returns immediately and stops when ctx ends.
+func (c *CLI) StartSampler(ctx context.Context) {
+	if c.Sampler == nil {
+		return
+	}
+	go c.Sampler.Run(ctx, c.cfg.SampleEvery)
+}
+
+// StartedAt is the process start time the status endpoint reports.
+func (c *CLI) StartedAt() time.Time { return c.started }
+
+// Close flushes and closes the trace file, if one was opened.
+func (c *CLI) Close() error { return c.closeFn() }
 
 // CrawlProgressSpans are the span names the crawling commands print
 // under -v: coarse units, not per-event noise.

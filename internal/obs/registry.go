@@ -101,6 +101,8 @@ type Histogram struct {
 	counts []int64   // len(bounds)+1
 	sum    float64
 	count  int64
+	min    float64 // smallest observation; +Inf until the first sample
+	max    float64 // largest observation; -Inf until the first sample
 }
 
 // Observe records one sample. Safe on a nil receiver (no-op).
@@ -113,6 +115,12 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.count++
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
 	h.mu.Unlock()
 }
 
@@ -125,9 +133,16 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
 	Sum   float64 `json:"sum"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
+	// Min and Max are the smallest and largest observations ever
+	// recorded (0 while the histogram is empty). Quantile estimates are
+	// clamped to [Min, Max], so a distribution whose mass sits in the
+	// +Inf overflow bucket reports its true extreme rather than the
+	// largest finite bucket bound.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 	// Buckets holds the cumulative count per upper bound; the final
 	// entry's Le is +Inf and its Count equals Count.
 	Buckets []Bucket `json:"buckets"`
@@ -179,6 +194,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	if h.count > 0 {
+		s.Min, s.Max = h.min, h.max
+	}
 	cum := int64(0)
 	for i, c := range h.counts {
 		cum += c
@@ -195,12 +213,16 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 }
 
 // quantileLocked estimates quantile q by interpolating within the bucket
-// that contains the q·count-th sample. Callers hold h.mu.
+// that contains the q·count-th sample, clamping the estimate to the
+// observed [min, max] — in particular, mass in the +Inf overflow bucket
+// reports the true maximum instead of saturating at the largest finite
+// bucket bound. Callers hold h.mu.
 func (h *Histogram) quantileLocked(q float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
 	target := q * float64(h.count)
+	est := h.max
 	cum := 0.0
 	for i, c := range h.counts {
 		prev := cum
@@ -208,18 +230,20 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 		if cum < target || c == 0 {
 			continue
 		}
+		if i >= len(h.bounds) {
+			// Overflow bucket: no finite upper bound to interpolate to;
+			// the observed maximum is the best (and a true) upper bound.
+			return h.max
+		}
 		lo := 0.0
 		if i > 0 {
 			lo = h.bounds[i-1]
 		}
-		if i >= len(h.bounds) {
-			// Overflow bucket: no finite upper bound to interpolate to.
-			return h.bounds[len(h.bounds)-1]
-		}
 		hi := h.bounds[i]
-		return lo + (hi-lo)*(target-prev)/float64(c)
+		est = lo + (hi-lo)*(target-prev)/float64(c)
+		break
 	}
-	return h.bounds[len(h.bounds)-1]
+	return math.Min(math.Max(est, h.min), h.max)
 }
 
 // Registry is a concurrent metrics registry. Metrics are created on
@@ -231,6 +255,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	now      func() time.Time
 }
 
 // NewRegistry returns an empty registry.
@@ -240,6 +265,33 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
+}
+
+// SetClock installs the time source stamped onto Snapshot.TakenAt (nil
+// restores the wall clock). Injected by tests and the report recorder so
+// snapshot-bearing artifacts can be byte-stable.
+func (r *Registry) SetClock(now func() time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.now = now
+	r.mu.Unlock()
+}
+
+// Now returns the registry's current time: the injected clock when one
+// was set with SetClock, the wall clock otherwise.
+func (r *Registry) Now() time.Time {
+	if r == nil {
+		return time.Now()
+	}
+	r.mu.RLock()
+	now := r.now
+	r.mu.RUnlock()
+	if now != nil {
+		return now()
+	}
+	return time.Now()
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -303,7 +355,10 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	if h = r.hists[name]; h == nil {
 		b := append([]float64(nil), bounds...)
 		sort.Float64s(b)
-		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		h = &Histogram{
+			bounds: b, counts: make([]int64, len(b)+1),
+			min: math.Inf(1), max: math.Inf(-1),
+		}
 		r.hists[name] = h
 	}
 	return h
@@ -320,10 +375,12 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot captures every metric's current value.
+// Snapshot captures every metric's current value. TakenAt comes from
+// the registry clock (SetClock), so snapshots embedded in golden-tested
+// artifacts can be pinned.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		TakenAt:    time.Now(),
+		TakenAt:    r.Now(),
 		Counters:   make(map[string]int64),
 		Gauges:     make(map[string]int64),
 		Histograms: make(map[string]HistogramSnapshot),
@@ -425,6 +482,12 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			}
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promNum(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+		// Observed extremes travel as companion gauges (no histogram
+		// sub-series exists for them in the exposition format).
+		if _, err := fmt.Fprintf(w, "# TYPE %s_min gauge\n%s_min %s\n# TYPE %s_max gauge\n%s_max %s\n",
+			pn, pn, promNum(h.Min), pn, pn, promNum(h.Max)); err != nil {
 			return err
 		}
 	}

@@ -79,6 +79,59 @@ func TestHistogramQuantiles(t *testing.T) {
 	if !math.IsInf(last.Le, 1) || last.Count != 110 {
 		t.Fatalf("+Inf bucket = %+v", last)
 	}
+	if s.Min != 0.005 || s.Max != 0.015 {
+		t.Fatalf("min/max = %v/%v, want 0.005/0.015", s.Min, s.Max)
+	}
+}
+
+// TestHistogramQuantileOverflowSaturation pins the fix for quantile
+// saturation: when all (or the tail) mass sits in the +Inf overflow
+// bucket, quantiles must report the observed maximum, not the largest
+// finite bucket bound.
+func TestHistogramQuantileOverflowSaturation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("slow", 0.1, 0.2)
+	for i := 0; i < 10; i++ {
+		h.Observe(5.0) // every sample beyond the last finite bound
+	}
+	s := r.Snapshot().Histograms["slow"]
+	if s.P50 != 5.0 || s.P99 != 5.0 {
+		t.Fatalf("overflow quantiles = p50 %v p99 %v, want 5.0 (max), not the 0.2 bound", s.P50, s.P99)
+	}
+	if s.Min != 5.0 || s.Max != 5.0 {
+		t.Fatalf("min/max = %v/%v, want 5/5", s.Min, s.Max)
+	}
+
+	// Interpolated estimates are clamped to the observed range: one
+	// tiny sample in a wide first bucket cannot report below min...
+	h2 := r.Histogram("fast", 1.0)
+	h2.Observe(0.5)
+	s2 := r.Snapshot().Histograms["fast"]
+	if s2.P50 != 0.5 || s2.P99 != 0.5 {
+		t.Fatalf("single-sample quantiles = p50 %v p99 %v, want clamped to 0.5", s2.P50, s2.P99)
+	}
+
+	// ...and an empty histogram stays all-zero.
+	r.Histogram("empty", 1.0)
+	s3 := r.Snapshot().Histograms["empty"]
+	if s3.Min != 0 || s3.Max != 0 || s3.P99 != 0 {
+		t.Fatalf("empty histogram snapshot = %+v, want zeros", s3)
+	}
+}
+
+// TestRegistryClockInjectable pins Snapshot.TakenAt to the injected
+// clock, the byte-stability hook for report golden tests.
+func TestRegistryClockInjectable(t *testing.T) {
+	r := NewRegistry()
+	fixed := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	r.SetClock(func() time.Time { return fixed })
+	if got := r.Snapshot().TakenAt; !got.Equal(fixed) {
+		t.Fatalf("TakenAt = %v, want %v", got, fixed)
+	}
+	r.SetClock(nil)
+	if got := r.Snapshot().TakenAt; got.Equal(fixed) {
+		t.Fatal("nil SetClock must restore the wall clock")
+	}
 }
 
 func TestSnapshotJSONRoundTrip(t *testing.T) {
@@ -129,6 +182,10 @@ ajaxcrawl_fetch_latency_bucket{le="2"} 3
 ajaxcrawl_fetch_latency_bucket{le="+Inf"} 4
 ajaxcrawl_fetch_latency_sum 5.5
 ajaxcrawl_fetch_latency_count 4
+# TYPE ajaxcrawl_fetch_latency_min gauge
+ajaxcrawl_fetch_latency_min 0.25
+# TYPE ajaxcrawl_fetch_latency_max gauge
+ajaxcrawl_fetch_latency_max 4
 `
 	if got := sb.String(); got != want {
 		t.Fatalf("prometheus rendering drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)

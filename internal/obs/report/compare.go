@@ -1,0 +1,297 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Verdict classifies one metric's movement between two reports.
+type Verdict string
+
+const (
+	// VerdictOK: within the tolerance band (or below the noise floor).
+	VerdictOK Verdict = "ok"
+	// VerdictImproved: better than the band (lower, for cost metrics).
+	VerdictImproved Verdict = "improved"
+	// VerdictRegressed: worse than the band — gates CI when the metric
+	// is a gating one.
+	VerdictRegressed Verdict = "regressed"
+	// VerdictDrifted: an informational metric (work counters, span
+	// counts) moved beyond the band — the workload changed, which makes
+	// timing comparisons suspect but is not itself a regression.
+	VerdictDrifted Verdict = "drifted"
+	// VerdictAdded / VerdictRemoved: the metric exists on only one side.
+	VerdictAdded   Verdict = "added"
+	VerdictRemoved Verdict = "removed"
+)
+
+// Tolerance configures the comparator's bands and noise floors. Zero
+// values select defaults tuned for CI wall-clock noise.
+type Tolerance struct {
+	// Rel is the symmetric relative band: new/old beyond 1±Rel is a
+	// verdict. Default 0.25.
+	Rel float64
+	// MinWall ignores wall/CPU metrics where both sides sit under this
+	// floor (scheduler noise dominates them). Default 20ms.
+	MinWall time.Duration
+	// MinSpanMean ignores span-mean metrics where both sides sit under
+	// this floor. Default 200µs.
+	MinSpanMean time.Duration
+	// MinAllocBytes ignores allocation metrics where both sides sit
+	// under this floor. Default 1 MiB.
+	MinAllocBytes int64
+	// MinCount ignores span aggregates with fewer samples than this on
+	// either side. Default 2.
+	MinCount int64
+}
+
+func (t Tolerance) resolved() Tolerance {
+	if t.Rel <= 0 {
+		t.Rel = 0.25
+	}
+	if t.MinWall <= 0 {
+		t.MinWall = 20 * time.Millisecond
+	}
+	if t.MinSpanMean <= 0 {
+		t.MinSpanMean = 200 * time.Microsecond
+	}
+	if t.MinAllocBytes <= 0 {
+		t.MinAllocBytes = 1 << 20
+	}
+	if t.MinCount <= 0 {
+		t.MinCount = 2
+	}
+	return t
+}
+
+// Delta is one compared metric.
+type Delta struct {
+	// Metric is the stable identifier, e.g. "phase/t7.1/wall_ms",
+	// "span/page.crawl/mean_ms", "counter/fetch.requests".
+	Metric  string  `json:"metric"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	Ratio   float64 `json:"ratio"` // new/old; 0 when old is 0
+	Verdict Verdict `json:"verdict"`
+	// Gating marks metrics whose regression fails the comparison (cost
+	// metrics: wall, CPU, alloc, span means). Informational metrics
+	// (work counters) drift instead.
+	Gating bool `json:"gating"`
+}
+
+// Comparison is the machine-readable diff of two reports.
+type Comparison struct {
+	Old string `json:"old"` // Meta.Name of the baseline
+	New string `json:"new"`
+	// SiteMismatch flags incomparable workloads (different site
+	// config); deltas are still produced, verdicts are suspect.
+	SiteMismatch bool    `json:"site_mismatch,omitempty"`
+	Deltas       []Delta `json:"deltas"`
+	Regressions  int     `json:"regressions"`
+	Improvements int     `json:"improvements"`
+	Drifts       int     `json:"drifts"`
+}
+
+// Regressed reports whether any gating metric regressed — the CI gate
+// and the comparator's exit-code driver.
+func (c *Comparison) Regressed() bool { return c.Regressions > 0 }
+
+// compareCtx accumulates deltas with shared tolerance state.
+type compareCtx struct {
+	tol Tolerance
+	out []Delta
+}
+
+// add classifies one lower-is-better metric. floor suppresses verdicts
+// when both sides sit under it; gating marks cost metrics.
+func (cc *compareCtx) add(metric string, oldV, newV, floor float64, gating bool) {
+	d := Delta{Metric: metric, Old: oldV, New: newV, Gating: gating, Verdict: VerdictOK}
+	if oldV > 0 {
+		d.Ratio = newV / oldV
+	}
+	switch {
+	case oldV < floor && newV < floor:
+		// Noise floor: both too small to judge.
+	case oldV == 0 && newV > 0:
+		d.Verdict = VerdictAdded
+		if gating {
+			d.Verdict = VerdictRegressed
+		}
+	case newV == 0 && oldV > 0:
+		d.Verdict = VerdictRemoved
+		if gating {
+			d.Verdict = VerdictImproved
+		}
+	case d.Ratio > 1+cc.tol.Rel:
+		d.Verdict = VerdictRegressed
+		if !gating {
+			d.Verdict = VerdictDrifted
+		}
+	case d.Ratio < 1-cc.tol.Rel:
+		d.Verdict = VerdictImproved
+		if !gating {
+			d.Verdict = VerdictDrifted
+		}
+	}
+	cc.out = append(cc.out, d)
+}
+
+// Compare diffs two reports metric by metric under the tolerance bands:
+// per-phase wall/CPU/allocation costs and per-span-type mean durations
+// gate; work counters (registry counters, span counts) are
+// informational drift. Lower is better for every gated metric.
+func Compare(oldR, newR *RunReport, tol Tolerance) *Comparison {
+	cc := &compareCtx{tol: tol.resolved()}
+	c := &Comparison{Old: oldR.Meta.Name, New: newR.Meta.Name}
+	if oldR.Site != newR.Site {
+		c.SiteMismatch = true
+	}
+
+	msF := func(ns int64) float64 { return float64(ns) / 1e6 }
+	wallFloor := msF(cc.tol.MinWall.Nanoseconds())
+	spanFloor := msF(cc.tol.MinSpanMean.Nanoseconds())
+	allocFloor := float64(cc.tol.MinAllocBytes) / (1 << 20)
+
+	// Phases: union, old-report order first.
+	seenPhase := map[string]bool{}
+	for _, op := range oldR.Phases {
+		seenPhase[op.Name] = true
+		np := newR.Phase(op.Name)
+		if np == nil {
+			cc.out = append(cc.out, Delta{
+				Metric: "phase/" + op.Name + "/wall_ms", Old: msF(op.WallNS),
+				Verdict: VerdictRemoved,
+			})
+			continue
+		}
+		cc.add("phase/"+op.Name+"/wall_ms", msF(op.WallNS), msF(np.WallNS), wallFloor, true)
+		cc.add("phase/"+op.Name+"/cpu_ms", msF(op.CPUNS), msF(np.CPUNS), wallFloor, true)
+		cc.add("phase/"+op.Name+"/alloc_mb",
+			float64(op.AllocBytes)/(1<<20), float64(np.AllocBytes)/(1<<20), allocFloor, true)
+		cc.add("phase/"+op.Name+"/gc_cycles", float64(op.GCCycles), float64(np.GCCycles), 4, false)
+	}
+	for _, np := range newR.Phases {
+		if !seenPhase[np.Name] {
+			cc.out = append(cc.out, Delta{
+				Metric: "phase/" + np.Name + "/wall_ms", New: msF(np.WallNS),
+				Verdict: VerdictAdded,
+			})
+		}
+	}
+
+	// Span aggregates: mean duration gates, count drifts.
+	seenSpan := map[string]bool{}
+	for _, osp := range oldR.Spans {
+		seenSpan[osp.Name] = true
+		nsp := newR.Span(osp.Name)
+		if nsp == nil {
+			cc.out = append(cc.out, Delta{
+				Metric: "span/" + osp.Name + "/mean_ms", Old: osp.MeanNS / 1e6,
+				Verdict: VerdictRemoved,
+			})
+			continue
+		}
+		if osp.Count >= cc.tol.MinCount && nsp.Count >= cc.tol.MinCount {
+			cc.add("span/"+osp.Name+"/mean_ms", osp.MeanNS/1e6, nsp.MeanNS/1e6, spanFloor, true)
+		}
+		cc.add("span/"+osp.Name+"/count", float64(osp.Count), float64(nsp.Count), 0, false)
+	}
+	for _, nsp := range newR.Spans {
+		if !seenSpan[nsp.Name] {
+			cc.out = append(cc.out, Delta{
+				Metric: "span/" + nsp.Name + "/mean_ms", New: nsp.MeanNS / 1e6,
+				Verdict: VerdictAdded,
+			})
+		}
+	}
+	// Registry counters: pure work measures — informational drift only,
+	// and only when they actually moved (a full dump would drown the
+	// table in equal rows).
+	for name, ov := range oldR.Registry.Counters {
+		nv, ok := newR.Registry.Counters[name]
+		if !ok {
+			cc.out = append(cc.out, Delta{Metric: "counter/" + name, Old: float64(ov), Verdict: VerdictRemoved})
+			continue
+		}
+		if ov == nv {
+			continue
+		}
+		cc.add("counter/"+name, float64(ov), float64(nv), 0, false)
+	}
+	for name, nv := range newR.Registry.Counters {
+		if _, ok := oldR.Registry.Counters[name]; !ok {
+			cc.out = append(cc.out, Delta{Metric: "counter/" + name, New: float64(nv), Verdict: VerdictAdded})
+		}
+	}
+
+	c.Deltas = cc.out
+	for _, d := range c.Deltas {
+		switch {
+		case d.Verdict == VerdictRegressed && d.Gating:
+			c.Regressions++
+		case d.Verdict == VerdictImproved && d.Gating:
+			c.Improvements++
+		case d.Verdict == VerdictDrifted:
+			c.Drifts++
+		}
+	}
+	return c
+}
+
+// WriteTable renders the human diff: every non-ok delta plus a summary
+// line; WriteTableAll includes the ok rows too.
+func (c *Comparison) WriteTable(w io.Writer) error { return c.writeTable(w, false) }
+
+// WriteTableAll renders every compared metric, ok rows included.
+func (c *Comparison) WriteTableAll(w io.Writer) error { return c.writeTable(w, true) }
+
+func (c *Comparison) writeTable(w io.Writer, all bool) error {
+	if _, err := fmt.Fprintf(w, "perf comparison: %s -> %s\n", c.Old, c.New); err != nil {
+		return err
+	}
+	if c.SiteMismatch {
+		if _, err := fmt.Fprintln(w, "WARNING: site configs differ; workloads are not comparable"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-44s %14s %14s %8s  %s\n",
+		"metric", "old", "new", "ratio", "verdict"); err != nil {
+		return err
+	}
+	shown := 0
+	for _, d := range c.Deltas {
+		if !all && d.Verdict == VerdictOK {
+			continue
+		}
+		shown++
+		ratio := "-"
+		if d.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", d.Ratio)
+		}
+		mark := ""
+		if d.Verdict == VerdictRegressed && d.Gating {
+			mark = "  <-- REGRESSION"
+		}
+		if _, err := fmt.Fprintf(w, "%-44s %14.3f %14.3f %8s  %s%s\n",
+			d.Metric, d.Old, d.New, ratio, d.Verdict, mark); err != nil {
+			return err
+		}
+	}
+	if shown == 0 {
+		if _, err := fmt.Fprintln(w, "(all metrics within tolerance)"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "summary: %d regressions, %d improvements, %d drifts over %d metrics\n",
+		c.Regressions, c.Improvements, c.Drifts, len(c.Deltas))
+	return err
+}
+
+// WriteJSON renders the machine-readable verdict document.
+func (c *Comparison) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}

@@ -1,0 +1,200 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ajaxcrawl/internal/obs"
+)
+
+// benchReport builds a minimal artifact: one phase with the given wall
+// time (ms), one page.crawl span with the given mean (ms), one counter.
+func benchReport(name string, wallMS, spanMeanMS float64, requests int64) *RunReport {
+	return &RunReport{
+		Schema: SchemaVersion,
+		Meta:   Meta{Name: name},
+		Site:   Site{Videos: 60, Seed: 2008},
+		Phases: []Phase{{
+			Name:       "t7.2",
+			WallNS:     int64(wallMS * 1e6),
+			CPUNS:      int64(wallMS * 1e6),
+			AllocBytes: 64 << 20,
+		}},
+		Spans: []obs.SpanAgg{{
+			Name:   "page.crawl",
+			Count:  10,
+			MeanNS: spanMeanMS * 1e6,
+		}},
+		Registry: obs.Snapshot{Counters: map[string]int64{"fetch.requests": requests}},
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	old := benchReport("BENCH_6", 1000, 5, 100)
+	young := benchReport("BENCH_7", 1100, 5.5, 100) // +10%, inside the 25% band
+	c := Compare(old, young, Tolerance{})
+	if c.Regressed() {
+		t.Fatalf("within-band run regressed: %+v", c.Deltas)
+	}
+	if c.Regressions != 0 || c.Improvements != 0 {
+		t.Fatalf("summary = %d regressions / %d improvements, want 0/0", c.Regressions, c.Improvements)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(all metrics within tolerance)") {
+		t.Fatalf("table = %s", buf.String())
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	old := benchReport("BENCH_6", 1000, 5, 100)
+	young := benchReport("BENCH_7", 2000, 5, 100) // wall doubled: synthetic regression
+	c := Compare(old, young, Tolerance{})
+	if !c.Regressed() {
+		t.Fatal("2x wall time must regress — this is the CI exit-code driver")
+	}
+	var wall *Delta
+	for i := range c.Deltas {
+		if c.Deltas[i].Metric == "phase/t7.2/wall_ms" {
+			wall = &c.Deltas[i]
+		}
+	}
+	if wall == nil || wall.Verdict != VerdictRegressed || !wall.Gating || wall.Ratio != 2 {
+		t.Fatalf("wall delta = %+v", wall)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<-- REGRESSION") {
+		t.Fatalf("table missing regression marker:\n%s", buf.String())
+	}
+}
+
+func TestCompareDetectsImprovement(t *testing.T) {
+	old := benchReport("BENCH_6", 1000, 5, 100)
+	young := benchReport("BENCH_7", 500, 2, 100)
+	c := Compare(old, young, Tolerance{})
+	if c.Regressed() {
+		t.Fatalf("faster run regressed: %+v", c.Deltas)
+	}
+	if c.Improvements == 0 {
+		t.Fatalf("no improvements counted: %+v", c.Deltas)
+	}
+}
+
+func TestCompareNoiseFloors(t *testing.T) {
+	// 3x ratio, but both sides sit under the 20ms wall floor and the
+	// span mean under 200µs: scheduler noise, not a verdict.
+	old := benchReport("BENCH_6", 5, 0.05, 100)
+	young := benchReport("BENCH_7", 15, 0.15, 100)
+	old.Phases[0].AllocBytes = 100 << 10
+	young.Phases[0].AllocBytes = 300 << 10
+	c := Compare(old, young, Tolerance{})
+	if c.Regressed() {
+		t.Fatalf("sub-floor jitter regressed: %+v", c.Deltas)
+	}
+}
+
+func TestCompareSpanMinCount(t *testing.T) {
+	old := benchReport("BENCH_6", 1000, 5, 100)
+	young := benchReport("BENCH_7", 1000, 50, 100) // 10x span mean...
+	old.Spans[0].Count = 1                         // ...but a single old sample
+	c := Compare(old, young, Tolerance{})
+	for _, d := range c.Deltas {
+		if d.Metric == "span/page.crawl/mean_ms" {
+			t.Fatalf("mean compared despite count < MinCount: %+v", d)
+		}
+	}
+}
+
+func TestCompareCounterDrift(t *testing.T) {
+	old := benchReport("BENCH_6", 1000, 5, 100)
+	young := benchReport("BENCH_7", 1000, 5, 200) // 2x the work
+	c := Compare(old, young, Tolerance{})
+	if c.Regressed() {
+		t.Fatal("work counters must not gate")
+	}
+	if c.Drifts == 0 {
+		t.Fatalf("2x fetch.requests must drift: %+v", c.Deltas)
+	}
+}
+
+func TestCompareAddedRemoved(t *testing.T) {
+	old := benchReport("BENCH_6", 1000, 5, 100)
+	young := benchReport("BENCH_7", 1000, 5, 100)
+	young.Phases = append(young.Phases, Phase{Name: "t7.5", WallNS: 1e9})
+	old.Spans = append(old.Spans, obs.SpanAgg{Name: "gone.span", Count: 3, MeanNS: 1e6})
+	young.Registry.Counters["new.counter"] = 1
+	c := Compare(old, young, Tolerance{})
+	byMetric := map[string]Verdict{}
+	for _, d := range c.Deltas {
+		byMetric[d.Metric] = d.Verdict
+	}
+	if byMetric["phase/t7.5/wall_ms"] != VerdictAdded {
+		t.Errorf("new phase verdict = %q", byMetric["phase/t7.5/wall_ms"])
+	}
+	if byMetric["span/gone.span/mean_ms"] != VerdictRemoved {
+		t.Errorf("removed span verdict = %q", byMetric["span/gone.span/mean_ms"])
+	}
+	if byMetric["counter/new.counter"] != VerdictAdded {
+		t.Errorf("new counter verdict = %q", byMetric["counter/new.counter"])
+	}
+	if c.Regressed() {
+		t.Fatal("added/removed inventory must not gate")
+	}
+}
+
+func TestCompareSiteMismatch(t *testing.T) {
+	old := benchReport("BENCH_6", 1000, 5, 100)
+	young := benchReport("BENCH_7", 1000, 5, 100)
+	young.Site.Videos = 500
+	c := Compare(old, young, Tolerance{})
+	if !c.SiteMismatch {
+		t.Fatal("different workloads must flag SiteMismatch")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "not comparable") {
+		t.Fatalf("table missing mismatch warning:\n%s", buf.String())
+	}
+}
+
+func TestCompareCustomTolerance(t *testing.T) {
+	old := benchReport("BENCH_6", 1000, 5, 100)
+	young := benchReport("BENCH_7", 1400, 5, 100) // +40%
+	if !Compare(old, young, Tolerance{}).Regressed() {
+		t.Fatal("+40% must regress at the default 25% band")
+	}
+	if Compare(old, young, Tolerance{Rel: 0.5}).Regressed() {
+		t.Fatal("+40% must pass a 50% band")
+	}
+}
+
+func TestComparisonWriteJSON(t *testing.T) {
+	c := Compare(benchReport("a", 1000, 5, 100), benchReport("b", 2000, 5, 100), Tolerance{})
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Comparison
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("verdict document not parseable: %v", err)
+	}
+	if back.Regressions != c.Regressions || len(back.Deltas) != len(c.Deltas) {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, c)
+	}
+	var buf2 bytes.Buffer
+	if err := c.WriteTableAll(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "ok") {
+		t.Fatal("WriteTableAll must include ok rows")
+	}
+}

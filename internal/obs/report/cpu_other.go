@@ -1,0 +1,6 @@
+//go:build !unix
+
+package report
+
+// processCPU is unavailable without rusage; phases report CPUNS 0.
+func processCPU() int64 { return 0 }

@@ -1,0 +1,253 @@
+// Package report is the perf-trajectory layer: a versioned, JSON-stable
+// RunReport artifact (the BENCH_<n>.json files checked in per PR), the
+// Recorder that measures it phase by phase, and a tolerance-banded
+// comparator that diffs two artifacts and gates CI on regressions.
+//
+// A RunReport captures one ajaxbench run end to end: per-phase wall/CPU/
+// allocation stats (runtime.ReadMemStats + rusage deltas), span-duration
+// aggregates per span type (from obs.AggSink), the full metrics-registry
+// snapshot, and optionally the sampler's time series. Every timing
+// source is injectable, so the artifact's shape is pinned by golden
+// tests even though real runs measure real time.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"ajaxcrawl/internal/obs"
+)
+
+// SchemaVersion is bumped whenever RunReport's JSON shape changes
+// incompatibly; Load rejects artifacts from a newer schema than it
+// understands.
+const SchemaVersion = 1
+
+// Meta identifies the run that produced an artifact.
+type Meta struct {
+	// Name is the artifact's logical name, e.g. "BENCH_7".
+	Name string `json:"name"`
+	// Repo and PR locate the code under measurement.
+	Repo string `json:"repo,omitempty"`
+	PR   int    `json:"pr,omitempty"`
+	// Notes carries free-form context (flags, machine class).
+	Notes string `json:"notes,omitempty"`
+}
+
+// Host describes the machine and toolchain behind the numbers.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// Site pins the synthetic-site configuration a run crawled, so two
+// artifacts are only comparable when their workloads match.
+type Site struct {
+	Videos         int     `json:"videos"`
+	Seed           int64   `json:"seed"`
+	LatencyBaseMS  float64 `json:"latency_base_ms"`
+	LatencyPerKBMS float64 `json:"latency_per_kb_ms"`
+}
+
+// Phase is one measured unit of a run (one ajaxbench experiment): wall
+// time, CPU time (rusage user+system; 0 on platforms without rusage),
+// and allocation deltas from runtime.ReadMemStats.
+type Phase struct {
+	Name string `json:"name"`
+	// WallNS is elapsed time on the recorder's clock.
+	WallNS int64 `json:"wall_ns"`
+	// CPUNS is the process's user+system CPU delta across the phase.
+	CPUNS int64 `json:"cpu_ns"`
+	// AllocBytes is the TotalAlloc delta (bytes allocated, not live).
+	AllocBytes int64 `json:"alloc_bytes"`
+	// Mallocs is the heap-object allocation count delta.
+	Mallocs int64 `json:"mallocs"`
+	// GCCycles is the completed-GC delta.
+	GCCycles int64 `json:"gc_cycles"`
+	// HeapBytesEnd is live heap at phase end.
+	HeapBytesEnd int64 `json:"heap_bytes_end"`
+	// Err records a failed phase; its numbers still describe the
+	// attempt.
+	Err string `json:"err,omitempty"`
+}
+
+// RunReport is the versioned perf artifact. Field order (and Go's
+// sorted-map JSON encoding inside the registry snapshot) keeps the
+// serialized form stable for golden tests and reviewable diffs.
+type RunReport struct {
+	Schema    int       `json:"schema"`
+	Meta      Meta      `json:"meta"`
+	CreatedAt time.Time `json:"created_at"`
+	Host      Host      `json:"host"`
+	Site      Site      `json:"site"`
+	Phases    []Phase   `json:"phases"`
+	// Spans aggregates every emitted span by type: count, errors,
+	// total/min/max/mean duration.
+	Spans []obs.SpanAgg `json:"spans"`
+	// Registry is the full end-of-run metrics snapshot.
+	Registry obs.Snapshot `json:"registry"`
+	// Series are the sampler's retained time series, when sampling ran.
+	Series []obs.SeriesSnapshot `json:"series,omitempty"`
+}
+
+// Phase returns the named phase, or nil.
+func (r *RunReport) Phase(name string) *Phase {
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}
+
+// Span returns the named span aggregate, or nil.
+func (r *RunReport) Span(name string) *obs.SpanAgg {
+	for i := range r.Spans {
+		if r.Spans[i].Name == name {
+			return &r.Spans[i]
+		}
+	}
+	return nil
+}
+
+// Save writes the report as pretty-printed JSON via temp-file + rename,
+// so a crash mid-write can't leave a torn artifact.
+func (r *RunReport) Save(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("report: encode: %w", err)
+	}
+	b = append(b, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".report-*")
+	if err != nil {
+		return fmt.Errorf("report: save: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("report: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("report: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("report: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads an artifact written by Save and validates its schema.
+func Load(path string) (*RunReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("report: load: %w", err)
+	}
+	var r RunReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("report: load %s: %w", path, err)
+	}
+	if r.Schema == 0 {
+		return nil, fmt.Errorf("report: load %s: not a run report (no schema field)", path)
+	}
+	if r.Schema > SchemaVersion {
+		return nil, fmt.Errorf("report: load %s: schema %d is newer than supported %d",
+			path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Recorder measures a run phase by phase and assembles the RunReport.
+// The clock, memory reader, CPU reader, and host description are all
+// injectable so tests produce byte-stable artifacts.
+type Recorder struct {
+	meta Meta
+	site Site
+	host Host
+
+	now     func() time.Time
+	readMem func(*runtime.MemStats)
+	cpu     func() int64
+
+	phases []Phase
+}
+
+// NewRecorder starts a recorder with real clocks and the current host.
+func NewRecorder(meta Meta, site Site) *Recorder {
+	return &Recorder{
+		meta: meta,
+		site: site,
+		host: Host{
+			GoVersion: runtime.Version(),
+			OS:        runtime.GOOS,
+			Arch:      runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		now:     time.Now,
+		readMem: runtime.ReadMemStats,
+		cpu:     processCPU,
+	}
+}
+
+// SetClock injects the recorder's time source (tests).
+func (rec *Recorder) SetClock(now func() time.Time) { rec.now = now }
+
+// SetMemReader injects the MemStats source (tests).
+func (rec *Recorder) SetMemReader(f func(*runtime.MemStats)) { rec.readMem = f }
+
+// SetCPUReader injects the process-CPU source (tests).
+func (rec *Recorder) SetCPUReader(f func() int64) { rec.cpu = f }
+
+// SetHost overrides the recorded host description (tests).
+func (rec *Recorder) SetHost(h Host) { rec.host = h }
+
+// StartPhase begins measuring one named phase; the returned func ends
+// it, recording err (nil for success). Phases append in call order.
+func (rec *Recorder) StartPhase(name string) func(err error) {
+	start := rec.now()
+	cpu0 := rec.cpu()
+	var m0 runtime.MemStats
+	rec.readMem(&m0)
+	return func(err error) {
+		var m1 runtime.MemStats
+		rec.readMem(&m1)
+		p := Phase{
+			Name:         name,
+			WallNS:       rec.now().Sub(start).Nanoseconds(),
+			CPUNS:        rec.cpu() - cpu0,
+			AllocBytes:   int64(m1.TotalAlloc - m0.TotalAlloc),
+			Mallocs:      int64(m1.Mallocs - m0.Mallocs),
+			GCCycles:     int64(m1.NumGC - m0.NumGC),
+			HeapBytesEnd: int64(m1.HeapAlloc),
+		}
+		if err != nil {
+			p.Err = err.Error()
+		}
+		rec.phases = append(rec.phases, p)
+	}
+}
+
+// Finish assembles the artifact from the recorded phases plus the
+// run-wide telemetry: the registry snapshot, span aggregates, and
+// (optionally) sampler series.
+func (rec *Recorder) Finish(reg obs.Snapshot, spans []obs.SpanAgg, series []obs.SeriesSnapshot) *RunReport {
+	return &RunReport{
+		Schema:    SchemaVersion,
+		Meta:      rec.meta,
+		CreatedAt: rec.now(),
+		Host:      rec.host,
+		Site:      rec.site,
+		Phases:    append([]Phase(nil), rec.phases...),
+		Spans:     spans,
+		Registry:  reg,
+		Series:    series,
+	}
+}

@@ -1,0 +1,234 @@
+package report
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ajaxcrawl/internal/obs"
+)
+
+// fixedRecorder builds a recorder whose every measurement source is
+// scripted, so the assembled artifact is byte-stable.
+func fixedRecorder() *Recorder {
+	rec := NewRecorder(
+		Meta{Name: "BENCH_T", Repo: "ajaxcrawl", PR: 7, Notes: "test run"},
+		Site{Videos: 60, Seed: 2008, LatencyBaseMS: 60, LatencyPerKBMS: 4},
+	)
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tick := 0
+	rec.SetClock(func() time.Time {
+		tick++
+		return t0.Add(time.Duration(tick) * time.Second)
+	})
+	cpuTick := int64(0)
+	rec.SetCPUReader(func() int64 {
+		cpuTick += 250e6 // each read advances CPU by 250ms
+		return cpuTick
+	})
+	memTick := uint64(0)
+	rec.SetMemReader(func(m *runtime.MemStats) {
+		memTick++
+		*m = runtime.MemStats{
+			TotalAlloc: memTick << 20, // +1 MiB per read
+			Mallocs:    memTick * 1000,
+			NumGC:      uint32(memTick),
+			HeapAlloc:  2 << 20,
+		}
+	})
+	rec.SetHost(Host{GoVersion: "go1.99", OS: "linux", Arch: "amd64", NumCPU: 8})
+	return rec
+}
+
+func fixedReport() *RunReport {
+	rec := fixedRecorder()
+	end := rec.StartPhase("t7.1")
+	end(nil)
+	end = rec.StartPhase("t7.2")
+	end(errors.New("boom"))
+
+	reg := obs.NewRegistry()
+	reg.SetClock(func() time.Time { return time.Date(2026, 1, 2, 3, 5, 0, 0, time.UTC) })
+	reg.Counter("fetch.requests").Add(42)
+	spans := []obs.SpanAgg{{Name: "page.crawl", Count: 6, TotalNS: 600e6, MinNS: 50e6, MaxNS: 200e6, MeanNS: 100e6}}
+	series := []obs.SeriesSnapshot{{
+		Name:   "frontier.depth",
+		Points: []obs.Point{{T: time.Date(2026, 1, 2, 3, 4, 10, 0, time.UTC), V: 7}},
+	}}
+	return rec.Finish(reg.Snapshot(), spans, series)
+}
+
+func TestRecorderPhaseDeltas(t *testing.T) {
+	rep := fixedReport()
+	if rep.Schema != SchemaVersion {
+		t.Fatalf("schema = %d, want %d", rep.Schema, SchemaVersion)
+	}
+	p := rep.Phase("t7.1")
+	if p == nil {
+		t.Fatal("phase t7.1 missing")
+	}
+	if p.WallNS != int64(time.Second) {
+		t.Errorf("wall = %d, want 1s", p.WallNS)
+	}
+	if p.CPUNS != 250e6 {
+		t.Errorf("cpu = %d, want 250ms", p.CPUNS)
+	}
+	if p.AllocBytes != 1<<20 || p.Mallocs != 1000 || p.GCCycles != 1 {
+		t.Errorf("alloc deltas = %d/%d/%d, want 1MiB/1000/1", p.AllocBytes, p.Mallocs, p.GCCycles)
+	}
+	if p.Err != "" {
+		t.Errorf("t7.1 err = %q, want empty", p.Err)
+	}
+	if p2 := rep.Phase("t7.2"); p2 == nil || p2.Err != "boom" {
+		t.Fatalf("phase t7.2 = %+v, want err boom", p2)
+	}
+	if rep.Phase("nope") != nil || rep.Span("nope") != nil {
+		t.Fatal("missing lookups must return nil")
+	}
+	if sp := rep.Span("page.crawl"); sp == nil || sp.Count != 6 {
+		t.Fatalf("span lookup = %+v", sp)
+	}
+}
+
+func TestReportSaveLoadRoundTrip(t *testing.T) {
+	rep := fixedReport()
+	path := filepath.Join(t.TempDir(), "BENCH_T.json")
+	if err := rep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("round trip changed the report:\nsaved:  %s\nloaded: %s", a, b)
+	}
+	// Saving twice is stable (golden property: same inputs, same bytes).
+	path2 := filepath.Join(t.TempDir(), "again.json")
+	if err := got.Save(path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if string(b1) != string(b2) {
+		t.Fatal("re-saving a loaded report changed its bytes")
+	}
+}
+
+func TestReportGolden(t *testing.T) {
+	rep := fixedReport()
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := strings.TrimSpace(`
+{
+  "schema": 1,
+  "meta": {
+    "name": "BENCH_T",
+    "repo": "ajaxcrawl",
+    "pr": 7,
+    "notes": "test run"
+  },
+  "created_at": "2026-01-02T03:04:10Z",
+  "host": {
+    "go_version": "go1.99",
+    "os": "linux",
+    "arch": "amd64",
+    "num_cpu": 8
+  },
+  "site": {
+    "videos": 60,
+    "seed": 2008,
+    "latency_base_ms": 60,
+    "latency_per_kb_ms": 4
+  },
+  "phases": [
+    {
+      "name": "t7.1",
+      "wall_ns": 1000000000,
+      "cpu_ns": 250000000,
+      "alloc_bytes": 1048576,
+      "mallocs": 1000,
+      "gc_cycles": 1,
+      "heap_bytes_end": 2097152
+    },
+    {
+      "name": "t7.2",
+      "wall_ns": 1000000000,
+      "cpu_ns": 250000000,
+      "alloc_bytes": 1048576,
+      "mallocs": 1000,
+      "gc_cycles": 1,
+      "heap_bytes_end": 2097152,
+      "err": "boom"
+    }
+  ],
+  "spans": [
+    {
+      "name": "page.crawl",
+      "count": 6,
+      "errors": 0,
+      "total_ns": 600000000,
+      "min_ns": 50000000,
+      "max_ns": 200000000,
+      "mean_ns": 100000000
+    }
+  ],
+  "registry": {
+    "taken_at": "2026-01-02T03:05:00Z",
+    "counters": {
+      "fetch.requests": 42
+    },
+    "gauges": {},
+    "histograms": {}
+  },
+  "series": [
+    {
+      "name": "frontier.depth",
+      "points": [
+        {
+          "t": "2026-01-02T03:04:10Z",
+          "v": 7
+        }
+      ]
+    }
+  ]
+}`)
+	if string(b) != golden {
+		t.Fatalf("report JSON drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", b, golden)
+	}
+}
+
+func TestLoadRejectsBadArtifacts(t *testing.T) {
+	dir := t.TempDir()
+
+	notReport := filepath.Join(dir, "not.json")
+	os.WriteFile(notReport, []byte(`{"hello":"world"}`), 0o644)
+	if _, err := Load(notReport); err == nil || !strings.Contains(err.Error(), "not a run report") {
+		t.Fatalf("schema-less load err = %v", err)
+	}
+
+	future := filepath.Join(dir, "future.json")
+	os.WriteFile(future, []byte(`{"schema":99}`), 0o644)
+	if _, err := Load(future); err == nil || !strings.Contains(err.Error(), "newer than supported") {
+		t.Fatalf("future-schema load err = %v", err)
+	}
+
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+
+	garbled := filepath.Join(dir, "garbled.json")
+	os.WriteFile(garbled, []byte(`{`), 0o644)
+	if _, err := Load(garbled); err == nil {
+		t.Fatal("garbled JSON must error")
+	}
+}

@@ -1,0 +1,109 @@
+// External test package: the sampler test drives obs.Sampler with
+// fetch.VirtualClock, and fetch imports obs — an in-package test would
+// close an import cycle.
+package obs_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/obs"
+)
+
+func TestSamplerRecordsRegistrySeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := &fetch.VirtualClock{}
+	s := obs.NewSampler(reg, obs.SamplerConfig{
+		Clock:     clock,
+		Gauges:    []string{"frontier.depth"},
+		Counters:  []string{"crawl.pages.done"},
+		NoRuntime: true,
+	})
+
+	for i := 1; i <= 3; i++ {
+		reg.Gauge("frontier.depth").Set(int64(10 * i))
+		reg.Counter("crawl.pages.done").Inc()
+		s.Sample()
+		_ = clock.Sleep(context.Background(), time.Second)
+	}
+
+	depth := s.Series("frontier.depth")
+	if len(depth) != 3 {
+		t.Fatalf("frontier.depth points = %d, want 3", len(depth))
+	}
+	for i, want := range []int64{10, 20, 30} {
+		if depth[i].V != want {
+			t.Errorf("depth[%d] = %d, want %d", i, depth[i].V, want)
+		}
+	}
+	// Points are stamped with the virtual clock, one second apart.
+	if d := depth[1].T.Sub(depth[0].T); d != time.Second {
+		t.Errorf("sample spacing = %v, want 1s", d)
+	}
+	done := s.Series("crawl.pages.done")
+	if len(done) != 3 || done[2].V != 3 {
+		t.Fatalf("crawl.pages.done = %+v, want 3 points ending at 3", done)
+	}
+
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot series = %d, want 2", len(snap))
+	}
+	// First-recorded order: gauges before counters.
+	if snap[0].Name != "frontier.depth" || snap[1].Name != "crawl.pages.done" {
+		t.Errorf("snapshot order = %q, %q", snap[0].Name, snap[1].Name)
+	}
+}
+
+func TestSamplerRingEvictsOldest(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := &fetch.VirtualClock{}
+	s := obs.NewSampler(reg, obs.SamplerConfig{
+		Clock:     clock,
+		Cap:       4,
+		Gauges:    []string{"g"},
+		Counters:  []string{},
+		NoRuntime: true,
+	})
+
+	for i := 1; i <= 10; i++ {
+		reg.Gauge("g").Set(int64(i))
+		s.Sample()
+	}
+	pts := s.Series("g")
+	if len(pts) != 4 {
+		t.Fatalf("retained points = %d, want cap 4", len(pts))
+	}
+	// Newest 4 survive, oldest first.
+	for i, want := range []int64{7, 8, 9, 10} {
+		if pts[i].V != want {
+			t.Errorf("pts[%d] = %d, want %d", i, pts[i].V, want)
+		}
+	}
+}
+
+func TestSamplerRuntimeSeries(t *testing.T) {
+	s := obs.NewSampler(nil, obs.SamplerConfig{
+		Clock:    &fetch.VirtualClock{},
+		Gauges:   []string{},
+		Counters: []string{},
+	})
+	s.Sample()
+	if pts := s.Series(obs.SeriesHeapAlloc); len(pts) != 1 || pts[0].V <= 0 {
+		t.Fatalf("%s = %+v, want one positive point", obs.SeriesHeapAlloc, pts)
+	}
+	if pts := s.Series(obs.SeriesGoroutines); len(pts) != 1 || pts[0].V <= 0 {
+		t.Fatalf("%s = %+v, want one positive point", obs.SeriesGoroutines, pts)
+	}
+}
+
+func TestSamplerNilSafety(t *testing.T) {
+	var s *obs.Sampler
+	s.Sample() // must not panic
+	s.Run(context.Background(), time.Second)
+	if s.Snapshot() != nil || s.Series("x") != nil {
+		t.Fatal("nil sampler must return nil views")
+	}
+}
