@@ -74,6 +74,10 @@ func main() {
 		frontSeed   = flag.Int64("frontier-seed", 0, "seed for the frontier scheduler's steal-victim PRNG (0 selects seed 1; results are seed-independent)")
 		bloomBits   = flag.Int("bloom-bits", 0, "frontier dedup bloom filter size in bits (0 selects the default, 1<<20)")
 		partsAlias  = flag.Int("partitions", 0, "deprecated: alias for -lines; process lines now pull from a shared frontier, partitions only shape the output layout")
+		nearDup     = flag.Float64("neardup", 0, "merge states whose sketch similarity reaches this threshold in (0,1] (0 disables; 0.9 with the default minhash sketch, ~0.5 with -sketch simhash)")
+		nearDupB    = flag.Int("neardup-bands", 0, "near-dup candidate lookup: 0 = LSH index with bands derived from -neardup (recall-preserving), -1 = brute-force linear scan, >0 = force that many bands (probabilistic, may miss merges)")
+		sketchKind  = flag.String("sketch", "minhash", "near-dup signature family: minhash (64 permutations) or simhash (64-bit fingerprint, cheaper and coarser)")
+		simNoisy    = flag.Bool("sim-noisy", false, "give the synthetic site mutating page chrome (timestamp/view-counter/ad-slot) — the noisy-app workload that near-dup merging collapses")
 	)
 	flag.Parse()
 	if *partsAlias > 0 {
@@ -105,7 +109,9 @@ func main() {
 	startURL := *start
 	switch {
 	case *sim > 0:
-		site := webapp.New(webapp.DefaultConfig(*sim, *seed))
+		cfg := webapp.DefaultConfig(*sim, *seed)
+		cfg.NoisyDecor = *simNoisy
+		site := webapp.New(cfg)
 		fetcher = &fetch.HandlerFetcher{Handler: site.Handler()}
 		if startURL == "" {
 			startURL = webapp.WatchURL(site.VideoID(0))
@@ -181,9 +187,15 @@ func main() {
 	infof("partitioned into %d directories of <= %d pages", len(parts), *partSize)
 
 	opts := core.Options{
-		Traditional: *traditional,
-		UseHotNode:  !*noHot && !*traditional,
-		MaxStates:   *maxStates,
+		Traditional:      *traditional,
+		UseHotNode:       !*noHot && !*traditional,
+		MaxStates:        *maxStates,
+		NearDupThreshold: *nearDup,
+		NearDupBands:     *nearDupB,
+		Sketch:           core.SketchKind(*sketchKind),
+	}
+	if *sketchKind != string(core.SketchMinHash) && *sketchKind != string(core.SketchSimHash) {
+		fatal("-sketch %q: want %s or %s", *sketchKind, core.SketchMinHash, core.SketchSimHash)
 	}
 	if *retries > 0 {
 		opts.RetryPolicy = &fetch.RetryPolicy{
@@ -277,6 +289,10 @@ func main() {
 	}
 	if restarts := sum(res.Restarts); restarts > 0 {
 		infof("supervisor: %d page requeues", restarts)
+	}
+	if m.NearDupMerges > 0 {
+		infof("near-dup: %d states merged (%d probes, %d candidates verified, %d false positives)",
+			m.NearDupMerges, m.NearDupProbes, m.NearDupCandidates, m.NearDupFalsePositives)
 	}
 	if m.Retries > 0 || m.BreakerOpens > 0 {
 		infof("resilience: %d retries recovered %d pages, %d breaker opens",

@@ -44,6 +44,7 @@ import (
 	"ajaxcrawl/internal/dom"
 	"ajaxcrawl/internal/model"
 	"ajaxcrawl/internal/obs"
+	"ajaxcrawl/internal/shingle"
 )
 
 const (
@@ -59,6 +60,12 @@ const (
 	recState    byte = 2
 	recHotNode  byte = 3
 	recFrontier byte = 4
+	// recStateSig pairs an admitted state hash with its near-dup sketch
+	// signature. A separate record type (not a new recState field) keeps
+	// journals written by older code replayable by this one and vice
+	// versa: readers treat unknown types as a tear point, so appending a
+	// new type never corrupts an old reader's prefix.
+	recStateSig byte = 5
 
 	// maxFramePayload bounds the length prefix of a frame. A lying
 	// header beyond it is treated as a torn tail, not an allocation.
@@ -116,6 +123,9 @@ type RecoveryInfo struct {
 	Pages int
 	// States is the number of mid-page state records replayed.
 	States int
+	// StateSigs is the number of mid-page state-signature records
+	// replayed.
+	StateSigs int
 	// HotEntries is the number of hot-node cache fills replayed.
 	HotEntries int
 	// FrontierURLs is the number of distinct frontier admissions replayed.
@@ -144,6 +154,7 @@ type Journal struct {
 	pages         map[string]PageRecord
 	pageOrder     []string
 	states        map[string][]dom.Hash
+	stateSigs     map[string]map[dom.Hash]shingle.Signature
 	hot           map[string]map[string]string
 	frontier      map[string]FrontierRecord
 	frontierOrder []string
@@ -170,6 +181,7 @@ func Open(ctx context.Context, dir string, opts Options) (*Journal, error) {
 		ctx:          ctx,
 		pages:        make(map[string]PageRecord),
 		states:       make(map[string][]dom.Hash),
+		stateSigs:    make(map[string]map[dom.Hash]shingle.Signature),
 		hot:          make(map[string]map[string]string),
 		frontier:     make(map[string]FrontierRecord),
 		compactEvery: opts.CompactEvery,
@@ -391,6 +403,30 @@ func (j *Journal) applyRecord(payload []byte) bool {
 		j.states[string(url)] = append(j.states[string(url)], h)
 		j.recovered.States++
 		return true
+	case recStateSig:
+		url, err := readField(r)
+		if err != nil {
+			return false
+		}
+		var h dom.Hash
+		if _, err := io.ReadFull(r, h[:]); err != nil {
+			return false
+		}
+		sigBytes, err := readField(r)
+		if err != nil || len(sigBytes)%8 != 0 {
+			return false
+		}
+		sig := make(shingle.Signature, len(sigBytes)/8)
+		for i := range sig {
+			sig[i] = binary.LittleEndian.Uint64(sigBytes[i*8:])
+		}
+		u := string(url)
+		if j.stateSigs[u] == nil {
+			j.stateSigs[u] = make(map[dom.Hash]shingle.Signature)
+		}
+		j.stateSigs[u][h] = sig
+		j.recovered.StateSigs++
+		return true
 	case recHotNode:
 		url, err := readField(r)
 		if err != nil {
@@ -602,6 +638,51 @@ func (j *Journal) StateAdmitted(url string, h dom.Hash) error {
 	}
 	j.states[url] = append(j.states[url], h)
 	return nil
+}
+
+// StateSig journals an admitted state's near-dup sketch signature
+// mid-page (buffered, like StateAdmitted). On resume these let the
+// re-crawl of an interrupted page rebuild its LSH index without
+// re-sketching the states it already saw.
+func (j *Journal) StateSig(url string, h dom.Hash, sig shingle.Signature) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	var payload bytes.Buffer
+	payload.WriteByte(recStateSig)
+	putField(&payload, []byte(url))
+	payload.Write(h[:])
+	sigBytes := make([]byte, len(sig)*8)
+	for i, v := range sig {
+		binary.LittleEndian.PutUint64(sigBytes[i*8:], v)
+	}
+	putField(&payload, sigBytes)
+	if err := j.writeFrame(payload.Bytes()); err != nil {
+		return err
+	}
+	if j.stateSigs[url] == nil {
+		j.stateSigs[url] = make(map[dom.Hash]shingle.Signature)
+	}
+	j.stateSigs[url][h] = sig
+	return nil
+}
+
+// StateSigs returns the journaled state signatures for url keyed by
+// state hash (nil when none).
+func (j *Journal) StateSigs(url string) map[dom.Hash]shingle.Signature {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	sigs := j.stateSigs[url]
+	if len(sigs) == 0 {
+		return nil
+	}
+	out := make(map[dom.Hash]shingle.Signature, len(sigs))
+	for h, sig := range sigs {
+		out[h] = sig
+	}
+	return out
 }
 
 // HotNode journals one hot-node cache fill mid-page (buffered, like

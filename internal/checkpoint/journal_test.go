@@ -8,6 +8,7 @@ import (
 
 	"ajaxcrawl/internal/dom"
 	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/shingle"
 )
 
 // testGraph builds a tiny application model for url with n states.
@@ -344,5 +345,88 @@ func TestJournalFrontierSurvivesCompaction(t *testing.T) {
 	}
 	if j2.CompletedPages() != 2 {
 		t.Fatalf("CompletedPages = %d, want 2", j2.CompletedPages())
+	}
+}
+
+// TestJournalStateSigRoundTrip pins the recStateSig record: signatures
+// journaled mid-page survive close/recover keyed by state hash, the
+// returned map is a copy, and unknown-length payloads never corrupt
+// neighbouring records.
+func TestJournalStateSigRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{CompactEvery: -1})
+	var h1, h2 dom.Hash
+	h1[0], h2[0] = 0x11, 0x22
+	sig1 := shingle.Signature{1, 2, 3, 4}
+	sig2 := shingle.Signature{9, 8, 7, 6, 5}
+	if err := j.StateSig("u1", h1, sig1); err != nil {
+		t.Fatalf("StateSig: %v", err)
+	}
+	if err := j.StateSig("u1", h2, sig2); err != nil {
+		t.Fatalf("StateSig: %v", err)
+	}
+	if err := j.StateSig("u2", h1, sig2); err != nil {
+		t.Fatalf("StateSig: %v", err)
+	}
+	// A later record must still replay after the sig records.
+	if err := j.StateAdmitted("u1", h1); err != nil {
+		t.Fatalf("StateAdmitted: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if ri := j2.Recovered(); ri.StateSigs != 3 || ri.States != 1 {
+		t.Fatalf("Recovered = %+v, want 3 state sigs and 1 state", ri)
+	}
+	sigs := j2.StateSigs("u1")
+	if len(sigs) != 2 {
+		t.Fatalf("StateSigs(u1) = %v", sigs)
+	}
+	for i, v := range sig1 {
+		if sigs[h1][i] != v {
+			t.Fatalf("StateSigs(u1)[h1] = %v, want %v", sigs[h1], sig1)
+		}
+	}
+	if len(sigs[h2]) != len(sig2) {
+		t.Fatalf("StateSigs(u1)[h2] = %v, want %v", sigs[h2], sig2)
+	}
+	if j2.StateSigs("nope") != nil {
+		t.Fatalf("StateSigs(nope) != nil")
+	}
+	// Returned map is a copy.
+	sigs[h1] = shingle.Signature{0}
+	if len(j2.StateSigs("u1")[h1]) != len(sig1) {
+		t.Fatal("StateSigs returned the journal's internal map")
+	}
+}
+
+// TestJournalStateSigDroppedByCompaction: sig records are mid-page
+// progress, made redundant once their page completes — compaction must
+// not carry them into the snapshot.
+func TestJournalStateSigDroppedByCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{CompactEvery: 1})
+	var h dom.Hash
+	h[0] = 0x33
+	if err := j.StateSig("a", h, shingle.Signature{42}); err != nil {
+		t.Fatalf("StateSig: %v", err)
+	}
+	// PageDone triggers compaction (CompactEvery=1).
+	if err := j.PageDone(PageRecord{URL: "a", Graph: testGraph("a", 1)}); err != nil {
+		t.Fatalf("PageDone: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if got := j2.StateSigs("a"); got != nil {
+		t.Fatalf("sig record survived compaction: %v", got)
+	}
+	if _, ok := j2.Completed("a"); !ok {
+		t.Fatalf("page lost by compaction")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"ajaxcrawl/internal/dom"
 	"ajaxcrawl/internal/model"
 	"ajaxcrawl/internal/obs"
+	"ajaxcrawl/internal/shingle"
 )
 
 // Checkpointer is the crawler's durable-progress hook. When
@@ -39,6 +40,13 @@ type Checkpointer interface {
 	PageDone(url string, g *model.Graph, pm PageMetrics) error
 	// StateAdmitted records a state discovered mid-page (best-effort).
 	StateAdmitted(url string, h dom.Hash) error
+	// StateSig records the admitted state's near-dup signature mid-page
+	// (best-effort), so a resumed re-crawl of an interrupted page
+	// rebuilds its LSH index without re-sketching.
+	StateSig(url string, h dom.Hash, sig shingle.Signature) error
+	// StateSigs returns journaled signatures for url keyed by state
+	// hash, consumed by stateAdmitter.seedSigs on re-crawl.
+	StateSigs(url string) map[dom.Hash]shingle.Signature
 	// HotNode records one hot-node cache fill mid-page (best-effort).
 	HotNode(url, key, body string) error
 	// HotEntries returns journaled hot-node fills for url, used to
@@ -109,6 +117,14 @@ func (c *journalCheckpointer) PageDone(url string, g *model.Graph, pm PageMetric
 
 func (c *journalCheckpointer) StateAdmitted(url string, h dom.Hash) error {
 	return c.j.StateAdmitted(url, h)
+}
+
+func (c *journalCheckpointer) StateSig(url string, h dom.Hash, sig shingle.Signature) error {
+	return c.j.StateSig(url, h, sig)
+}
+
+func (c *journalCheckpointer) StateSigs(url string) map[dom.Hash]shingle.Signature {
+	return c.j.StateSigs(url)
 }
 
 func (c *journalCheckpointer) HotNode(url, key, body string) error {
@@ -289,6 +305,24 @@ func (c *CrawlCheckpoints) hotEntries(url string) map[string]string {
 	return out
 }
 
+// stateSigs is the union StateSigs across every line journal, mirroring
+// hotEntries: an interrupted page's signatures live in whichever
+// journals its earlier attempts wrote.
+func (c *CrawlCheckpoints) stateSigs(url string) map[dom.Hash]shingle.Signature {
+	var out map[dom.Hash]shingle.Signature
+	for _, j := range c.snapshotJournals() {
+		for h, sig := range j.StateSigs(url) {
+			if out == nil {
+				out = make(map[dom.Hash]shingle.Signature)
+			}
+			if _, dup := out[h]; !dup {
+				out[h] = sig
+			}
+		}
+	}
+	return out
+}
+
 // Close closes every line journal and the frontier journal, returning
 // the first error. Call after the crawl fully drains.
 func (c *CrawlCheckpoints) Close() error {
@@ -329,6 +363,14 @@ func (l *lineCheckpointer) PageDone(url string, g *model.Graph, pm PageMetrics) 
 
 func (l *lineCheckpointer) StateAdmitted(url string, h dom.Hash) error {
 	return l.j.StateAdmitted(url, h)
+}
+
+func (l *lineCheckpointer) StateSig(url string, h dom.Hash, sig shingle.Signature) error {
+	return l.j.StateSig(url, h, sig)
+}
+
+func (l *lineCheckpointer) StateSigs(url string) map[dom.Hash]shingle.Signature {
+	return l.c.stateSigs(url)
 }
 
 func (l *lineCheckpointer) HotNode(url, key, body string) error {

@@ -24,6 +24,7 @@ import (
 	"ajaxcrawl/internal/browser"
 	"ajaxcrawl/internal/dom"
 	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/lsh"
 	"ajaxcrawl/internal/model"
 	"ajaxcrawl/internal/obs"
 	"ajaxcrawl/internal/shingle"
@@ -82,6 +83,20 @@ type Options struct {
 	// granular events ... a large set of very similar states"). 0.9 is
 	// a reasonable setting; 0 disables near-duplicate merging.
 	NearDupThreshold float64
+	// NearDupBands controls how near-dup candidates are found. 0 (the
+	// default) probes a banded LSH index whose band count is derived
+	// from NearDupThreshold by lsh.ParamsFor — the recall-preserving
+	// layout, guaranteed to surface every state the linear scan would
+	// merge. -1 disables the index and scans every admitted signature
+	// linearly (the benchmark baseline). A positive value forces that
+	// many bands; below the ParamsFor bound this is ordinary
+	// probabilistic LSH and may miss merges (see DESIGN.md §5h).
+	NearDupBands int
+	// Sketch selects the near-dup signature family: SketchMinHash (the
+	// default, 64 permutations) or SketchSimHash (one 64-bit
+	// random-projection fingerprint widened to 16 chunks — cheaper to
+	// compute, coarser similarity estimates).
+	Sketch SketchKind
 	// Clock measures crawl time (virtual in benchmarks). nil = wall.
 	Clock fetch.Clock
 	// PageTimeout is the per-page crawl budget: CrawlPage derives a
@@ -131,7 +146,32 @@ func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = fetch.RealClock{}
 	}
+	if o.Sketch == "" {
+		o.Sketch = SketchMinHash
+	}
 	return o
+}
+
+// SketchKind names a near-dup signature family (see Options.Sketch).
+type SketchKind string
+
+const (
+	SketchMinHash SketchKind = "minhash"
+	SketchSimHash SketchKind = "simhash"
+)
+
+// sketcher resolves the kind to its token→Signature function and the
+// signature length it produces (the LSH index and the checkpoint sig
+// cache are keyed to that length).
+func (k SketchKind) sketcher() (func(tokens []string) shingle.Signature, int, error) {
+	switch k {
+	case "", SketchMinHash:
+		return shingle.Sketch, shingle.DefaultSignatureSize, nil
+	case SketchSimHash:
+		return shingle.SimHashSketch, shingle.SimHashSignatureSize, nil
+	default:
+		return nil, 0, fmt.Errorf("core: unknown sketch kind %q (want %q or %q)", k, SketchMinHash, SketchSimHash)
+	}
 }
 
 // PageMetrics reports what crawling one page cost — the per-page rows of
@@ -159,6 +199,18 @@ type PageMetrics struct {
 	StatesPruned int
 	// NearDupMerges counts states folded into an existing near-duplicate.
 	NearDupMerges int
+	// NearDupProbes counts LSH band-bucket lookups made while admitting
+	// this page's states (0 on the brute-force path, which has no index).
+	NearDupProbes int
+	// NearDupCandidates counts exact Similarity verifications — the
+	// "similarity work" the LSH index exists to shrink. On the
+	// brute-force path this is every signature comparison of the linear
+	// scan; on the indexed path, only bucket-collision candidates.
+	NearDupCandidates int
+	// NearDupFalsePositives counts indexed candidates that failed exact
+	// verification — the price of banding, bounded but never a wrong
+	// merge.
+	NearDupFalsePositives int
 	// Retries counts fetch attempts beyond the first made while crawling
 	// this page (attributed through fetch.FindRetryStats, like
 	// NetworkTime through fetch.FindStats).
@@ -189,24 +241,27 @@ type Metrics struct {
 	// PagesResumed counts pages served from the checkpoint journal
 	// instead of being re-crawled (their journaled graphs and metrics
 	// are in the result, so the aggregate matches an uninterrupted run).
-	PagesResumed    int
-	States          int
-	Transitions     int
-	EventsTriggered int
-	NetworkEvents   int
-	XHRSends        int
-	NetworkCalls    int
-	HotNodeHits     int
-	HandlerErrors   int
-	EventsSkipped   int
-	StatesPruned    int
-	NearDupMerges   int
-	Retries         int
-	BreakerOpens    int
-	PagesRecovered  int
-	CrawlTime       time.Duration
-	NetworkTime     time.Duration
-	PerPage         []PageMetrics
+	PagesResumed          int
+	States                int
+	Transitions           int
+	EventsTriggered       int
+	NetworkEvents         int
+	XHRSends              int
+	NetworkCalls          int
+	HotNodeHits           int
+	HandlerErrors         int
+	EventsSkipped         int
+	StatesPruned          int
+	NearDupMerges         int
+	NearDupProbes         int
+	NearDupCandidates     int
+	NearDupFalsePositives int
+	Retries               int
+	BreakerOpens          int
+	PagesRecovered        int
+	CrawlTime             time.Duration
+	NetworkTime           time.Duration
+	PerPage               []PageMetrics
 }
 
 // Add folds a page's metrics into the aggregate.
@@ -223,6 +278,9 @@ func (m *Metrics) Add(pm PageMetrics) {
 	m.EventsSkipped += pm.EventsSkipped
 	m.StatesPruned += pm.StatesPruned
 	m.NearDupMerges += pm.NearDupMerges
+	m.NearDupProbes += pm.NearDupProbes
+	m.NearDupCandidates += pm.NearDupCandidates
+	m.NearDupFalsePositives += pm.NearDupFalsePositives
 	m.Retries += pm.Retries
 	m.BreakerOpens += pm.BreakerOpens
 	m.PagesRecovered += pm.PagesRecovered
@@ -247,6 +305,9 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.EventsSkipped += o.EventsSkipped
 	m.StatesPruned += o.StatesPruned
 	m.NearDupMerges += o.NearDupMerges
+	m.NearDupProbes += o.NearDupProbes
+	m.NearDupCandidates += o.NearDupCandidates
+	m.NearDupFalsePositives += o.NearDupFalsePositives
 	m.Retries += o.Retries
 	m.BreakerOpens += o.BreakerOpens
 	m.PagesRecovered += o.PagesRecovered
@@ -402,9 +463,14 @@ func (c *Crawler) crawlDynamic(ctx context.Context, page *browser.Page, graph *m
 		pm.HandlerErrors++
 	}
 	tel := obs.From(ctx)
-	admit := newStateAdmitter(graph, opts.NearDupThreshold, pm, tel)
+	admit, err := newStateAdmitter(graph, opts, pm, tel)
+	if err != nil {
+		return err
+	}
 	if cp := opts.Checkpoint; cp != nil {
 		admit.journal = func(h dom.Hash) { _ = cp.StateAdmitted(url, h) }
+		admit.journalSig = func(h dom.Hash, sig shingle.Signature) { _ = cp.StateSig(url, h, sig) }
+		admit.seedSigs(cp.StateSigs(url))
 	}
 	initial, _ := admit.state(page.Hash(), page.Doc.VisibleText(), 0)
 	graph.Initial = initial
@@ -674,25 +740,76 @@ func (c *Crawler) CrawlAll(ctx context.Context, urls []string) ([]*model.Graph, 
 
 // stateAdmitter decides whether a crawled DOM is a genuinely new state:
 // exact-hash duplicates collapse as always (Alg. 3.1.1), and — when a
-// NearDupThreshold is set — states whose MinHash text similarity to an
+// NearDupThreshold is set — states whose sketch similarity to an
 // existing state reaches the threshold are merged into it.
+//
+// Candidate discovery is either a banded LSH index probe (the default;
+// see internal/lsh) or a linear scan over admission order (NearDupBands
+// = -1, the benchmark baseline). Both paths verify candidates with the
+// exact Signature.Similarity in ascending-StateID order and merge into
+// the first match, so the merge target is deterministically the lowest
+// matching StateID and — with the recall-preserving band layout — both
+// paths produce identical models.
 type stateAdmitter struct {
 	graph     *model.Graph
 	threshold float64
 	pm        *PageMetrics
 	tel       *obs.Telemetry
+	sketch    func(tokens []string) shingle.Signature
+	sigLen    int
+	index     *lsh.Index // nil on the brute-force path
+	order     []model.StateID
 	sigs      map[model.StateID]shingle.Signature
+	// sigCache holds journaled hash→signature pairs from an interrupted
+	// attempt at this page, so a resumed re-crawl skips re-sketching the
+	// states it already saw.
+	sigCache map[dom.Hash]shingle.Signature
 	// journal, when set, receives every newly admitted state hash — the
-	// checkpoint journal's mid-page progress trail.
-	journal func(h dom.Hash)
+	// checkpoint journal's mid-page progress trail. journalSig likewise
+	// records the admitted state's signature so a resume can rebuild the
+	// near-dup index without re-sketching.
+	journal    func(h dom.Hash)
+	journalSig func(h dom.Hash, sig shingle.Signature)
 }
 
-func newStateAdmitter(graph *model.Graph, threshold float64, pm *PageMetrics, tel *obs.Telemetry) *stateAdmitter {
-	a := &stateAdmitter{graph: graph, threshold: threshold, pm: pm, tel: tel}
-	if threshold > 0 {
-		a.sigs = make(map[model.StateID]shingle.Signature)
+func newStateAdmitter(graph *model.Graph, opts Options, pm *PageMetrics, tel *obs.Telemetry) (*stateAdmitter, error) {
+	a := &stateAdmitter{graph: graph, threshold: opts.NearDupThreshold, pm: pm, tel: tel}
+	if a.threshold <= 0 {
+		return a, nil
 	}
-	return a
+	sketch, sigLen, err := opts.Sketch.sketcher()
+	if err != nil {
+		return nil, err
+	}
+	a.sketch, a.sigLen = sketch, sigLen
+	a.sigs = make(map[model.StateID]shingle.Signature)
+	switch {
+	case opts.NearDupBands < 0:
+		// Brute force: no index, linear scan over a.order.
+	case opts.NearDupBands == 0:
+		a.index = lsh.New(a.threshold, sigLen)
+	default:
+		a.index = lsh.NewWithParams(lsh.Params{Bands: opts.NearDupBands}, sigLen)
+	}
+	return a, nil
+}
+
+// seedSigs primes the sketch cache with journaled signatures from an
+// interrupted attempt. Entries of the wrong length (the sketch kind
+// changed between runs) are ignored — the state is simply re-sketched.
+func (a *stateAdmitter) seedSigs(sigs map[dom.Hash]shingle.Signature) {
+	if a.threshold <= 0 || len(sigs) == 0 {
+		return
+	}
+	for h, sig := range sigs {
+		if len(sig) != a.sigLen {
+			continue
+		}
+		if a.sigCache == nil {
+			a.sigCache = make(map[dom.Hash]shingle.Signature, len(sigs))
+		}
+		a.sigCache[h] = sig
+	}
 }
 
 // state admits (or merges) a candidate state and returns its ID. The
@@ -713,13 +830,14 @@ func (a *stateAdmitter) state(h dom.Hash, text string, depth int) (model.StateID
 		}
 		return id, isNew
 	}
-	sig := shingle.Sketch(strings.Fields(strings.ToLower(text)))
-	for id, existing := range a.sigs {
-		if sig.Similarity(existing) >= a.threshold {
-			a.pm.NearDupMerges++
-			a.tel.Counter("crawl.states.neardup_merged").Inc()
-			return id, false
-		}
+	sig, ok := a.sigCache[h]
+	if !ok {
+		sig = a.sketch(strings.Fields(strings.ToLower(text)))
+	}
+	if target, merged := a.mergeTarget(sig); merged {
+		a.pm.NearDupMerges++
+		a.tel.Counter("crawl.states.neardup.merged").Inc()
+		return target, false
 	}
 	id, isNew := a.graph.AddState(h, text, depth)
 	if isNew {
@@ -727,7 +845,48 @@ func (a *stateAdmitter) state(h dom.Hash, text string, depth int) (model.StateID
 		if a.journal != nil {
 			a.journal(h)
 		}
+		if a.journalSig != nil {
+			a.journalSig(h, sig)
+		}
 	}
 	a.sigs[id] = sig
+	a.order = append(a.order, id)
+	if a.index != nil {
+		a.index.Add(int(id), sig)
+	}
 	return id, isNew
+}
+
+// mergeTarget finds the lowest-StateID admitted state whose signature
+// similarity to sig reaches the threshold, or reports none. Both paths
+// verify in ascending-ID order and stop at the first match; since IDs
+// are admitted in ascending order (brute path) and index candidates are
+// returned sorted (LSH path), the first verified match is the lowest.
+func (a *stateAdmitter) mergeTarget(sig shingle.Signature) (model.StateID, bool) {
+	if a.index == nil {
+		for _, id := range a.order {
+			a.pm.NearDupCandidates++
+			a.tel.Counter("crawl.states.neardup.candidates").Inc()
+			if sig.Similarity(a.sigs[id]) >= a.threshold {
+				return id, true
+			}
+		}
+		return 0, false
+	}
+	before := a.index.Stats()
+	cands := a.index.Candidates(sig)
+	probes := int(a.index.Stats().Probes - before.Probes)
+	a.pm.NearDupProbes += probes
+	a.tel.Counter("crawl.states.neardup.probes").Add(int64(probes))
+	for _, c := range cands {
+		a.pm.NearDupCandidates++
+		a.tel.Counter("crawl.states.neardup.candidates").Inc()
+		id := model.StateID(c)
+		if sig.Similarity(a.sigs[id]) >= a.threshold {
+			return id, true
+		}
+		a.pm.NearDupFalsePositives++
+		a.tel.Counter("crawl.states.neardup.false_positives").Inc()
+	}
+	return 0, false
 }

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/obs"
+	"ajaxcrawl/internal/shingle"
+	"ajaxcrawl/internal/webapp"
+)
+
+// noisySite builds a site whose watch pages carry the mutating decor
+// strip (timestamp/view-counter/ad-slot) — the trivially-differing
+// states of ROADMAP item 1 that explode the exact-hash model.
+func noisySite(videos int) (*webapp.Site, fetch.Fetcher) {
+	cfg := webapp.DefaultConfig(videos, 17)
+	cfg.NoisyDecor = true
+	site := webapp.New(cfg)
+	return site, &fetch.HandlerFetcher{Handler: site.Handler()}
+}
+
+// TestNoisyDecorExplodesAndCollapses shows the noisy-app problem and the
+// fix: without near-dup merging the decor mutations burn the whole state
+// budget on chrome variants; with it, the variants collapse and the
+// model keeps at least as many real comment pages.
+func TestNoisyDecorExplodesAndCollapses(t *testing.T) {
+	site, f := noisySite(20)
+	v := multiPageVideo(t, site, 4)
+	url := webapp.WatchURL(v.ID)
+
+	plain := New(f, Options{UseHotNode: true, MaxStates: 11})
+	gPlain, _, err := plain.CrawlPage(context.Background(), url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gPlain.NumStates() < 11 {
+		t.Fatalf("noisy decor did not explode the exact-hash model: %d states", gPlain.NumStates())
+	}
+
+	merged := New(f, Options{UseHotNode: true, MaxStates: 11, NearDupThreshold: 0.9})
+	gMerged, pm, err := merged.CrawlPage(context.Background(), url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.NearDupMerges == 0 {
+		t.Fatalf("no near-dup merges on the noisy page")
+	}
+	countPages := func(g *model.Graph) int {
+		seen := map[int]bool{}
+		for _, s := range g.States {
+			for p := 1; p <= 11; p++ {
+				if strings.Contains(s.Text, "Comments (page "+itoa(p)+" of") {
+					seen[p] = true
+				}
+			}
+		}
+		return len(seen)
+	}
+	if countPages(gMerged) < countPages(gPlain) {
+		t.Fatalf("near-dup merging lost comment pages: %d vs %d",
+			countPages(gMerged), countPages(gPlain))
+	}
+}
+
+// TestLSHCrawlMatchesBruteForce is the acceptance property end to end:
+// the indexed admitter (NearDupBands=0) and the linear-scan baseline
+// (NearDupBands=-1) crawl the same noisy page into identical models with
+// identical merge counts — and the index does strictly less similarity
+// work. Run twice to pin run-to-run determinism.
+func TestLSHCrawlMatchesBruteForce(t *testing.T) {
+	site, f := noisySite(20)
+	v := multiPageVideo(t, site, 4)
+	url := webapp.WatchURL(v.ID)
+
+	crawl := func(bands int) (*model.Graph, PageMetrics) {
+		c := New(f, Options{UseHotNode: true, MaxStates: 11, NearDupThreshold: 0.9, NearDupBands: bands})
+		g, pm, err := c.CrawlPage(context.Background(), url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, pm
+	}
+	gBrute, pmBrute := crawl(-1)
+	gLSH, pmLSH := crawl(0)
+	gLSH2, pmLSH2 := crawl(0)
+
+	hashes := func(g *model.Graph) []string {
+		var out []string
+		for _, s := range g.States {
+			out = append(out, string(s.Hash[:]))
+		}
+		return out
+	}
+	if bh, lh := hashes(gBrute), hashes(gLSH); !equalStrings(bh, lh) {
+		t.Fatalf("LSH model diverges from brute force: %d vs %d states", len(lh), len(bh))
+	}
+	if lh, lh2 := hashes(gLSH), hashes(gLSH2); !equalStrings(lh, lh2) {
+		t.Fatalf("LSH crawl not deterministic run-to-run")
+	}
+	if pmLSH.NearDupMerges != pmBrute.NearDupMerges || pmLSH.NearDupMerges != pmLSH2.NearDupMerges {
+		t.Fatalf("merge counts diverge: brute %d, lsh %d, lsh2 %d",
+			pmBrute.NearDupMerges, pmLSH.NearDupMerges, pmLSH2.NearDupMerges)
+	}
+	if pmBrute.NearDupCandidates == 0 || pmLSH.NearDupCandidates == 0 {
+		t.Fatalf("expected similarity work on both paths (brute %d, lsh %d)",
+			pmBrute.NearDupCandidates, pmLSH.NearDupCandidates)
+	}
+	if pmLSH.NearDupCandidates >= pmBrute.NearDupCandidates {
+		t.Fatalf("LSH did not reduce similarity work: %d candidates vs brute %d",
+			pmLSH.NearDupCandidates, pmBrute.NearDupCandidates)
+	}
+	if pmLSH.NearDupProbes == 0 {
+		t.Fatalf("indexed path recorded no probes")
+	}
+	if pmBrute.NearDupProbes != 0 {
+		t.Fatalf("brute path recorded %d probes, want 0", pmBrute.NearDupProbes)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNearDupMergeTargetLowestID is the regression test for the
+// nondeterministic merge target: the old admitter ranged over a map, so
+// a candidate matching two admitted states merged into a random one.
+// Both the linear-scan and the indexed path must pick the lowest
+// matching StateID.
+func TestNearDupMergeTargetLowestID(t *testing.T) {
+	base := make(shingle.Signature, shingle.DefaultSignatureSize)
+	for i := range base {
+		base[i] = uint64(1000 + i)
+	}
+	alter := func(positions ...int) shingle.Signature {
+		sig := make(shingle.Signature, len(base))
+		copy(sig, base)
+		for _, p := range positions {
+			sig[p] = uint64(9_000_000 + p)
+		}
+		return sig
+	}
+	// A and B each agree with the probe (=base) on 58/64 positions
+	// (0.906 ≥ 0.9) but with each other on only 52/64 (0.8125), so both
+	// are genuine, non-equivalent matches for the probe.
+	sigA := alter(0, 1, 2, 3, 4, 5)
+	sigB := alter(58, 59, 60, 61, 62, 63)
+
+	for _, bands := range []int{-1, 0} {
+		for run := 0; run < 20; run++ {
+			var pm PageMetrics
+			a, err := newStateAdmitter(model.NewGraph("/x"), Options{NearDupThreshold: 0.9, NearDupBands: bands}.withDefaults(), &pm, obs.From(context.Background()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range []struct {
+				id  model.StateID
+				sig shingle.Signature
+			}{{5, sigA}, {9, sigB}} {
+				a.sigs[s.id] = s.sig
+				a.order = append(a.order, s.id)
+				if a.index != nil {
+					a.index.Add(int(s.id), s.sig)
+				}
+			}
+			target, ok := a.mergeTarget(base)
+			if !ok {
+				t.Fatalf("bands=%d: probe did not merge", bands)
+			}
+			if target != 5 {
+				t.Fatalf("bands=%d run %d: merged into %d, want lowest matching StateID 5", bands, run, target)
+			}
+		}
+	}
+}
+
+// TestSimHashSketchCollapsesNoise drives the cheaper sketch family
+// through the same noisy workload: simhash signatures must also collapse
+// the decor variants, through the same index machinery. Chunk agreement
+// falls off much faster than MinHash position agreement (a few flipped
+// fingerprint bits land in distinct chunks), so simhash runs at a lower
+// threshold: on this workload near-dup pairs score 0.56-0.81 and
+// distinct pages ≤0.19, making 0.5 a clean separator where minhash
+// uses 0.9 (see DESIGN.md §5h).
+func TestSimHashSketchCollapsesNoise(t *testing.T) {
+	site, f := noisySite(20)
+	v := multiPageVideo(t, site, 4)
+	url := webapp.WatchURL(v.ID)
+
+	c := New(f, Options{UseHotNode: true, MaxStates: 11, NearDupThreshold: 0.5, Sketch: SketchSimHash})
+	_, pm, err := c.CrawlPage(context.Background(), url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.NearDupMerges == 0 {
+		t.Fatalf("simhash sketch produced no merges on the noisy page")
+	}
+}
+
+// TestUnknownSketchKindFails pins the knob validation: a typo'd -sketch
+// value must fail the crawl, not silently fall back to minhash.
+func TestUnknownSketchKindFails(t *testing.T) {
+	_, f := noisySite(2)
+	c := New(f, Options{NearDupThreshold: 0.9, Sketch: SketchKind("md5")})
+	if _, _, err := c.CrawlPage(context.Background(), "/"); err == nil {
+		t.Fatalf("unknown sketch kind did not fail the crawl")
+	}
+}
+
+// TestNearDupResumeConvergence is the crash-tolerance property with
+// near-dup merging on: kill a checkpointed noisy crawl after k pages,
+// resume it, and the merged state set matches an uninterrupted run with
+// the journaled pages never re-fetched. The journaled signatures
+// (recStateSig) must survive the round trip so the resumed admitter
+// converges without re-sketching journaled states.
+func TestNearDupResumeConvergence(t *testing.T) {
+	site, _ := noisySite(10)
+	var urls []string
+	for i := 0; i < 4; i++ {
+		urls = append(urls, webapp.WatchURL(site.Video(i).ID))
+	}
+	ctx := context.Background()
+	opts := Options{UseHotNode: true, MaxStates: 8, NearDupThreshold: 0.9}
+
+	baseGraphs, _, err := New(&fetch.HandlerFetcher{Handler: site.Handler()}, opts).CrawlAll(ctx, urls)
+	if err != nil {
+		t.Fatalf("baseline crawl: %v", err)
+	}
+	base := stateSets(baseGraphs)
+
+	const k = 2
+	dir := t.TempDir()
+	var mu sync.Mutex
+	fetches := map[string]int{}
+	inner := &fetch.HandlerFetcher{Handler: site.Handler()}
+	counting := fetch.Func(func(ctx context.Context, rawurl string) (*fetch.Response, error) {
+		mu.Lock()
+		fetches[rawurl]++
+		mu.Unlock()
+		return inner.Fetch(ctx, rawurl)
+	})
+
+	cp, err := OpenJournalCheckpointer(ctx, dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	o := opts
+	o.Checkpoint = cp
+	pages := 0
+	o.OnPage = func(PageMetrics) {
+		pages++
+		if pages == k {
+			cancel()
+		}
+	}
+	if _, _, err := New(counting, o).CrawlAll(runCtx, urls); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted crawl returned %v, want context.Canceled", err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatalf("close journal: %v", err)
+	}
+	mu.Lock()
+	already := make(map[string]int, k)
+	for _, u := range urls[:k] {
+		already[u] = fetches[u]
+	}
+	mu.Unlock()
+
+	cp2, err := OpenJournalCheckpointer(ctx, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	o2 := opts
+	o2.Checkpoint = cp2
+	graphs2, m2, err := New(counting, o2).CrawlAll(ctx, urls)
+	if err != nil {
+		t.Fatalf("resumed crawl: %v", err)
+	}
+	if m2.PagesResumed != k {
+		t.Errorf("PagesResumed = %d, want %d", m2.PagesResumed, k)
+	}
+	requireSameStateSets(t, base, stateSets(graphs2))
+	mu.Lock()
+	for _, u := range urls[:k] {
+		if fetches[u] != already[u] {
+			t.Errorf("resumed page %s was re-fetched (%d -> %d)", u, already[u], fetches[u])
+		}
+	}
+	mu.Unlock()
+}

@@ -111,7 +111,16 @@ function getUrlXMLResponseAndFillDiv(url, div_id) {
 }
 function urchinTracker(page) {
 	trackCount = trackCount + 1;
+	decorate();
 	return trackCount;
+}
+function decorate() {
+	var ts = document.getElementById('decor_timestamp');
+	if (ts) {
+		ts.innerText = 'tick-' + ((trackCount * 13) % 97);
+		document.getElementById('decor_views').innerText = '.views-' + (1000 + (trackCount * 7919) % 4001);
+		document.getElementById('decor_ad').innerText = '.ad-' + ((trackCount * 31) % 11);
+	}
 }
 function loadCommentPage(vid, p) {
 	showLoading('recent_comments');
@@ -142,6 +151,14 @@ func (s *Site) RenderWatchPage(v *Video) string {
 	b.WriteString(`<body onload="initPage()">` + "\n")
 	fmt.Fprintf(&b, `<h1 id="video-title">%s</h1>`+"\n", dom.EscapeText(v.Title))
 	b.WriteString(`<div id="player">[flash video player]</div>` + "\n")
+	if s.cfg.NoisyDecor {
+		// The three spans are adjacent on purpose: their texts
+		// concatenate into one visible token, so the mutating chrome
+		// stays a near-duplicate (a few shingles) of the page it
+		// decorates while still changing the exact content hash on
+		// every tracked event.
+		b.WriteString(`<div id="decor">chrome <span id="decor_timestamp">tick-0</span><span id="decor_views">.views-1000</span><span id="decor_ad">.ad-0</span></div>` + "\n")
+	}
 	if s.cfg.WithSearchBox {
 		b.WriteString(`<div id="searchbox"><input id="search" type="text" onkeyup="suggest(this.value)"><div id="suggestions"></div></div>` + "\n")
 	}

@@ -49,6 +49,14 @@ type Config struct {
 	// "very granular events" state explosion of thesis challenge #3,
 	// used by the near-duplicate-merging experiments. Off by default.
 	WithLikeButton bool
+	// NoisyDecor adds a decoration strip (render timestamp, view
+	// counter, rotating ad slot) to every watch page, mutated
+	// client-side on every tracked event. The decor makes revisited
+	// states differ in a few tokens of chrome — the timestamps /
+	// counters / ad slots of ROADMAP item 1 — so the exact-hash model
+	// explodes while near-duplicate merging collapses it. Off by
+	// default.
+	NoisyDecor bool
 }
 
 // DefaultConfig returns the configuration used by the experiments, sized

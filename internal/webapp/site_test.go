@@ -357,3 +357,71 @@ func TestRobotsAjaxEndpoint(t *testing.T) {
 		t.Fatalf("robots should 404 when not advertised, got %d", resp.Status)
 	}
 }
+
+// TestNoisyDecorMutatesOnEvents pins the noisy-app workload: with
+// NoisyDecor on, every tracked event rewrites the decor strip
+// (timestamp/view-counter/ad-slot), so returning to a previously seen
+// comment page no longer reproduces its exact DOM — the state explosion
+// near-duplicate merging exists to collapse. Without the flag the page
+// carries no decor and stays byte-stable.
+func TestNoisyDecorMutatesOnEvents(t *testing.T) {
+	cfg := DefaultConfig(30, 7)
+	cfg.NoisyDecor = true
+	s := New(cfg)
+	var v *Video
+	for i := 0; i < s.NumVideos(); i++ {
+		if len(s.Video(i).Pages) >= 2 {
+			v = s.Video(i)
+			break
+		}
+	}
+	if v == nil {
+		t.Skip("no multi-page video in sample")
+	}
+	p := browser.NewPage(&fetch.HandlerFetcher{Handler: s.Handler()})
+	if err := p.Load(context.Background(), WatchURL(v.ID)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunOnLoad(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// onload runs urchinTracker once: trackCount=1 → tick-13, 4918
+	// views, ad slot 9. The three spans concatenate into one token.
+	if text := p.Doc.VisibleText(); !strings.Contains(text, "tick-13.views-4918.ad-9") {
+		t.Fatalf("initial decor missing from %q", text)
+	}
+	h1 := p.Hash()
+
+	trigger := func(id string) {
+		t.Helper()
+		for _, e := range p.Events(nil) {
+			if e.ID == id {
+				if _, err := p.Trigger(context.Background(), e); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+		}
+		t.Fatalf("no %s event", id)
+	}
+	trigger("nextPage")
+	if text := p.Doc.VisibleText(); !strings.Contains(text, "tick-26") {
+		t.Fatalf("decor did not advance on next: %q", text)
+	}
+	trigger("prevPage")
+	// Same comment page as the initial state, different decor tick —
+	// the exact hash must differ even though the content matches.
+	if p.Hash() == h1 {
+		t.Fatalf("noisy revisit reproduced the initial hash")
+	}
+	if text := p.Doc.VisibleText(); !strings.Contains(text, "Comments (page 1 of") {
+		t.Fatalf("prev did not return to page 1: %q", text)
+	}
+
+	// Without the flag: no decor markup (the shared script's decorate()
+	// no-ops when the spans are absent).
+	plain := New(DefaultConfig(5, 7))
+	if html := plain.RenderWatchPage(plain.Video(0)); strings.Contains(html, `id="decor"`) {
+		t.Fatalf("decor rendered without NoisyDecor")
+	}
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Docs-consistency gate: every CLI flag registered by a cmd/* binary
+# must appear (backticked, with its dash) in OPERATIONS.md §1, so the
+# runbook's flag tables stay in lockstep with the code. CI runs this as
+# the docs-consistency job; run it locally after adding a flag.
+#
+# Flags are extracted statically from the flag.<Type>("name", ...)
+# registration calls — the whole tree registers flags with string
+# literals, so no binary needs to be built or executed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+doc=OPERATIONS.md
+status=0
+for dir in cmd/*/; do
+	bin=$(basename "$dir")
+	flags=$(grep -rhoE 'flag\.(String|Bool|Int|Int64|Float64|Duration)\("[^"]+"' "$dir" |
+		sed -E 's/.*\("([^"]+)".*/\1/' | sort -u)
+	[ -z "$flags" ] && continue
+	for f in $flags; do
+		if ! grep -q -- "\`-$f\`" "$doc"; then
+			echo "FAIL: $doc does not document \`-$f\` (registered by $bin)" >&2
+			status=1
+		fi
+	done
+done
+if [ "$status" -eq 0 ]; then
+	echo "flag docs OK: every registered cmd/* flag appears in $doc"
+fi
+exit $status
