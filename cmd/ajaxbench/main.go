@@ -36,6 +36,7 @@
 //	ablate-dedup    hash vs structural duplicate detection
 //	ablate-idf      global vs local idf in sharded ranking
 //	neardup         noisy-app state collapse: exact vs brute-force vs LSH
+//	router          sharded fan-out vs single snapshot: equality and overhead
 package main
 
 import (

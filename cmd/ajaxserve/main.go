@@ -128,6 +128,7 @@ func main() {
 	obs.RegisterStatus(mux, obs.StatusSource{Reg: reg, Sampler: sampler, StartedAt: time.Now()})
 	h := srv.Handler()
 	mux.Handle("/search", h)
+	mux.Handle("/shard/search", h)
 	mux.Handle("/healthz", h)
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)

@@ -44,6 +44,11 @@ type ShardEntry struct {
 	Docs     int `json:"docs"`
 	States   int `json:"states"`
 	Postings int `json:"postings"`
+	// Terms is the shard's vocabulary size (distinct indexed terms).
+	// Routers and fleet tooling read it to reason about df skew across
+	// shards without loading the shard itself; absent (0) in manifests
+	// written before the field existed.
+	Terms int `json:"terms,omitempty"`
 }
 
 // Manifest is the versioned snapshot descriptor.
@@ -67,6 +72,9 @@ type Manifest struct {
 	// TotalDocs and TotalStates aggregate the shard sizes.
 	TotalDocs   int `json:"total_docs"`
 	TotalStates int `json:"total_states"`
+	// TotalTerms sums the per-shard vocabulary sizes (an upper bound on
+	// the union vocabulary: shards can share terms). 0 in old manifests.
+	TotalTerms int `json:"total_terms,omitempty"`
 }
 
 // computeID derives the snapshot ID from the shard inventory and the
@@ -76,7 +84,7 @@ func (m *Manifest) computeID() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "v%d@%d:%s:%s\n", m.Version, m.CreatedAt.UnixNano(), m.Format, m.Models)
 	for _, s := range m.Shards {
-		fmt.Fprintf(h, "%s:%d:%d:%d\n", s.File, s.Docs, s.States, s.Postings)
+		fmt.Fprintf(h, "%s:%d:%d:%d:%d\n", s.File, s.Docs, s.States, s.Postings, s.Terms)
 	}
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
@@ -169,9 +177,11 @@ func SaveSnapshot(dir string, shards []*Index, graphs []*model.Graph) (*Manifest
 			Docs:     shard.NumDocs(),
 			States:   shard.TotalStates,
 			Postings: shard.NumPostings(),
+			Terms:    shard.NumTerms(),
 		})
 		m.TotalDocs += shard.NumDocs()
 		m.TotalStates += shard.TotalStates
+		m.TotalTerms += shard.NumTerms()
 	}
 	if len(graphs) > 0 {
 		sorted := append([]*model.Graph(nil), graphs...)
@@ -211,6 +221,12 @@ func LoadSnapshot(dir string) (*Manifest, []*Index, error) {
 		if shard.NumDocs() != entry.Docs || shard.TotalStates != entry.States {
 			return nil, nil, fmt.Errorf("index: snapshot shard %s: has %d docs/%d states, manifest says %d/%d",
 				entry.File, shard.NumDocs(), shard.TotalStates, entry.Docs, entry.States)
+		}
+		// Terms is cross-checked only when recorded: manifests written
+		// before the field existed carry 0 and stay loadable.
+		if entry.Terms != 0 && shard.NumTerms() != entry.Terms {
+			return nil, nil, fmt.Errorf("index: snapshot shard %s: has %d terms, manifest says %d",
+				entry.File, shard.NumTerms(), entry.Terms)
 		}
 		shards = append(shards, shard)
 	}

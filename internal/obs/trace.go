@@ -29,6 +29,10 @@ const (
 	SpanCheckpointWrite   = "checkpoint.write"   // one page durably journaled (checkpoint)
 	SpanCheckpointCompact = "checkpoint.compact" // journal folded into a snapshot (checkpoint)
 	SpanCheckpointRecover = "checkpoint.recover" // journal replayed on open (checkpoint)
+
+	SpanShardEval    = "query.shard"   // one shard-local evaluation for a distributed merge (query)
+	SpanRouterFanout = "router.fanout" // one routed query's full fan-out and global merge (router)
+	SpanRouterShard  = "router.shard"  // one shard's call, including hedged attempts (router)
 )
 
 // SpanRecord is one finished span as emitted to a Sink. Start is wall

@@ -1,0 +1,118 @@
+package query
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"ajaxcrawl/internal/obs"
+)
+
+// Distributed query shipping (thesis ch. 6): a shard server does NOT
+// return final scores — the tf·idf component needs the *global* document
+// frequencies (eq. 6.1), which only the router that fans the query out
+// to every shard can sum. So a shard returns pre-idf candidates: the
+// idf-independent part of formula 5.3 (w1·PR + w2·A + w4·T) plus the raw
+// per-term tf values, alongside the shard's local df vector and state
+// count. The router folds the tf·idf component in with the globally
+// corrected idf and merges — ending up with exactly the bytes a single
+// process evaluating the union index would have produced (the
+// differential battery in internal/router pins this).
+
+// ShardCandidate is one pre-idf candidate of a shard evaluation: the
+// score parts that do not depend on global collection statistics, plus
+// the snippet (state text lives only on the owning shard, so the
+// snippet must travel with the candidate).
+type ShardCandidate struct {
+	// URL and State identify the (document, application state) hit.
+	URL   string `json:"url"`
+	State int    `json:"state"`
+	// Base is the idf-independent score: w1·PageRank + w2·AJAXRank +
+	// w4·Proximity.
+	Base float64 `json:"base"`
+	// TFs holds the term frequency (eq. 5.1) per query term, aligned
+	// with ShardResult.Terms.
+	TFs []float64 `json:"tfs"`
+	// Snippet is the highlighted excerpt for this candidate, computed
+	// shard-side where the state text lives.
+	Snippet string `json:"snippet,omitempty"`
+}
+
+// ShardResult is one shard server's half of the distributed merge: its
+// candidates plus the local collection statistics the router sums into
+// the global idf. A shard server that itself holds several index shards
+// returns their union (sums are associative, so the router's global idf
+// is unchanged by how shards are grouped into servers).
+type ShardResult struct {
+	// Terms is the normalized query, one entry per conjunctive term.
+	Terms []string `json:"terms"`
+	// TotalStates is the shard's state count (the N_i of eq. 6.1).
+	TotalStates int `json:"total_states"`
+	// DF is the per-term document frequency on this shard, aligned with
+	// Terms (the df_i of eq. 6.1).
+	DF []int `json:"df"`
+	// Gen, Docs and States describe the serving snapshot that answered,
+	// for response metadata.
+	Gen    int64 `json:"gen"`
+	Docs   int   `json:"docs"`
+	States int   `json:"states"`
+	// Candidates are the pre-idf hits, in shard-local (doc, state)
+	// order.
+	Candidates []ShardCandidate `json:"candidates"`
+}
+
+// ShardSearch evaluates q on the live snapshot and returns the shard
+// half of a distributed merge: every matching candidate with its pre-idf
+// score parts, the local df vector, and the local state count. Unlike
+// Search it returns ALL candidates, not a top-k — a shard cannot rank
+// without the global idf, and truncating on local scores could evict a
+// globally top-k document (DESIGN.md §5i discusses the trade-off).
+// Snippets are attached shard-side. The result cache is not consulted:
+// entries are keyed by (query, k) final results, a different value
+// space.
+func (s *Server) ShardSearch(ctx context.Context, q string) *ShardResult {
+	tel := obs.From(ctx)
+	tel.Counter("query.shard.requests").Inc()
+	_, sp := obs.StartSpan(ctx, obs.SpanShardEval, obs.A("q", q))
+	start := time.Now()
+
+	snap := s.live.Load()
+	terms := Parse(q)
+	res := &ShardResult{
+		Terms:      terms,
+		DF:         make([]int, len(terms)),
+		Gen:        snap.Gen,
+		Docs:       snap.Docs,
+		States:     snap.States,
+		Candidates: make([]ShardCandidate, 0),
+	}
+	if len(terms) > 0 {
+		for _, shard := range snap.Broker.Shards {
+			ps, dfs := shardSearch(shard, terms, snap.Broker.W)
+			for i, df := range dfs {
+				res.DF[i] += df
+			}
+			res.TotalStates += shard.TotalStates
+			for _, p := range ps {
+				c := ShardCandidate{
+					URL:   p.url,
+					State: int(p.state),
+					Base:  p.base,
+					TFs:   p.tfs,
+				}
+				if snap.StateText != nil {
+					if text := snap.StateText(p.url, int(p.state)); text != "" {
+						c.Snippet = Snippet(text, q, snap.SnippetOpts)
+					}
+				}
+				res.Candidates = append(res.Candidates, c)
+			}
+		}
+	}
+
+	tel.Counter("query.shard.candidates").Add(int64(len(res.Candidates)))
+	tel.Histogram("query.shard.latency").Observe(time.Since(start).Seconds())
+	sp.SetAttr("candidates", strconv.Itoa(len(res.Candidates)))
+	sp.End(nil)
+	return res
+}

@@ -1,0 +1,110 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"ajaxcrawl/internal/query"
+)
+
+// Backend answers the shard half of a distributed query. The two
+// implementations are an in-process query.Server (tests, benches,
+// single-binary fleets) and an HTTP client speaking ajaxserve's
+// /shard/search protocol (the real fleet).
+type Backend interface {
+	// ShardSearch evaluates q on the shard and returns its pre-idf
+	// candidates plus local collection statistics. Implementations must
+	// honor ctx: a canceled hedge loser should stop working promptly.
+	ShardSearch(ctx context.Context, q string) (*query.ShardResult, error)
+}
+
+// LocalBackend serves a shard from an in-process query.Server.
+type LocalBackend struct {
+	QS *query.Server
+}
+
+// ShardSearch implements Backend.
+func (b LocalBackend) ShardSearch(ctx context.Context, q string) (*query.ShardResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.QS.ShardSearch(ctx, q), nil
+}
+
+// DefaultMaxResponseBytes bounds one shard response body (32 MiB) —
+// a shard that tries to stream more is failed, not buffered.
+const DefaultMaxResponseBytes = 32 << 20
+
+// HTTPBackend speaks the /shard/search protocol to a remote ajaxserve.
+type HTTPBackend struct {
+	// BaseURL is the shard server's root, e.g. "http://10.0.0.7:8090".
+	BaseURL string
+	// Client issues the requests (nil = http.DefaultClient). Cancel
+	// deadlines ride the request context, so the client itself needs no
+	// timeout.
+	Client *http.Client
+	// MaxResponseBytes caps the decoded body (0 = DefaultMaxResponseBytes).
+	MaxResponseBytes int64
+}
+
+// ShardSearch implements Backend.
+func (b *HTTPBackend) ShardSearch(ctx context.Context, q string) (*query.ShardResult, error) {
+	u := b.BaseURL + "/shard/search?q=" + url.QueryEscape(q)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("router: %w", err)
+	}
+	client := b.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Read a bounded sliver of the error body for the message; a
+		// saturated replica's 429 should surface as text, not bytes.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("router: shard %s: status %d: %s", b.BaseURL, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return DecodeShardResult(resp.Body, b.MaxResponseBytes)
+}
+
+// DecodeShardResult reads one shard response body (bounded by maxBytes;
+// 0 = DefaultMaxResponseBytes) and decodes it defensively: the body is
+// network input from a machine that may be compromised or simply wrong,
+// so the size is capped before buffering, unknown fields are tolerated
+// (forward compatibility), decoding panics are converted to errors, and
+// the caller is expected to run checkShardResult against the query
+// before the merge. FuzzRouterMergeResponse hammers this path.
+func DecodeShardResult(r io.Reader, maxBytes int64) (res *query.ShardResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("router: shard response decode panicked: %v", p)
+		}
+	}()
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxResponseBytes
+	}
+	// Read one byte past the cap so truncation is distinguishable from
+	// an exactly-cap-sized body.
+	b, err := io.ReadAll(io.LimitReader(r, maxBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("router: shard response read: %w", err)
+	}
+	if int64(len(b)) > maxBytes {
+		return nil, fmt.Errorf("router: shard response exceeds %d bytes", maxBytes)
+	}
+	var sr query.ShardResult
+	if err := json.Unmarshal(b, &sr); err != nil {
+		return nil, fmt.Errorf("router: shard response decode: %w", err)
+	}
+	return &sr, nil
+}

@@ -1,0 +1,237 @@
+package router
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ajaxcrawl/internal/obs"
+	"ajaxcrawl/internal/query"
+)
+
+// TestHedgeFiresAtFixedDelay pins the hedge schedule in virtual time:
+// with HedgeAfter = 100ms and a primary that never answers, the hedged
+// attempt must arrive at exactly t=100ms — not before, not after — win
+// the race, and the canceled primary must be counted.
+func TestHedgeFiresAtFixedDelay(t *testing.T) {
+	terms := []string{"video"}
+	good := canned(terms, 5, cand("http://a", 0, 1, 1))
+	clock := newTestClock()
+	g := &scriptedGroup{clock: clock}
+	g.script = []func(ctx context.Context) (*query.ShardResult, error){
+		blockUntilCanceled,
+		func(ctx context.Context) (*query.ShardResult, error) { return good, nil },
+	}
+	r, err := New(Config{
+		Shards:     [][]Backend{g.backends(2)},
+		HedgeAfter: 100 * time.Millisecond,
+		Clock:      clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := obs.New(nil, nil)
+	ctx := obs.With(context.Background(), tel)
+
+	type out struct {
+		m   *Merged
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		m, err := r.Search(ctx, "video", 10)
+		done <- out{m, err}
+	}()
+
+	// The only virtual timer is the hedge (no shard timeout configured;
+	// the blocked primary holds no timer).
+	clock.awaitWaiters(t, 1)
+	clock.Advance(99 * time.Millisecond)
+	if got := len(g.arrivalTimes()); got != 1 {
+		t.Fatalf("hedge fired early: %d arrivals at t=99ms", got)
+	}
+	clock.Advance(1 * time.Millisecond)
+
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("Search: %v", o.err)
+	}
+	arr := g.arrivalTimes()
+	if len(arr) != 2 {
+		t.Fatalf("arrivals = %d, want 2", len(arr))
+	}
+	if got := arr[0].at.Sub(time.Unix(0, 0)); got != 0 {
+		t.Fatalf("primary arrived at %v, want 0", got)
+	}
+	if got := arr[1].at.Sub(time.Unix(0, 0)); got != 100*time.Millisecond {
+		t.Fatalf("hedge arrived at %v, want 100ms exactly", got)
+	}
+	if arr[0].replica == arr[1].replica {
+		t.Fatalf("hedge reused replica %d", arr[0].replica)
+	}
+	if o.m.Hedges != 1 {
+		t.Fatalf("Hedges = %d, want 1", o.m.Hedges)
+	}
+	if got := tel.Counter("router.fanout.hedges").Value(); got != 1 {
+		t.Fatalf("router.fanout.hedges = %d, want 1", got)
+	}
+	if got := tel.Counter("router.fanout.hedge_wins").Value(); got != 1 {
+		t.Fatalf("router.fanout.hedge_wins = %d, want 1", got)
+	}
+	if got := tel.Counter("router.fanout.hedge_canceled").Value(); got != 1 {
+		t.Fatalf("router.fanout.hedge_canceled = %d, want 1 (the abandoned primary)", got)
+	}
+	// The winner's answer appears once: hedging must never duplicate
+	// documents in the merged top-k.
+	seen := map[string]int{}
+	for _, res := range o.m.Results {
+		seen[resultKey(res)]++
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("result %s appears %d times after a hedge", k, n)
+		}
+	}
+	if o.m.Duplicates != 0 {
+		t.Fatalf("Duplicates = %d, want 0", o.m.Duplicates)
+	}
+}
+
+// TestHedgeQuantileSchedule warms the latency ring by hand and asserts
+// the hedge fires at the configured quantile of observed latencies: 8
+// samples of 10..80ms with q = 0.75 puts the hedge at the 6th smallest,
+// 60ms.
+func TestHedgeQuantileSchedule(t *testing.T) {
+	terms := []string{"video"}
+	good := canned(terms, 5, cand("http://a", 0, 1, 1))
+	clock := newTestClock()
+	g := &scriptedGroup{clock: clock}
+	g.script = []func(ctx context.Context) (*query.ShardResult, error){
+		blockUntilCanceled,
+		func(ctx context.Context) (*query.ShardResult, error) { return good, nil },
+	}
+	r, err := New(Config{
+		Shards:        [][]Backend{g.backends(2)},
+		HedgeAfter:    5 * time.Millisecond, // warmup fallback; must NOT be used once warmed
+		HedgeQuantile: 0.75,
+		Clock:         clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		r.lat.Observe(time.Duration(i) * 10 * time.Millisecond)
+	}
+
+	done := make(chan *Merged, 1)
+	go func() {
+		m := mustSearch(t, r, context.Background(), "video", 10)
+		done <- m
+	}()
+	clock.awaitWaiters(t, 1)
+	clock.Advance(59 * time.Millisecond)
+	if got := len(g.arrivalTimes()); got != 1 {
+		t.Fatalf("hedge fired before the 0.75 quantile: %d arrivals at t=59ms", got)
+	}
+	clock.Advance(1 * time.Millisecond)
+	m := <-done
+	arr := g.arrivalTimes()
+	if len(arr) != 2 || arr[1].at.Sub(time.Unix(0, 0)) != 60*time.Millisecond {
+		t.Fatalf("hedge arrival = %+v, want second arrival at t=60ms", arr)
+	}
+	if m.Hedges != 1 {
+		t.Fatalf("Hedges = %d, want 1", m.Hedges)
+	}
+}
+
+// TestHedgeQuantileColdFallsBackToFixed: below minHedgeSamples the
+// quantile estimate is unusable, so the fixed HedgeAfter drives the
+// schedule.
+func TestHedgeQuantileColdFallsBackToFixed(t *testing.T) {
+	terms := []string{"video"}
+	good := canned(terms, 5, cand("http://a", 0, 1, 1))
+	clock := newTestClock()
+	g := &scriptedGroup{clock: clock}
+	g.script = []func(ctx context.Context) (*query.ShardResult, error){
+		blockUntilCanceled,
+		func(ctx context.Context) (*query.ShardResult, error) { return good, nil },
+	}
+	r, err := New(Config{
+		Shards:        [][]Backend{g.backends(2)},
+		HedgeAfter:    40 * time.Millisecond,
+		HedgeQuantile: 0.95,
+		Clock:         clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.lat.Observe(5 * time.Millisecond) // 1 sample < minHedgeSamples
+
+	done := make(chan *Merged, 1)
+	go func() { done <- mustSearch(t, r, context.Background(), "video", 10) }()
+	clock.awaitWaiters(t, 1)
+	clock.Advance(40 * time.Millisecond)
+	m := <-done
+	arr := g.arrivalTimes()
+	if len(arr) != 2 || arr[1].at.Sub(time.Unix(0, 0)) != 40*time.Millisecond {
+		t.Fatalf("cold-start hedge arrivals = %+v, want second at t=40ms", arr)
+	}
+	if m.Hedges != 1 {
+		t.Fatalf("Hedges = %d, want 1", m.Hedges)
+	}
+}
+
+// TestNoHedgeWithSingleReplica: hedging needs somewhere to hedge TO; a
+// one-replica shard must not burn a duplicate attempt on itself.
+func TestNoHedgeWithSingleReplica(t *testing.T) {
+	terms := []string{"video"}
+	b := &staticBackend{res: canned(terms, 5, cand("http://a", 0, 1, 1))}
+	clock := newTestClock()
+	r, err := New(Config{
+		Shards:     [][]Backend{{b}},
+		HedgeAfter: 10 * time.Millisecond,
+		Clock:      clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustSearch(t, r, context.Background(), "video", 10)
+	if m.Hedges != 0 {
+		t.Fatalf("Hedges = %d, want 0 (single replica)", m.Hedges)
+	}
+	if b.callCount() != 1 {
+		t.Fatalf("attempts = %d, want 1", b.callCount())
+	}
+}
+
+// TestHedgeNotFiredWhenPrimaryFast: the primary answers before the
+// hedge delay elapses, so no hedge launches and the loser-cancel
+// counters stay zero.
+func TestHedgeNotFiredWhenPrimaryFast(t *testing.T) {
+	terms := []string{"video"}
+	good := canned(terms, 5, cand("http://a", 0, 1, 1))
+	clock := newTestClock()
+	g := &scriptedGroup{clock: clock}
+	g.script = []func(ctx context.Context) (*query.ShardResult, error){
+		func(ctx context.Context) (*query.ShardResult, error) { return good, nil },
+	}
+	r, err := New(Config{
+		Shards:     [][]Backend{g.backends(2)},
+		HedgeAfter: 100 * time.Millisecond,
+		Clock:      clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := obs.New(nil, nil)
+	m := mustSearch(t, r, obs.With(context.Background(), tel), "video", 10)
+	if m.Hedges != 0 {
+		t.Fatalf("Hedges = %d, want 0", m.Hedges)
+	}
+	if got := len(g.arrivalTimes()); got != 1 {
+		t.Fatalf("arrivals = %d, want 1", got)
+	}
+	if got := tel.Counter("router.fanout.hedge_canceled").Value(); got != 0 {
+		t.Fatalf("hedge_canceled = %d, want 0", got)
+	}
+}

@@ -1,0 +1,210 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ajaxcrawl/internal/obs"
+	"ajaxcrawl/internal/query"
+	"ajaxcrawl/internal/serve"
+)
+
+// HeaderShards reports fan-out completeness as "ok/total", e.g. "3/4"
+// on a degraded answer with one shard down. It is always set, so "4/4"
+// positively asserts a complete answer.
+const HeaderShards = "X-Ajaxserve-Shards"
+
+// HeaderHedges reports how many hedged attempts this query fired.
+const HeaderHedges = "X-Ajaxserve-Hedges"
+
+// ServerConfig parameterizes the router's HTTP layer.
+type ServerConfig struct {
+	// DefaultK is the result count when ?k= is absent (default 10).
+	DefaultK int
+	// MaxK caps ?k= (default 100).
+	MaxK int
+	// MaxInflight bounds concurrently routed queries; excess requests
+	// are shed with 429 (0 = unlimited).
+	MaxInflight int
+	// QueryTimeout is the per-request wall deadline (0 = none). The
+	// per-shard deadline lives in the Router's Config.ShardTimeout.
+	QueryTimeout time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.DefaultK <= 0 {
+		c.DefaultK = 10
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 100
+	}
+	return c
+}
+
+// Server is the router's HTTP front end: /search with the same request
+// and body contract as ajaxserve (so clients cannot tell a router from
+// a single snapshot server by the bytes — the differential battery pins
+// this), plus fan-out metadata in response headers.
+type Server struct {
+	rt       *Router
+	cfg      ServerConfig
+	tel      *obs.Telemetry
+	inflight chan struct{}
+}
+
+// NewServer wraps rt in the HTTP layer. tel may be nil.
+func NewServer(rt *Router, cfg ServerConfig, tel *obs.Telemetry) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{rt: rt, cfg: cfg, tel: tel}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s
+}
+
+// Router exposes the wrapped Router.
+func (s *Server) Router() *Router { return s.rt }
+
+// Routes mounts the routing endpoints on mux: /search and /healthz.
+func (s *Server) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/healthz", s.handleHealth)
+}
+
+// Handler returns the routing endpoints wrapped in the obs request
+// middleware, backed by this server's telemetry registry.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.Routes(mux)
+	return obs.InstrumentHandler(s.tel.Registry(), mux)
+}
+
+// searchResponse mirrors ajaxserve's /search body field-for-field —
+// the two must marshal identically, because the sharded fleet promises
+// byte-identical answers to the single-snapshot server. Fan-out
+// metadata (shard completeness, hedges) rides on headers, never in the
+// body, for the same reason.
+type searchResponse struct {
+	Query   string         `json:"query"`
+	K       int            `json:"k"`
+	Count   int            `json:"count"`
+	Results []searchResult `json:"results"`
+}
+
+type searchResult struct {
+	URL     string  `json:"url"`
+	State   int     `json:"state"`
+	Score   float64 `json:"score"`
+	Snippet string  `json:"snippet,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	tel := s.tel
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			tel.Counter("router.shed").Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "router saturated, retry later"})
+			return
+		}
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter"})
+		return
+	}
+	k := s.cfg.DefaultK
+	if kv := r.URL.Query().Get("k"); kv != "" {
+		parsed, err := strconv.Atoi(kv)
+		if err != nil || parsed <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "k must be a positive integer"})
+			return
+		}
+		k = parsed
+		if k > s.cfg.MaxK {
+			k = s.cfg.MaxK
+		}
+	}
+
+	ctx := obs.With(r.Context(), tel)
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+
+	m, err := s.rt.Search(ctx, q, k)
+	if err != nil {
+		// The fleet could not produce an answer (no shard responded, or
+		// a shard failed with partial results disabled): the router is
+		// a gateway and says so.
+		if m != nil {
+			w.Header().Set(HeaderShards, fmt.Sprintf("%d/%d", m.ShardsOK, m.ShardsTotal))
+		}
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := searchResponse{
+		Query:   query.QueryString(query.Parse(q)),
+		K:       k,
+		Count:   len(m.Results),
+		Results: make([]searchResult, 0, len(m.Results)),
+	}
+	for _, r := range m.Results {
+		resp.Results = append(resp.Results, searchResult{
+			URL:     r.URL,
+			State:   int(r.State),
+			Score:   r.Score,
+			Snippet: r.Snippet,
+		})
+	}
+	w.Header().Set(serve.HeaderGeneration, strconv.FormatInt(m.Gen, 10))
+	w.Header().Set(serve.HeaderDocs, strconv.Itoa(m.Docs))
+	w.Header().Set(serve.HeaderStates, strconv.Itoa(m.States))
+	w.Header().Set(HeaderShards, fmt.Sprintf("%d/%d", m.ShardsOK, m.ShardsTotal))
+	w.Header().Set(HeaderHedges, strconv.Itoa(m.Hedges))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthResponse is the router's /healthz body.
+type healthResponse struct {
+	Status   string `json:"status"`
+	Shards   int    `json:"shards"`
+	Replicas []int  `json:"replicas"`
+	Partial  bool   `json:"partial"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	reps := make([]int, s.rt.NumShards())
+	for i := range reps {
+		reps[i] = s.rt.Replicas(i)
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:   "ok",
+		Shards:   s.rt.NumShards(),
+		Replicas: reps,
+		Partial:  s.rt.cfg.Partial,
+	})
+}

@@ -1,0 +1,549 @@
+// Package router is the query fan-out tier of the sharded serving
+// fleet (thesis ch. 6's query shipping, scaled out of one process): one
+// router owns N shard groups, each a set of R interchangeable replicas
+// serving the same index shard. A query fans out to every shard group,
+// each shard returns pre-idf candidates plus its local collection
+// statistics (query.ShardResult), and the router folds in the tf·idf
+// component with the globally corrected idf of eq. 6.1 — summing df and
+// state counts across shards — before merging to one deterministic
+// global top-k (score desc, then URL asc, then state asc; identical to
+// the single-snapshot ranking, which the differential test battery pins
+// byte-for-byte).
+//
+// Robustness is first-class:
+//
+//   - Replica choice is power-of-two-choices on outstanding requests,
+//     so a slow replica sheds load to its siblings instead of queueing.
+//   - Hedged retries: when a shard's primary attempt is slower than the
+//     hedge delay (a fixed duration, or an observed latency quantile),
+//     one hedged attempt fires at another replica; the first valid
+//     response wins and the loser is canceled.
+//   - Per-shard deadlines ride the injectable fetch.Clock, so the whole
+//     schedule is testable in virtual time.
+//   - Partial results: with Config.Partial set, a shard that errors or
+//     times out degrades the answer (and says so in response metadata)
+//     instead of failing the query.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ajaxcrawl/internal/fetch"
+	"ajaxcrawl/internal/model"
+	"ajaxcrawl/internal/obs"
+	"ajaxcrawl/internal/query"
+)
+
+// ErrShardTimeout is the per-shard deadline error: no replica of the
+// shard produced a valid response within Config.ShardTimeout.
+var ErrShardTimeout = errors.New("router: shard timed out")
+
+// Config parameterizes a Router.
+type Config struct {
+	// Shards is the fleet topology: Shards[i] lists the interchangeable
+	// replicas of shard i. Every shard needs at least one replica.
+	Shards [][]Backend
+	// Weights are the ranking coefficients the router uses to fold the
+	// tf·idf component in (nil = query.DefaultWeights). They must match
+	// the shard servers' weights or rankings will diverge.
+	Weights *query.Weights
+	// ShardTimeout bounds one shard's whole call, hedges included
+	// (0 = none). Measured on Clock, so virtual-time tests can script
+	// it.
+	ShardTimeout time.Duration
+	// HedgeAfter fires one hedged attempt at another replica when the
+	// primary has not answered after this long (0 = no hedging, unless
+	// HedgeQuantile enables it).
+	HedgeAfter time.Duration
+	// HedgeQuantile, when in (0,1], derives the hedge delay from the
+	// observed shard-latency distribution instead: hedge when the
+	// primary is slower than this quantile of recent responses. Until
+	// enough samples exist (minHedgeSamples), HedgeAfter is used as the
+	// warmup delay.
+	HedgeQuantile float64
+	// Partial tolerates failed shards: the query succeeds with the
+	// responding subset (response metadata reports how many answered).
+	// With Partial false any shard failure fails the query.
+	Partial bool
+	// Clock drives hedge and timeout schedules (nil = wall clock).
+	Clock fetch.Clock
+	// Seed seeds the replica-pick PRNG (0 = 1), making pick sequences
+	// reproducible in tests.
+	Seed int64
+}
+
+// replica is one backend plus its load accounting.
+type replica struct {
+	backend     Backend
+	outstanding atomic.Int64
+}
+
+// group is one shard's replica set.
+type group struct {
+	replicas []*replica
+}
+
+// Router fans queries out to shard groups and merges the responses.
+type Router struct {
+	cfg    Config
+	w      query.Weights
+	clock  fetch.Clock
+	groups []*group
+	lat    *latencyRing
+
+	// mu guards rng: replica picks are cheap and rare enough that one
+	// lock beats per-goroutine PRNG plumbing.
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New validates cfg and returns a ready Router.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("router: Config.Shards is empty")
+	}
+	r := &Router{
+		cfg:   cfg,
+		w:     query.DefaultWeights,
+		clock: cfg.Clock,
+		lat:   newLatencyRing(latencyWindow),
+	}
+	if cfg.Weights != nil {
+		r.w = *cfg.Weights
+	}
+	if r.clock == nil {
+		r.clock = fetch.RealClock{}
+	}
+	if cfg.HedgeQuantile < 0 || cfg.HedgeQuantile > 1 {
+		return nil, fmt.Errorf("router: HedgeQuantile %v outside [0,1]", cfg.HedgeQuantile)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	r.rng = rand.New(rand.NewSource(seed))
+	for i, reps := range cfg.Shards {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no replicas", i)
+		}
+		g := &group{}
+		for j, b := range reps {
+			if b == nil {
+				return nil, fmt.Errorf("router: shard %d replica %d is nil", i, j)
+			}
+			g.replicas = append(g.replicas, &replica{backend: b})
+		}
+		r.groups = append(r.groups, g)
+	}
+	return r, nil
+}
+
+// NumShards returns the fleet's shard count.
+func (r *Router) NumShards() int { return len(r.groups) }
+
+// Replicas returns shard i's replica count.
+func (r *Router) Replicas(i int) int { return len(r.groups[i].replicas) }
+
+// Merged is one routed query's answer plus its serving metadata.
+type Merged struct {
+	// Results is the global top-k in rank order.
+	Results []query.ResultWithSnippet
+	// ShardsOK of ShardsTotal shards contributed; ShardsOK <
+	// ShardsTotal marks a partial (degraded) answer.
+	ShardsOK, ShardsTotal int
+	// FailedShards lists the shard indices that did not answer.
+	FailedShards []int
+	// Docs, States and Gen aggregate the responding shards' snapshot
+	// metadata (Gen is the newest responding generation).
+	Docs, States int
+	Gen          int64
+	// Hedges counts hedged attempts launched for this query.
+	Hedges int
+	// Duplicates counts candidates dropped because another shard
+	// already returned the same (URL, state) — nonzero only on
+	// overlapping (misconfigured) shards.
+	Duplicates int
+}
+
+// Search fans q out to every shard, applies the global idf correction,
+// and returns the merged top-k. k <= 0 returns all results. The error
+// is non-nil when no shard answered, or when any shard failed and
+// Config.Partial is off.
+func (r *Router) Search(ctx context.Context, q string, k int) (*Merged, error) {
+	tel := obs.From(ctx)
+	tel.Counter("router.fanout.queries").Inc()
+	ctx, sp := obs.StartSpan(ctx, obs.SpanRouterFanout, obs.A("q", q))
+	start := time.Now()
+	m, err := r.search(ctx, q, k, tel)
+	tel.Histogram("router.fanout.latency").Observe(time.Since(start).Seconds())
+	if m != nil {
+		sp.SetAttr("shards_ok", fmt.Sprintf("%d/%d", m.ShardsOK, m.ShardsTotal))
+		sp.SetAttr("results", strconv.Itoa(len(m.Results)))
+	}
+	sp.End(err)
+	return m, err
+}
+
+func (r *Router) search(ctx context.Context, q string, k int, tel *obs.Telemetry) (*Merged, error) {
+	terms := query.Parse(q)
+	n := len(r.groups)
+	merged := &Merged{ShardsTotal: n, Results: make([]query.ResultWithSnippet, 0)}
+	if len(terms) == 0 {
+		// Nothing to ship: an empty conjunction matches nothing on any
+		// shard, so the fleet is vacuously complete.
+		merged.ShardsOK = n
+		return merged, nil
+	}
+
+	type outcome struct {
+		res    *query.ShardResult
+		err    error
+		hedges int
+	}
+	outs := make([]outcome, n)
+	var wg sync.WaitGroup
+	for i := range r.groups {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, hedges, err := r.callShard(ctx, i, q, terms, tel)
+			outs[i] = outcome{res: res, err: err, hedges: hedges}
+		}(i)
+	}
+	wg.Wait()
+
+	responses := make([]*query.ShardResult, n)
+	var firstErr error
+	for i, o := range outs {
+		merged.Hedges += o.hedges
+		if o.err != nil {
+			merged.FailedShards = append(merged.FailedShards, i)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", i, o.err)
+			}
+			continue
+		}
+		responses[i] = o.res
+		merged.ShardsOK++
+	}
+	if merged.ShardsOK == 0 {
+		return merged, fmt.Errorf("router: no shard answered: %w", firstErr)
+	}
+	if merged.ShardsOK < n {
+		tel.Counter("router.fanout.partial").Inc()
+		if !r.cfg.Partial {
+			return merged, fmt.Errorf("router: %d/%d shards answered and partial results are disabled: %w",
+				merged.ShardsOK, n, firstErr)
+		}
+	}
+
+	merged.Results, merged.Duplicates = mergeCandidates(terms, r.w, responses, k)
+	if merged.Duplicates > 0 {
+		tel.Counter("router.fanout.dup_docs").Add(int64(merged.Duplicates))
+	}
+	for _, res := range responses {
+		if res == nil {
+			continue
+		}
+		merged.Docs += res.Docs
+		merged.States += res.States
+		if res.Gen > merged.Gen {
+			merged.Gen = res.Gen
+		}
+	}
+	return merged, nil
+}
+
+// mergeCandidates is the global half of Figure 6.4's two-step merge:
+// sum df and state counts across the responding shards (in shard-index
+// order, so the arithmetic is deterministic), compute the global idf,
+// fold the tf·idf component into every candidate's pre-idf base, and
+// sort to the deterministic global order — exactly the float operations
+// the single-snapshot Broker performs, so scores match it bit-for-bit.
+// Candidates whose (URL, state) was already produced by an earlier
+// shard are dropped (the count is the second return).
+func mergeCandidates(terms []string, w query.Weights, responses []*query.ShardResult, k int) ([]query.ResultWithSnippet, int) {
+	globalDF := make([]int, len(terms))
+	totalStates := 0
+	total := 0
+	for _, res := range responses {
+		if res == nil {
+			continue
+		}
+		for i, df := range res.DF {
+			globalDF[i] += df
+		}
+		totalStates += res.TotalStates
+		total += len(res.Candidates)
+	}
+	idf := make([]float64, len(terms))
+	for i, df := range globalDF {
+		if df > 0 && totalStates > 0 {
+			idf[i] = math.Log(float64(totalStates) / float64(df))
+		}
+	}
+
+	type docKey struct {
+		url   string
+		state int
+	}
+	out := make([]query.ResultWithSnippet, 0, total)
+	seen := make(map[docKey]bool, total)
+	dups := 0
+	for _, res := range responses {
+		if res == nil {
+			continue
+		}
+		for _, c := range res.Candidates {
+			if len(c.TFs) != len(terms) {
+				// checkShardResult rejects these before merge; the
+				// guard keeps a hostile response from panicking the
+				// fold if it ever slips through.
+				continue
+			}
+			key := docKey{url: c.URL, state: c.State}
+			if seen[key] {
+				dups++
+				continue
+			}
+			seen[key] = true
+			score := c.Base
+			for t := range terms {
+				score += w.TFIDF * c.TFs[t] * idf[t]
+			}
+			out = append(out, query.ResultWithSnippet{
+				Result:  query.Result{URL: c.URL, State: model.StateID(c.State), Score: score},
+				Snippet: c.Snippet,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].URL != out[j].URL {
+			return out[i].URL < out[j].URL
+		}
+		return out[i].State < out[j].State
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, dups
+}
+
+// callShard runs one shard's call: primary attempt at a P2C-picked
+// replica, an optional hedged attempt when the hedge delay elapses
+// first, immediate failover to the next replica when an attempt errors,
+// and the shard deadline over it all. The first valid response wins;
+// whatever is still in flight is canceled (and counted).
+func (r *Router) callShard(ctx context.Context, shard int, q string, terms []string, tel *obs.Telemetry) (*query.ShardResult, int, error) {
+	g := r.groups[shard]
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_, sp := obs.StartSpan(ctx, obs.SpanRouterShard, obs.A("shard", strconv.Itoa(shard)))
+	start := r.clock.Now()
+
+	type attempt struct {
+		res    *query.ShardResult
+		err    error
+		hedged bool
+	}
+	// Buffered to the replica count — every replica is attempted at
+	// most once per call, so losers never block sending their (ignored)
+	// outcome after the winner returns.
+	resc := make(chan attempt, len(g.replicas))
+	used := make([]bool, len(g.replicas))
+	launch := func(hedged bool) bool {
+		ri := r.pick(g, used)
+		if ri < 0 {
+			return false
+		}
+		used[ri] = true
+		rep := g.replicas[ri]
+		rep.outstanding.Add(1)
+		go func() {
+			defer rep.outstanding.Add(-1)
+			res, err := rep.backend.ShardSearch(cctx, q)
+			if err == nil {
+				err = checkShardResult(res, terms)
+			}
+			resc <- attempt{res: res, err: err, hedged: hedged}
+		}()
+		return true
+	}
+	launch(false)
+
+	// The hedge and deadline schedules ride the injectable clock, not
+	// context.WithTimeout, so virtual-time tests can script them
+	// exactly. Sleeps return early (with an error) when the call ends.
+	hedgec := make(chan struct{}, 1)
+	if d := r.hedgeDelay(); d > 0 && len(g.replicas) > 1 {
+		go func() {
+			if r.clock.Sleep(cctx, d) == nil {
+				hedgec <- struct{}{}
+			}
+		}()
+	}
+	timeoutc := make(chan struct{}, 1)
+	if r.cfg.ShardTimeout > 0 {
+		go func() {
+			if r.clock.Sleep(cctx, r.cfg.ShardTimeout) == nil {
+				timeoutc <- struct{}{}
+			}
+		}()
+	}
+
+	hedges := 0
+	pending := 1
+	var lastErr error
+	for {
+		select {
+		case a := <-resc:
+			pending--
+			if a.err == nil {
+				lat := r.clock.Now().Sub(start)
+				r.lat.Observe(lat)
+				tel.Histogram("router.shard.latency").Observe(lat.Seconds())
+				tel.Histogram("router.shard.latency." + strconv.Itoa(shard)).Observe(lat.Seconds())
+				if a.hedged {
+					tel.Counter("router.fanout.hedge_wins").Inc()
+				}
+				if pending > 0 {
+					tel.Counter("router.fanout.hedge_canceled").Add(int64(pending))
+				}
+				sp.SetAttr("hedges", strconv.Itoa(hedges))
+				sp.End(nil)
+				return a.res, hedges, nil
+			}
+			lastErr = a.err
+			tel.Counter("router.fanout.shard_errors").Inc()
+			// Fail over: a dead replica must not kill the shard while
+			// unused siblings remain and nothing else is in flight.
+			if pending == 0 {
+				if !launch(false) {
+					sp.End(lastErr)
+					return nil, hedges, lastErr
+				}
+				pending++
+			}
+		case <-hedgec:
+			if launch(true) {
+				pending++
+				hedges++
+				tel.Counter("router.fanout.hedges").Inc()
+			}
+		case <-timeoutc:
+			tel.Counter("router.fanout.shard_errors").Inc()
+			sp.End(ErrShardTimeout)
+			return nil, hedges, ErrShardTimeout
+		case <-cctx.Done():
+			sp.End(cctx.Err())
+			return nil, hedges, cctx.Err()
+		}
+	}
+}
+
+// hedgeDelay resolves the current hedge delay: the observed latency
+// quantile when HedgeQuantile is set and warmed up, else the fixed
+// HedgeAfter (which doubles as the warmup delay), else 0 (off).
+func (r *Router) hedgeDelay() time.Duration {
+	if r.cfg.HedgeQuantile > 0 {
+		if d, ok := r.lat.Quantile(r.cfg.HedgeQuantile); ok {
+			return d
+		}
+	}
+	return r.cfg.HedgeAfter
+}
+
+// pick chooses a replica among the not-yet-used ones by power of two
+// choices: sample two distinct candidates (seeded PRNG), take the one
+// with fewer outstanding requests, break ties toward the lower index.
+// Returns -1 when every replica was already attempted.
+func (r *Router) pick(g *group, used []bool) int {
+	free := make([]int, 0, len(g.replicas))
+	for i := range g.replicas {
+		if !used[i] {
+			free = append(free, i)
+		}
+	}
+	if len(free) == 0 {
+		return -1
+	}
+	if len(free) == 1 {
+		return free[0]
+	}
+	r.mu.Lock()
+	ai := r.rng.Intn(len(free))
+	bi := (ai + 1 + r.rng.Intn(len(free)-1)) % len(free)
+	r.mu.Unlock()
+	a, b := free[ai], free[bi]
+	oa := g.replicas[a].outstanding.Load()
+	ob := g.replicas[b].outstanding.Load()
+	if ob < oa || (ob == oa && b < a) {
+		return b
+	}
+	return a
+}
+
+// checkShardResult validates a shard response against the routed query
+// before it may enter the merge: aligned vectors, finite scores,
+// plausible counts. Responses arrive from the network, so nothing here
+// is trusted — a violation fails the attempt (triggering failover), it
+// never panics the router.
+func checkShardResult(res *query.ShardResult, terms []string) error {
+	const maxURLLen = 8 << 10
+	if res == nil {
+		return errors.New("router: nil shard response")
+	}
+	if len(res.Terms) != len(terms) {
+		return fmt.Errorf("router: shard answered %d terms, query has %d", len(res.Terms), len(terms))
+	}
+	for i := range terms {
+		if res.Terms[i] != terms[i] {
+			return fmt.Errorf("router: shard term %d = %q, query has %q", i, res.Terms[i], terms[i])
+		}
+	}
+	if len(res.DF) != len(terms) {
+		return fmt.Errorf("router: df vector has %d entries, query has %d terms", len(res.DF), len(terms))
+	}
+	for i, df := range res.DF {
+		if df < 0 {
+			return fmt.Errorf("router: negative df[%d] = %d", i, df)
+		}
+	}
+	if res.TotalStates < 0 || res.Docs < 0 || res.States < 0 || res.Gen < 0 {
+		return fmt.Errorf("router: negative collection stats (states %d, docs %d/%d, gen %d)",
+			res.TotalStates, res.Docs, res.States, res.Gen)
+	}
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		if c.URL == "" || len(c.URL) > maxURLLen {
+			return fmt.Errorf("router: candidate %d has bad URL (%d bytes)", i, len(c.URL))
+		}
+		if c.State < 0 {
+			return fmt.Errorf("router: candidate %d has negative state %d", i, c.State)
+		}
+		if len(c.TFs) != len(terms) {
+			return fmt.Errorf("router: candidate %d has %d tfs, query has %d terms", i, len(c.TFs), len(terms))
+		}
+		if math.IsNaN(c.Base) || math.IsInf(c.Base, 0) {
+			return fmt.Errorf("router: candidate %d has non-finite base", i)
+		}
+		for t, tf := range c.TFs {
+			if math.IsNaN(tf) || math.IsInf(tf, 0) || tf < 0 {
+				return fmt.Errorf("router: candidate %d has bad tf[%d]", i, t)
+			}
+		}
+	}
+	return nil
+}

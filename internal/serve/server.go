@@ -212,9 +212,11 @@ func (s *Server) Watch(ctx context.Context, interval time.Duration) {
 	}
 }
 
-// Routes mounts the serving endpoints on mux: /search and /healthz.
+// Routes mounts the serving endpoints on mux: /search, /shard/search
+// and /healthz.
 func (s *Server) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/shard/search", s.handleShardSearch)
 	mux.HandleFunc("/healthz", s.handleHealth)
 }
 
@@ -261,22 +263,33 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Write(append(b, '\n'))
 }
 
+// admit applies the load-shedding gate: it reserves an in-flight slot
+// (release must be called when evaluation ends) or sheds the request
+// with 429. Saturation must cost a channel poll, not an evaluation;
+// 429 + Retry-After tells well-behaved clients to back off, and the
+// shed count is the first metric to watch under load.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if s.inflight == nil {
+		return func() {}, true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return func() { <-s.inflight }, true
+	default:
+		s.tel.Counter("query.serve.shed").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server saturated, retry later"})
+		return nil, false
+	}
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	tel := s.tel
-	// Load shedding first: saturation must cost a channel poll, not an
-	// evaluation. 429 + Retry-After tells well-behaved clients to back
-	// off; the shed count is the first metric to watch under load.
-	if s.inflight != nil {
-		select {
-		case s.inflight <- struct{}{}:
-			defer func() { <-s.inflight }()
-		default:
-			tel.Counter("query.serve.shed").Inc()
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server saturated, retry later"})
-			return
-		}
+	release, ok := s.admit(w)
+	if !ok {
+		return
 	}
+	defer release()
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter"})
@@ -333,6 +346,44 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(HeaderCache, "miss")
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleShardSearch answers the shard half of a distributed query
+// (internal/router's fan-out protocol): pre-idf candidates plus the
+// local df vector and state count, so a router can apply the global idf
+// correction of eq. 6.1 across shard servers. The same load-shedding
+// gate and per-query deadline as /search apply — a router hedging into
+// a saturated replica should see 429 quickly, not queue behind it.
+func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
+	tel := s.tel
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter"})
+		return
+	}
+
+	ctx := obs.With(r.Context(), tel)
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		tel.Counter("query.serve.deadline").Inc()
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "deadline exceeded before evaluation"})
+		return
+	}
+
+	res := s.qs.ShardSearch(ctx, q)
+	w.Header().Set(HeaderGeneration, strconv.FormatInt(res.Gen, 10))
+	w.Header().Set(HeaderDocs, strconv.Itoa(res.Docs))
+	w.Header().Set(HeaderStates, strconv.Itoa(res.States))
+	writeJSON(w, http.StatusOK, res)
 }
 
 // healthResponse is the /healthz JSON body.

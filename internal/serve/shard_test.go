@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ajaxcrawl/internal/query"
+)
+
+// TestShardSearchEndpoint pins the shard half of the fan-out protocol:
+// /shard/search returns the pre-idf candidate payload with the snapshot
+// metadata headers, rejects missing q, and honors the shed gate — a
+// router hedging into a saturated replica must see 429 immediately.
+func TestShardSearchEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, bad := range []string{"/shard/search", "/shard/search?q="} {
+		resp, _ := get(t, ts.URL+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	resp, body := get(t, ts.URL+"/shard/search?q=morcheeba")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get(HeaderGeneration) != "1" || resp.Header.Get(HeaderDocs) != "2" {
+		t.Fatalf("metadata headers = gen %q, docs %q",
+			resp.Header.Get(HeaderGeneration), resp.Header.Get(HeaderDocs))
+	}
+	var res query.ShardResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(res.Terms) != 1 || res.Terms[0] != "morcheeba" {
+		t.Fatalf("terms = %v", res.Terms)
+	}
+	if len(res.DF) != 1 || res.DF[0] != len(res.Candidates) {
+		t.Fatalf("df = %v with %d candidates", res.DF, len(res.Candidates))
+	}
+	if res.TotalStates == 0 || len(res.Candidates) == 0 {
+		t.Fatalf("empty shard response: %+v", res)
+	}
+	for i, c := range res.Candidates {
+		if c.URL == "" || len(c.TFs) != 1 || c.Snippet == "" {
+			t.Fatalf("candidate %d incomplete: %+v", i, c)
+		}
+	}
+}
+
+func TestShardSearchSheds(t *testing.T) {
+	s, reg := newTestServer(t, Config{MaxInflight: 1})
+	s.inflight <- struct{}{}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/shard/search?q=morcheeba", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	if reg.Counter("query.serve.shed").Value() != 1 {
+		t.Fatalf("shed counter = %d", reg.Counter("query.serve.shed").Value())
+	}
+	if reg.Counter("query.shard.requests").Value() != 0 {
+		t.Fatal("shed request still evaluated the shard query")
+	}
+}
