@@ -48,8 +48,17 @@ func main() {
 		addr          = flag.String("addr", "127.0.0.1:8090", "listen address")
 		defaultK      = flag.Int("k", 10, "default result count when ?k= is absent")
 		maxK          = flag.Int("max-k", 100, "upper bound on ?k=")
-		maxInflight   = flag.Int("max-inflight", 64, "concurrently routed queries before shedding with 429 (0 = unlimited)")
-		timeout       = flag.Duration("timeout", 2*time.Second, "per-query wall deadline across the whole fan-out (0 = none)")
+		maxInflight   = flag.Int("max-inflight", 64, "concurrently routed queries before queueing/shedding with 429 (0 = unlimited)")
+		admMin        = flag.Int("admission-min", 1, "adaptive admission limit floor (the limit decays toward this under latency pressure)")
+		admQueue      = flag.Int("admission-queue", 0, "bounded admission wait queue; excess queues here instead of shedding immediately (0 = shed at the limit)")
+		admTarget     = flag.Duration("admission-target", 0, "CoDel-style sojourn bound for queued queries: waits longer than this are dropped at grant time (0 = 50ms)")
+		budgetFloor   = flag.Duration("budget-floor", 0, "fast-reject queries whose deadline budget remainder is at or below this (0 = 2ms)")
+		ejectThresh   = flag.Float64("eject-threshold", 0, "failure-EWMA level that quarantines a replica (0 = 0.8)")
+		quarantine    = flag.Duration("quarantine", 0, "initial quarantine backoff before the first probe; doubles on failed probes (0 = 5s)")
+		quarantineMax = flag.Duration("quarantine-max", 0, "quarantine backoff ceiling (0 = 5m)")
+		probation     = flag.Int("probation", 0, "consecutive successful probes required to readmit a quarantined replica (0 = 2)")
+		probeInterval = flag.Duration("probe-interval", time.Second, "background health-probe sweep cadence for quarantined replicas (0 = off)")
+		timeout       = flag.Duration("timeout", 2*time.Second, "per-query wall deadline across the whole fan-out; also seeds the budget propagated to shards (0 = none)")
 		shardTimeout  = flag.Duration("shard-timeout", 1500*time.Millisecond, "per-shard deadline, hedges included (0 = none)")
 		hedgeAfter    = flag.Duration("hedge-after", 0, "hedge to another replica when a shard is silent this long (0 = no fixed hedge)")
 		hedgeQuantile = flag.Float64("hedge-quantile", 0, "hedge when a shard is slower than this quantile of observed latencies, e.g. 0.95 (0 = off; -hedge-after is the warmup delay)")
@@ -92,21 +101,29 @@ func main() {
 	}
 
 	rt, err := router.New(router.Config{
-		Shards:        topo,
-		ShardTimeout:  *shardTimeout,
-		HedgeAfter:    *hedgeAfter,
-		HedgeQuantile: *hedgeQuantile,
-		Partial:       *partial,
-		Seed:          *seed,
+		Shards:          topo,
+		ShardTimeout:    *shardTimeout,
+		HedgeAfter:      *hedgeAfter,
+		HedgeQuantile:   *hedgeQuantile,
+		Partial:         *partial,
+		Seed:            *seed,
+		EjectThreshold:  *ejectThresh,
+		QuarantineBase:  *quarantine,
+		QuarantineMax:   *quarantineMax,
+		ProbationProbes: *probation,
+		BudgetFloor:     *budgetFloor,
 	})
 	if err != nil {
 		fatal("router: %v", err)
 	}
 	rs := router.NewServer(rt, router.ServerConfig{
-		DefaultK:     *defaultK,
-		MaxK:         *maxK,
-		MaxInflight:  *maxInflight,
-		QueryTimeout: *timeout,
+		DefaultK:        *defaultK,
+		MaxK:            *maxK,
+		MaxInflight:     *maxInflight,
+		AdmissionMin:    *admMin,
+		AdmissionQueue:  *admQueue,
+		AdmissionTarget: *admTarget,
+		QueryTimeout:    *timeout,
 	}, tel)
 	fmt.Printf("routing %d shards x %d replicas (partial=%v, hedge=%v/q%.2f, shard timeout %v)\n",
 		rt.NumShards(), *replicas, *partial, *hedgeAfter, *hedgeQuantile, *shardTimeout)
@@ -115,6 +132,12 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Background recovery: quarantined replicas are probed on this cadence
+	// and readmitted after -probation consecutive successes.
+	if *probeInterval > 0 {
+		go rt.HealthLoop(obs.With(ctx, tel), *probeInterval)
+	}
 
 	var sampler *obs.Sampler
 	if *sample > 0 {

@@ -8,8 +8,11 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"time"
 
 	"ajaxcrawl/internal/query"
+	"ajaxcrawl/internal/serve"
 )
 
 // Backend answers the shard half of a distributed query. The two
@@ -36,6 +39,10 @@ func (b LocalBackend) ShardSearch(ctx context.Context, q string) (*query.ShardRe
 	return b.QS.ShardSearch(ctx, q), nil
 }
 
+// Probe implements Prober: an in-process shard is healthy whenever the
+// process is.
+func (b LocalBackend) Probe(ctx context.Context) error { return ctx.Err() }
+
 // DefaultMaxResponseBytes bounds one shard response body (32 MiB) —
 // a shard that tries to stream more is failed, not buffered.
 const DefaultMaxResponseBytes = 32 << 20
@@ -52,12 +59,21 @@ type HTTPBackend struct {
 	MaxResponseBytes int64
 }
 
-// ShardSearch implements Backend.
+// ShardSearch implements Backend. When the context carries a deadline
+// budget (WithBudget), the remainder is forwarded to the shard server
+// as X-Ajaxserve-Budget-Ms — and a call whose budget is already under a
+// millisecond fails fast without touching the network at all.
 func (b *HTTPBackend) ShardSearch(ctx context.Context, q string) (*query.ShardResult, error) {
 	u := b.BaseURL + "/shard/search?q=" + url.QueryEscape(q)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, fmt.Errorf("router: %w", err)
+	}
+	if rem, ok := BudgetRemaining(ctx); ok {
+		if rem < time.Millisecond {
+			return nil, ErrBudgetExhausted
+		}
+		req.Header.Set(serve.HeaderBudget, strconv.FormatInt(rem.Milliseconds(), 10))
 	}
 	client := b.Client
 	if client == nil {
@@ -75,6 +91,29 @@ func (b *HTTPBackend) ShardSearch(ctx context.Context, q string) (*query.ShardRe
 		return nil, fmt.Errorf("router: shard %s: status %d: %s", b.BaseURL, resp.StatusCode, bytes.TrimSpace(msg))
 	}
 	return DecodeShardResult(resp.Body, b.MaxResponseBytes)
+}
+
+// Probe implements Prober: GET /healthz on the shard server. Any
+// non-200 answer (or transport error) keeps the replica quarantined.
+func (b *HTTPBackend) Probe(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.BaseURL+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("router: %w", err)
+	}
+	client := b.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("router: probe %s: status %d", b.BaseURL, resp.StatusCode)
+	}
+	return nil
 }
 
 // DecodeShardResult reads one shard response body (bounded by maxBytes;

@@ -81,7 +81,7 @@ func TestPickAvoidsLoadedReplica(t *testing.T) {
 	g := r.groups[0]
 	g.replicas[0].outstanding.Store(100)
 	for i := 0; i < 200; i++ {
-		if got := r.pick(g, make([]bool, 2)); got != 1 {
+		if got := r.pick(g, make([]bool, 2), nil); got != 1 {
 			t.Fatalf("pick %d chose the loaded replica", i)
 		}
 	}
@@ -93,7 +93,7 @@ func TestPickTieBreaksLowerIndex(t *testing.T) {
 	r := newPickRouter(t, 2)
 	g := r.groups[0]
 	for i := 0; i < 200; i++ {
-		if got := r.pick(g, make([]bool, 2)); got != 0 {
+		if got := r.pick(g, make([]bool, 2), nil); got != 0 {
 			t.Fatalf("pick %d broke a tie toward the higher index (%d)", i, got)
 		}
 	}
@@ -109,7 +109,7 @@ func TestPickSkewedFleetSheds(t *testing.T) {
 	counts := make([]int, 4)
 	const trials = 3000
 	for i := 0; i < trials; i++ {
-		ri := r.pick(g, make([]bool, 4))
+		ri := r.pick(g, make([]bool, 4), nil)
 		counts[ri]++
 	}
 	if counts[0] != 0 {
@@ -129,11 +129,11 @@ func TestPickRespectsUsedAndExhaustion(t *testing.T) {
 	g := r.groups[0]
 	used := []bool{true, false, true}
 	for i := 0; i < 50; i++ {
-		if got := r.pick(g, used); got != 1 {
+		if got := r.pick(g, used, nil); got != 1 {
 			t.Fatalf("pick chose used replica %d", got)
 		}
 	}
-	if got := r.pick(g, []bool{true, true, true}); got != -1 {
+	if got := r.pick(g, []bool{true, true, true}, nil); got != -1 {
 		t.Fatalf("pick on exhausted group = %d, want -1", got)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -251,15 +252,19 @@ func TestRouterHTTPSheds(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	rs := NewServer(rt, ServerConfig{MaxInflight: 1}, obs.New(reg, nil))
-	rs.inflight <- struct{}{} // saturate the gate
+	tok, ok := rs.Limiter().TryAcquire() // saturate the gate
+	if !ok {
+		t.Fatal("could not saturate the limiter")
+	}
 	rts := httptest.NewServer(rs.Handler())
 	defer rts.Close()
 	resp, _ := httpGet(t, rts.URL+"/search?q=video")
 	if resp.StatusCode != 429 {
 		t.Fatalf("status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("missing Retry-After")
+	// The hint must be a positive integer, not a hardcoded decoration.
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
 	}
 	if got := reg.Counter("router.shed").Value(); got != 1 {
 		t.Fatalf("router.shed = %d, want 1", got)
@@ -267,7 +272,7 @@ func TestRouterHTTPSheds(t *testing.T) {
 	if b.callCount() != 0 {
 		t.Fatalf("shed request still reached a shard (%d calls)", b.callCount())
 	}
-	<-rs.inflight
+	tok.Cancel()
 	resp, _ = httpGet(t, rts.URL+"/search?q=video")
 	if resp.StatusCode != 200 {
 		t.Fatalf("status after drain = %d", resp.StatusCode)

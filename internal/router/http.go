@@ -3,11 +3,13 @@ package router
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
+	"ajaxcrawl/internal/admission"
 	"ajaxcrawl/internal/obs"
 	"ajaxcrawl/internal/query"
 	"ajaxcrawl/internal/serve"
@@ -27,11 +29,22 @@ type ServerConfig struct {
 	DefaultK int
 	// MaxK caps ?k= (default 100).
 	MaxK int
-	// MaxInflight bounds concurrently routed queries; excess requests
-	// are shed with 429 (0 = unlimited).
+	// MaxInflight is the admission limiter's hard ceiling on
+	// concurrently routed queries; excess requests queue (when
+	// AdmissionQueue > 0) or are shed with 429 (0 = unlimited).
 	MaxInflight int
-	// QueryTimeout is the per-request wall deadline (0 = none). The
-	// per-shard deadline lives in the Router's Config.ShardTimeout.
+	// AdmissionMin is the adaptive limit's floor (default 1).
+	AdmissionMin int
+	// AdmissionQueue bounds the admission wait queue (0 = no queue:
+	// shed immediately at the limit).
+	AdmissionQueue int
+	// AdmissionTarget is the CoDel-style sojourn bound for queued
+	// requests (0 = the admission package default, 50ms).
+	AdmissionTarget time.Duration
+	// QueryTimeout is the per-request deadline (0 = none). It also
+	// seeds the deadline budget propagated to every shard call (clamped
+	// to any budget the caller itself forwarded). The per-shard
+	// deadline lives in the Router's Config.ShardTimeout.
 	QueryTimeout time.Duration
 }
 
@@ -50,10 +63,10 @@ func (c ServerConfig) withDefaults() ServerConfig {
 // a single snapshot server by the bytes — the differential battery pins
 // this), plus fan-out metadata in response headers.
 type Server struct {
-	rt       *Router
-	cfg      ServerConfig
-	tel      *obs.Telemetry
-	inflight chan struct{}
+	rt      *Router
+	cfg     ServerConfig
+	tel     *obs.Telemetry
+	limiter *admission.Limiter
 }
 
 // NewServer wraps rt in the HTTP layer. tel may be nil.
@@ -61,13 +74,24 @@ func NewServer(rt *Router, cfg ServerConfig, tel *obs.Telemetry) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{rt: rt, cfg: cfg, tel: tel}
 	if cfg.MaxInflight > 0 {
-		s.inflight = make(chan struct{}, cfg.MaxInflight)
+		s.limiter = admission.New(admission.Config{
+			Initial:     cfg.MaxInflight,
+			Min:         cfg.AdmissionMin,
+			Max:         cfg.MaxInflight,
+			Queue:       cfg.AdmissionQueue,
+			QueueTarget: cfg.AdmissionTarget,
+			Clock:       rt.clock,
+			Tel:         tel,
+		})
 	}
 	return s
 }
 
 // Router exposes the wrapped Router.
 func (s *Server) Router() *Router { return s.rt }
+
+// Limiter exposes the admission limiter (nil when MaxInflight is 0).
+func (s *Server) Limiter() *admission.Limiter { return s.limiter }
 
 // Routes mounts the routing endpoints on mux: /search and /healthz.
 func (s *Server) Routes(mux *http.ServeMux) {
@@ -117,21 +141,54 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Write(append(b, '\n'))
 }
 
+// admit applies the router's load-shedding gate (nil-token when the
+// limiter is disabled; exactly one of Release or Cancel must follow).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (*admission.Token, bool) {
+	if s.limiter == nil {
+		return nil, true
+	}
+	tok, err := s.limiter.Acquire(r.Context())
+	if err == nil {
+		return tok, true
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "deadline exceeded before routing"})
+		return nil, false
+	}
+	s.tel.Counter("router.shed").Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(s.limiter.RetryAfterSeconds()))
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "router saturated, retry later"})
+	return nil, false
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	tel := s.tel
-	if s.inflight != nil {
-		select {
-		case s.inflight <- struct{}{}:
-			defer func() { <-s.inflight }()
-		default:
-			tel.Counter("router.shed").Inc()
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "router saturated, retry later"})
-			return
+	clock := s.rt.clock
+	arrival := clock.Now()
+
+	// The effective budget is this router's own deadline clamped to
+	// whatever budget an upstream tier already propagated.
+	budget := s.cfg.QueryTimeout
+	if h := r.Header.Get(serve.HeaderBudget); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			if in := time.Duration(ms) * time.Millisecond; budget == 0 || in < budget {
+				budget = in
+			}
 		}
+	}
+	if budget > 0 && budget <= s.rt.cfg.BudgetFloor {
+		tel.Counter("router.budget_rejected").Inc()
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "deadline budget below floor"})
+		return
+	}
+
+	tok, ok := s.admit(w, r)
+	if !ok {
+		return
 	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
+		tok.Cancel()
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter"})
 		return
 	}
@@ -139,6 +196,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if kv := r.URL.Query().Get("k"); kv != "" {
 		parsed, err := strconv.Atoi(kv)
 		if err != nil || parsed <= 0 {
+			tok.Cancel()
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "k must be a positive integer"})
 			return
 		}
@@ -147,12 +205,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			k = s.cfg.MaxK
 		}
 	}
+	defer tok.Release()
 
 	ctx := obs.With(r.Context(), tel)
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		defer cancel()
+	}
+	if budget > 0 {
+		// Queue time already spent the caller's budget; the deadline is
+		// anchored at arrival, and every shard call clamps to what is
+		// left of it at launch time.
+		ctx = WithBudget(ctx, arrival.Add(budget), clock)
 	}
 
 	m, err := s.rt.Search(ctx, q, k)
@@ -188,23 +253,36 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// healthResponse is the router's /healthz body.
+// healthResponse is the router's /healthz body. Healthy reports the
+// per-shard non-quarantined replica counts — live state, not static
+// topology — so a load balancer in front of several routers can drain
+// one whose fleet view has a hole.
 type healthResponse struct {
 	Status   string `json:"status"`
 	Shards   int    `json:"shards"`
 	Replicas []int  `json:"replicas"`
+	Healthy  []int  `json:"healthy"`
 	Partial  bool   `json:"partial"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	reps := make([]int, s.rt.NumShards())
+	healthy := make([]int, s.rt.NumShards())
+	status, code := "ok", http.StatusOK
 	for i := range reps {
 		reps[i] = s.rt.Replicas(i)
+		healthy[i] = s.rt.HealthyReplicas(i)
+		if healthy[i] == 0 {
+			// A shard with no healthy replica cannot answer complete
+			// queries: this router is degraded, say so with a 503.
+			status, code = "degraded", http.StatusServiceUnavailable
+		}
 	}
-	writeJSON(w, http.StatusOK, healthResponse{
-		Status:   "ok",
+	writeJSON(w, code, healthResponse{
+		Status:   status,
 		Shards:   s.rt.NumShards(),
 		Replicas: reps,
+		Healthy:  healthy,
 		Partial:  s.rt.cfg.Partial,
 	})
 }

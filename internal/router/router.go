@@ -74,17 +74,47 @@ type Config struct {
 	// responding subset (response metadata reports how many answered).
 	// With Partial false any shard failure fails the query.
 	Partial bool
-	// Clock drives hedge and timeout schedules (nil = wall clock).
+	// Clock drives hedge, timeout and quarantine schedules (nil = wall
+	// clock).
 	Clock fetch.Clock
 	// Seed seeds the replica-pick PRNG (0 = 1), making pick sequences
 	// reproducible in tests.
 	Seed int64
+	// EjectThreshold is the failure-EWMA level that quarantines a
+	// replica (0 = 0.8; above 1 ejection never triggers).
+	EjectThreshold float64
+	// QuarantineBase and QuarantineMax bound the quarantine backoff
+	// (0 = 5s / 5m): each failed probe doubles the sentence up to Max.
+	QuarantineBase, QuarantineMax time.Duration
+	// ProbationProbes is how many consecutive successful health probes
+	// readmit a quarantined replica (0 = 2).
+	ProbationProbes int
+	// HealthPenalty converts a replica's failure EWMA into equivalent
+	// outstanding requests for the P2C load comparison (0 = 4): a
+	// replica at EWMA 0.5 competes as if it carried 2 extra requests.
+	HealthPenalty float64
+	// BudgetFloor fast-rejects shard calls whose remaining propagated
+	// deadline budget is at or below this (0 = 2ms) — the caller has
+	// already hedged or given up by then.
+	BudgetFloor time.Duration
 }
 
-// replica is one backend plus its load accounting.
+// replica is one backend plus its load and health accounting. The
+// health fields are guarded by Router.mu.
 type replica struct {
 	backend     Backend
 	outstanding atomic.Int64
+
+	// health is the failure EWMA in [0, 1]: 0 is healthy, 1 is failing
+	// every attempt.
+	health float64
+	// quarantined replicas are skipped by pick (except as a last
+	// resort) until probation readmits them.
+	quarantined     bool
+	quarantineUntil time.Time
+	backoff         time.Duration
+	// probeOK counts consecutive successful probes in probation.
+	probeOK int
 }
 
 // group is one shard's replica set.
@@ -125,6 +155,24 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.HedgeQuantile < 0 || cfg.HedgeQuantile > 1 {
 		return nil, fmt.Errorf("router: HedgeQuantile %v outside [0,1]", cfg.HedgeQuantile)
+	}
+	if r.cfg.EjectThreshold <= 0 {
+		r.cfg.EjectThreshold = 0.8
+	}
+	if r.cfg.QuarantineBase <= 0 {
+		r.cfg.QuarantineBase = 5 * time.Second
+	}
+	if r.cfg.QuarantineMax <= 0 {
+		r.cfg.QuarantineMax = 5 * time.Minute
+	}
+	if r.cfg.ProbationProbes <= 0 {
+		r.cfg.ProbationProbes = 2
+	}
+	if r.cfg.HealthPenalty <= 0 {
+		r.cfg.HealthPenalty = 4
+	}
+	if r.cfg.BudgetFloor <= 0 {
+		r.cfg.BudgetFloor = 2 * time.Millisecond
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -344,10 +392,26 @@ func mergeCandidates(terms []string, w query.Weights, responses []*query.ShardRe
 // callShard runs one shard's call: primary attempt at a P2C-picked
 // replica, an optional hedged attempt when the hedge delay elapses
 // first, immediate failover to the next replica when an attempt errors,
-// and the shard deadline over it all. The first valid response wins;
-// whatever is still in flight is canceled (and counted).
+// and the shard deadline — ShardTimeout clamped to the caller's
+// remaining budget — over it all. The first valid response wins;
+// whatever is still in flight is canceled (and counted). Every outcome
+// feeds the replica health EWMAs: errors and timeouts hard, "the hedge
+// had to fire against you" softly.
 func (r *Router) callShard(ctx context.Context, shard int, q string, terms []string, tel *obs.Telemetry) (*query.ShardResult, int, error) {
 	g := r.groups[shard]
+
+	remaining, hasBudget := r.budgetRemaining(ctx)
+	if hasBudget && remaining <= r.cfg.BudgetFloor {
+		// The caller's budget is already gone: executing would produce
+		// an answer nobody is waiting for.
+		tel.Counter("router.fanout.budget_rejected").Inc()
+		return nil, 0, ErrBudgetExhausted
+	}
+	timeout := r.cfg.ShardTimeout
+	if hasBudget && (timeout == 0 || remaining < timeout) {
+		timeout = remaining
+	}
+
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	_, sp := obs.StartSpan(ctx, obs.SpanRouterShard, obs.A("shard", strconv.Itoa(shard)))
@@ -357,18 +421,23 @@ func (r *Router) callShard(ctx context.Context, shard int, q string, terms []str
 		res    *query.ShardResult
 		err    error
 		hedged bool
+		ri     int
 	}
 	// Buffered to the replica count — every replica is attempted at
 	// most once per call, so losers never block sending their (ignored)
 	// outcome after the winner returns.
 	resc := make(chan attempt, len(g.replicas))
 	used := make([]bool, len(g.replicas))
+	// pendingReps tracks which replicas are in flight, so hedge fires
+	// and shard timeouts can penalize the replicas that caused them.
+	pendingReps := make([]int, 0, len(g.replicas))
 	launch := func(hedged bool) bool {
-		ri := r.pick(g, used)
+		ri := r.pick(g, used, tel)
 		if ri < 0 {
 			return false
 		}
 		used[ri] = true
+		pendingReps = append(pendingReps, ri)
 		rep := g.replicas[ri]
 		rep.outstanding.Add(1)
 		go func() {
@@ -377,9 +446,17 @@ func (r *Router) callShard(ctx context.Context, shard int, q string, terms []str
 			if err == nil {
 				err = checkShardResult(res, terms)
 			}
-			resc <- attempt{res: res, err: err, hedged: hedged}
+			resc <- attempt{res: res, err: err, hedged: hedged, ri: ri}
 		}()
 		return true
+	}
+	dropPending := func(ri int) {
+		for i, p := range pendingReps {
+			if p == ri {
+				pendingReps = append(pendingReps[:i], pendingReps[i+1:]...)
+				return
+			}
+		}
 	}
 	launch(false)
 
@@ -395,9 +472,9 @@ func (r *Router) callShard(ctx context.Context, shard int, q string, terms []str
 		}()
 	}
 	timeoutc := make(chan struct{}, 1)
-	if r.cfg.ShardTimeout > 0 {
+	if timeout > 0 {
 		go func() {
-			if r.clock.Sleep(cctx, r.cfg.ShardTimeout) == nil {
+			if r.clock.Sleep(cctx, timeout) == nil {
 				timeoutc <- struct{}{}
 			}
 		}()
@@ -410,7 +487,9 @@ func (r *Router) callShard(ctx context.Context, shard int, q string, terms []str
 		select {
 		case a := <-resc:
 			pending--
+			dropPending(a.ri)
 			if a.err == nil {
+				r.record(g.replicas[a.ri], 0, tel)
 				lat := r.clock.Now().Sub(start)
 				r.lat.Observe(lat)
 				tel.Histogram("router.shard.latency").Observe(lat.Seconds())
@@ -425,6 +504,7 @@ func (r *Router) callShard(ctx context.Context, shard int, q string, terms []str
 				sp.End(nil)
 				return a.res, hedges, nil
 			}
+			r.record(g.replicas[a.ri], failHard, tel)
 			lastErr = a.err
 			tel.Counter("router.fanout.shard_errors").Inc()
 			// Fail over: a dead replica must not kill the shard while
@@ -437,12 +517,20 @@ func (r *Router) callShard(ctx context.Context, shard int, q string, terms []str
 				pending++
 			}
 		case <-hedgec:
+			// The primary was slow enough to trigger the hedge: a soft
+			// strike against whatever is still in flight.
+			for _, ri := range pendingReps {
+				r.record(g.replicas[ri], failHedge, tel)
+			}
 			if launch(true) {
 				pending++
 				hedges++
 				tel.Counter("router.fanout.hedges").Inc()
 			}
 		case <-timeoutc:
+			for _, ri := range pendingReps {
+				r.record(g.replicas[ri], failHard, tel)
+			}
 			tel.Counter("router.fanout.shard_errors").Inc()
 			sp.End(ErrShardTimeout)
 			return nil, hedges, ErrShardTimeout
@@ -465,31 +553,50 @@ func (r *Router) hedgeDelay() time.Duration {
 	return r.cfg.HedgeAfter
 }
 
-// pick chooses a replica among the not-yet-used ones by power of two
-// choices: sample two distinct candidates (seeded PRNG), take the one
-// with fewer outstanding requests, break ties toward the lower index.
+// pick chooses a replica among the not-yet-used, not-quarantined ones
+// by power of two choices: sample two distinct candidates (seeded
+// PRNG), take the one with the lower effective load — outstanding
+// requests plus the failure EWMA scaled by HealthPenalty, so a sick
+// replica sheds load before it is sick enough to eject — breaking ties
+// toward the lower index. When every free replica is quarantined the
+// pick falls back to them anyway (last resort: guessing beats refusing
+// when nothing healthy remains, and it keeps a probe-less fleet live).
 // Returns -1 when every replica was already attempted.
-func (r *Router) pick(g *group, used []bool) int {
+func (r *Router) pick(g *group, used []bool, tel *obs.Telemetry) int {
+	r.mu.Lock()
 	free := make([]int, 0, len(g.replicas))
 	for i := range g.replicas {
-		if !used[i] {
+		if !used[i] && !g.replicas[i].quarantined {
 			free = append(free, i)
 		}
 	}
+	lastResort := false
 	if len(free) == 0 {
+		for i := range g.replicas {
+			if !used[i] {
+				free = append(free, i)
+			}
+		}
+		lastResort = len(free) > 0
+	}
+	if len(free) == 0 {
+		r.mu.Unlock()
 		return -1
 	}
+	if lastResort {
+		tel.Counter("router.replica.last_resort").Inc()
+	}
 	if len(free) == 1 {
+		r.mu.Unlock()
 		return free[0]
 	}
-	r.mu.Lock()
 	ai := r.rng.Intn(len(free))
 	bi := (ai + 1 + r.rng.Intn(len(free)-1)) % len(free)
-	r.mu.Unlock()
 	a, b := free[ai], free[bi]
-	oa := g.replicas[a].outstanding.Load()
-	ob := g.replicas[b].outstanding.Load()
-	if ob < oa || (ob == oa && b < a) {
+	la := float64(g.replicas[a].outstanding.Load()) + g.replicas[a].health*r.cfg.HealthPenalty
+	lb := float64(g.replicas[b].outstanding.Load()) + g.replicas[b].health*r.cfg.HealthPenalty
+	r.mu.Unlock()
+	if lb < la || (lb == la && b < a) {
 		return b
 	}
 	return a

@@ -8,20 +8,25 @@
 // internal/index), and the server loads one, fronts it with a sharded
 // LRU result cache, and hot-swaps to a new snapshot — load in the
 // background, swap one atomic pointer, let old readers drain — whenever
-// the manifest's ID changes (Reload/Watch). Per-query deadlines and a
-// bounded in-flight gate (429 on saturation) keep an overloaded server
-// shedding instead of collapsing.
+// the manifest's ID changes (Reload/Watch). Per-query deadlines, an
+// adaptive admission gate (internal/admission: 429 + computed
+// Retry-After on saturation), deadline-budget propagation from upstream
+// routers, and a brownout mode that degrades quality before shedding
+// keep an overloaded server answering instead of collapsing.
 package serve
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
+	"ajaxcrawl/internal/admission"
+	"ajaxcrawl/internal/fetch"
 	"ajaxcrawl/internal/index"
 	"ajaxcrawl/internal/model"
 	"ajaxcrawl/internal/obs"
@@ -41,6 +46,16 @@ const (
 	HeaderStates = "X-Ajaxserve-States"
 	// HeaderCache is "hit" or "miss".
 	HeaderCache = "X-Ajaxserve-Cache"
+	// HeaderBudget carries the caller's remaining deadline budget in
+	// whole milliseconds (the router's fan-out sets it per shard call).
+	// The server clamps its per-query deadline to it and fast-rejects
+	// when it is already below BudgetFloor — no tier burns CPU on work
+	// the caller has abandoned.
+	HeaderBudget = "X-Ajaxserve-Budget-Ms"
+	// HeaderDegraded marks a brownout answer and names what was shed:
+	// "snippets" or "snippets,k". Absent on full-quality responses, so
+	// routers and tests can tell exactly which bodies are comparable.
+	HeaderDegraded = "X-Ajaxserve-Degraded"
 )
 
 // Config parameterizes a Server.
@@ -56,13 +71,35 @@ type Config struct {
 	CacheShards   int
 	CacheCapacity int
 	CacheTTL      time.Duration
-	// MaxInflight bounds concurrently evaluating queries; excess
-	// requests are shed with 429 (0 = unlimited).
+	// MaxInflight is the admission limiter's hard ceiling on
+	// concurrently evaluating queries; excess requests queue (when
+	// AdmissionQueue > 0) or are shed with 429 (0 = unlimited, no
+	// limiter at all).
 	MaxInflight int
+	// AdmissionMin is the adaptive limiter's floor (default 1). Under
+	// sustained congestion the limit walks down from MaxInflight toward
+	// this, never below.
+	AdmissionMin int
+	// AdmissionQueue bounds the admission wait queue (0 = no queue:
+	// shed immediately at the limit, the pre-adaptive behavior).
+	AdmissionQueue int
+	// AdmissionTarget is the CoDel-style sojourn bound for queued
+	// requests (0 = the admission package default, 50ms).
+	AdmissionTarget time.Duration
+	// BudgetFloor fast-rejects requests whose propagated deadline
+	// budget (HeaderBudget) is at or below this remaining time
+	// (default 2ms) — by then the caller has hedged or given up.
+	BudgetFloor time.Duration
+	// NoBrownout disables graceful degradation under queue pressure
+	// (brownout is only active when AdmissionQueue > 0 anyway).
+	NoBrownout bool
 	// QueryTimeout is the per-query deadline (0 = none).
 	QueryTimeout time.Duration
 	// Weights are the ranking coefficients (default query.DefaultWeights).
 	Weights *query.Weights
+	// Clock supplies timestamps for admission control and budget
+	// accounting (nil = wall clock).
+	Clock fetch.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -72,16 +109,23 @@ func (c Config) withDefaults() Config {
 	if c.MaxK <= 0 {
 		c.MaxK = 100
 	}
+	if c.BudgetFloor <= 0 {
+		c.BudgetFloor = 2 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = fetch.RealClock{}
+	}
 	return c
 }
 
 // Server is the HTTP search daemon's engine room: the hot-swappable
 // query server plus snapshot (re)loading and the request handlers.
 type Server struct {
-	cfg      Config
-	tel      *obs.Telemetry
-	qs       *query.Server
-	inflight chan struct{}
+	cfg     Config
+	tel     *obs.Telemetry
+	qs      *query.Server
+	limiter *admission.Limiter
+	clock   fetch.Clock
 
 	// mu serializes Reload: only one snapshot load/swap runs at a time.
 	// Serving never takes this lock.
@@ -100,9 +144,17 @@ func New(cfg Config, tel *obs.Telemetry) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, tel: tel, manifestID: man.ID}
+	s := &Server{cfg: cfg, tel: tel, clock: cfg.Clock, manifestID: man.ID}
 	if cfg.MaxInflight > 0 {
-		s.inflight = make(chan struct{}, cfg.MaxInflight)
+		s.limiter = admission.New(admission.Config{
+			Initial:     cfg.MaxInflight,
+			Min:         cfg.AdmissionMin,
+			Max:         cfg.MaxInflight,
+			Queue:       cfg.AdmissionQueue,
+			QueueTarget: cfg.AdmissionTarget,
+			Clock:       cfg.Clock,
+			Tel:         tel,
+		})
 	}
 	s.qs = query.NewServer(snap, query.CacheOptions{
 		Shards:   cfg.CacheShards,
@@ -166,6 +218,10 @@ func (s *Server) ManifestID() string {
 
 // QueryServer exposes the underlying hot-swappable query server.
 func (s *Server) QueryServer() *query.Server { return s.qs }
+
+// Limiter exposes the admission limiter (nil when MaxInflight is 0) —
+// for debug endpoints and tests.
+func (s *Server) Limiter() *admission.Limiter { return s.limiter }
 
 // Reload checks the snapshot directory's manifest and, when its ID
 // differs from the serving one (or force is set), loads the new shards
@@ -264,34 +320,83 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 // admit applies the load-shedding gate: it reserves an in-flight slot
-// (release must be called when evaluation ends) or sheds the request
-// with 429. Saturation must cost a channel poll, not an evaluation;
-// 429 + Retry-After tells well-behaved clients to back off, and the
+// (exactly one of Release or Cancel must be called on the returned
+// token, which is nil-safe when the limiter is disabled) or sheds the
+// request. Saturation must cost an admission decision, not an
+// evaluation; 429 + a limiter-computed Retry-After tells well-behaved
+// clients to back off in proportion to the actual overload, and the
 // shed count is the first metric to watch under load.
-func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
-	if s.inflight == nil {
-		return func() {}, true
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (*admission.Token, bool) {
+	if s.limiter == nil {
+		return nil, true
 	}
-	select {
-	case s.inflight <- struct{}{}:
-		return func() { <-s.inflight }, true
-	default:
-		s.tel.Counter("query.serve.shed").Inc()
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server saturated, retry later"})
+	tok, err := s.limiter.Acquire(r.Context())
+	if err == nil {
+		return tok, true
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// The client hung up while we queued it; nobody reads this body.
+		s.tel.Counter("query.serve.deadline").Inc()
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "deadline exceeded before evaluation"})
 		return nil, false
 	}
+	s.tel.Counter("query.serve.shed").Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(s.limiter.RetryAfterSeconds()))
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server saturated, retry later"})
+	return nil, false
+}
+
+// budgetFromRequest parses the propagated deadline budget. ok is false
+// when the header is absent or malformed (a malformed value from an
+// unknown client is ignored, not fatal — only our own router sets it).
+func budgetFromRequest(r *http.Request) (time.Duration, bool) {
+	h := r.Header.Get(HeaderBudget)
+	if h == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
+// rejectBudget sheds a request whose remaining budget is below the
+// floor: by the time we answered, the caller would already have hedged
+// or timed out, so evaluating it is pure waste.
+func (s *Server) rejectBudget(w http.ResponseWriter) {
+	s.tel.Counter("query.serve.budget_rejected").Inc()
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "deadline budget below floor"})
+}
+
+// queryContext applies the effective deadline — QueryTimeout clamped to
+// the propagated budget when one rides on the request.
+func (s *Server) queryContext(ctx context.Context, budget time.Duration, hasBudget bool) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.QueryTimeout
+	if hasBudget && (timeout == 0 || budget < timeout) {
+		timeout = budget
+	}
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return ctx, func() {}
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	tel := s.tel
-	release, ok := s.admit(w)
+	arrival := s.clock.Now()
+	budget, hasBudget := budgetFromRequest(r)
+	if hasBudget && budget <= s.cfg.BudgetFloor {
+		s.rejectBudget(w)
+		return
+	}
+	tok, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
-	defer release()
 	q := r.URL.Query().Get("q")
 	if q == "" {
+		tok.Cancel()
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter"})
 		return
 	}
@@ -299,6 +404,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if kv := r.URL.Query().Get("k"); kv != "" {
 		parsed, err := strconv.Atoi(kv)
 		if err != nil || parsed <= 0 {
+			tok.Cancel()
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "k must be a positive integer"})
 			return
 		}
@@ -307,13 +413,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			k = s.cfg.MaxK
 		}
 	}
+	if hasBudget {
+		// Queue time already ate into the caller's budget.
+		budget -= s.clock.Now().Sub(arrival)
+		if budget <= s.cfg.BudgetFloor {
+			tok.Cancel()
+			s.rejectBudget(w)
+			return
+		}
+	}
+	defer tok.Release()
 
 	ctx := obs.With(r.Context(), tel)
-	if s.cfg.QueryTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
-		defer cancel()
-	}
+	ctx, cancel := s.queryContext(ctx, budget, hasBudget)
+	defer cancel()
 	// A request that spent its whole deadline queued (or whose client
 	// hung up) is not worth evaluating.
 	if err := ctx.Err(); err != nil {
@@ -322,10 +435,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	results, snap, cached := s.qs.Search(ctx, q, k)
+	results, snap, cached, servedK, degraded := s.search(ctx, q, k, tok)
 	resp := searchResponse{
 		Query:   query.QueryString(query.Parse(q)),
-		K:       k,
+		K:       servedK,
 		Count:   len(results),
 		Results: make([]searchResult, 0, len(results)),
 	}
@@ -345,7 +458,38 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set(HeaderCache, "miss")
 	}
+	if degraded != "" {
+		w.Header().Set(HeaderDegraded, degraded)
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// search runs one query through the brownout ladder. Under queue
+// pressure (this request waited, or a queue has formed behind the
+// limit) the server degrades before it sheds: first it prefers a
+// full-quality cached answer (free, lossless), then drops snippet
+// extraction — the most expensive part of a cold evaluation — and at
+// half-full queue also halves k. The degradation is advertised so
+// callers can tell which answers are comparable; non-degraded bodies
+// stay byte-identical to an unloaded server's.
+func (s *Server) search(ctx context.Context, q string, k int, tok *admission.Token) (results []query.ResultWithSnippet, snap *query.ServeSnapshot, cached bool, servedK int, degraded string) {
+	pressured := s.limiter != nil && !s.cfg.NoBrownout && s.limiter.QueueLimit() > 0 &&
+		tok != nil && (tok.Waited || tok.QueueDepth > 0)
+	if !pressured {
+		results, snap, cached = s.qs.Search(ctx, q, k)
+		return results, snap, cached, k, ""
+	}
+	if res, sn, ok := s.qs.Cached(q, k); ok {
+		return res, sn, true, k, ""
+	}
+	degraded = "snippets"
+	if tok.QueueDepth*2 >= s.limiter.QueueLimit() && k > 1 {
+		k = (k + 1) / 2
+		degraded = "snippets,k"
+	}
+	s.tel.Counter("query.serve.brownout").Inc()
+	results, snap, cached = s.qs.SearchOpts(ctx, q, k, query.SearchOptions{NoSnippets: true})
+	return results, snap, cached, k, degraded
 }
 
 // handleShardSearch answers the shard half of a distributed query
@@ -356,23 +500,35 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // a saturated replica should see 429 quickly, not queue behind it.
 func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 	tel := s.tel
-	release, ok := s.admit(w)
+	arrival := s.clock.Now()
+	budget, hasBudget := budgetFromRequest(r)
+	if hasBudget && budget <= s.cfg.BudgetFloor {
+		s.rejectBudget(w)
+		return
+	}
+	tok, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
-	defer release()
 	q := r.URL.Query().Get("q")
 	if q == "" {
+		tok.Cancel()
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter"})
 		return
 	}
+	if hasBudget {
+		budget -= s.clock.Now().Sub(arrival)
+		if budget <= s.cfg.BudgetFloor {
+			tok.Cancel()
+			s.rejectBudget(w)
+			return
+		}
+	}
+	defer tok.Release()
 
 	ctx := obs.With(r.Context(), tel)
-	if s.cfg.QueryTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
-		defer cancel()
-	}
+	ctx, cancel := s.queryContext(ctx, budget, hasBudget)
+	defer cancel()
 	if err := ctx.Err(); err != nil {
 		tel.Counter("query.serve.deadline").Inc()
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "deadline exceeded before evaluation"})

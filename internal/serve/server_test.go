@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"ajaxcrawl/internal/dom"
@@ -173,17 +174,23 @@ func TestHealthz(t *testing.T) {
 
 func TestLoadShedding(t *testing.T) {
 	s, reg := newTestServer(t, Config{MaxInflight: 2})
-	// Saturate the in-flight gate, then request: the server must shed
+	// Saturate the admission gate, then request: the server must shed
 	// with 429 + Retry-After before touching the query engine.
-	s.inflight <- struct{}{}
-	s.inflight <- struct{}{}
+	tok1, ok1 := s.Limiter().TryAcquire()
+	tok2, ok2 := s.Limiter().TryAcquire()
+	if !ok1 || !ok2 {
+		t.Fatal("could not saturate the limiter")
+	}
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/search?q=morcheeba", nil))
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", rec.Code)
 	}
-	if rec.Header().Get("Retry-After") == "" {
-		t.Fatal("missing Retry-After")
+	// The hint must be a positive integer (a limiter-derived drain
+	// estimate), not an empty or decorative header.
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", rec.Header().Get("Retry-After"))
 	}
 	if reg.Counter("query.serve.shed").Value() != 1 {
 		t.Fatalf("shed counter = %d", reg.Counter("query.serve.shed").Value())
@@ -193,12 +200,13 @@ func TestLoadShedding(t *testing.T) {
 	}
 
 	// Draining one slot un-sheds.
-	<-s.inflight
+	tok1.Cancel()
 	rec = httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/search?q=morcheeba", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status after drain = %d", rec.Code)
 	}
+	tok2.Cancel()
 }
 
 func TestDeadlineBeforeEvaluation(t *testing.T) {

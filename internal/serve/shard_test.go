@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 
 	"ajaxcrawl/internal/query"
@@ -55,11 +56,18 @@ func TestShardSearchEndpoint(t *testing.T) {
 
 func TestShardSearchSheds(t *testing.T) {
 	s, reg := newTestServer(t, Config{MaxInflight: 1})
-	s.inflight <- struct{}{}
+	tok, ok := s.Limiter().TryAcquire()
+	if !ok {
+		t.Fatal("could not saturate the limiter")
+	}
+	defer tok.Cancel()
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/shard/search?q=morcheeba", nil))
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", rec.Header().Get("Retry-After"))
 	}
 	if reg.Counter("query.serve.shed").Value() != 1 {
 		t.Fatalf("shed counter = %d", reg.Counter("query.serve.shed").Value())
